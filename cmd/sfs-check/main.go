@@ -1,0 +1,97 @@
+// sfs-check is the trace-checking half of Fig 1: it runs the oracle over
+// trace files and writes checked traces with diagnoses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	sibylfs "repro"
+	"repro/internal/analysis"
+)
+
+func main() {
+	inDir := flag.String("i", "", "directory of .trace files")
+	outDir := flag.String("o", "", "directory for .checked files (optional)")
+	platform := flag.String("p", "linux", "model variant: posix|linux|mac_os_x|freebsd")
+	noPerms := flag.Bool("noperms", false, "disable the permissions trait")
+	workers := flag.Int("w", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.Parse()
+	if *inDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: sfs-check -i DIR [-o DIR] [-p PLATFORM]")
+		os.Exit(2)
+	}
+	pl, ok := sibylfs.DefaultSpec(), false
+	if p, k := parsePlatform(*platform); k {
+		pl, ok = sibylfs.SpecFor(p), true
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sfs-check: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	pl.Permissions = !*noPerms
+
+	var traces []*sibylfs.Trace
+	entries, err := os.ReadDir(*inDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-check:", err)
+		os.Exit(1)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".trace") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(*inDir, e.Name()))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-check:", err)
+			os.Exit(1)
+		}
+		t, err := sibylfs.ParseTrace(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfs-check: %s: %v\n", e.Name(), err)
+			os.Exit(1)
+		}
+		if t.Name == "" {
+			t.Name = strings.TrimSuffix(e.Name(), ".trace")
+		}
+		traces = append(traces, t)
+	}
+
+	results := sibylfs.Check(pl, traces, *workers)
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-check:", err)
+			os.Exit(1)
+		}
+		for i, r := range results {
+			path := filepath.Join(*outDir, traces[i].Name+".checked")
+			text := sibylfs.RenderChecked(traces[i], r)
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "sfs-check:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	summary := analysis.Summarise(fmt.Sprintf("%s vs %s", *inDir, *platform), traces, results)
+	fmt.Print(summary)
+	if summary.Rejected > 0 {
+		os.Exit(1)
+	}
+}
+
+func parsePlatform(s string) (sibylfs.Platform, bool) {
+	switch s {
+	case "posix":
+		return sibylfs.POSIX, true
+	case "linux":
+		return sibylfs.Linux, true
+	case "mac_os_x", "osx":
+		return sibylfs.OSX, true
+	case "freebsd":
+		return sibylfs.FreeBSD, true
+	}
+	return 0, false
+}

@@ -1,0 +1,97 @@
+// sfs-debug is the model-debugging tool of §2: it takes a trace and
+// produces a description of the model states that the oracle tracks at
+// every step — "extremely useful for developing the model, but we do not
+// expect end users of SibylFS to need it".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sibylfs "repro"
+	"repro/internal/core"
+	"repro/internal/osspec"
+	"repro/internal/types"
+)
+
+func main() {
+	platform := flag.String("p", "linux", "model variant")
+	verbose := flag.Bool("v", false, "dump every tracked state (not just counts)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sfs-debug [-p PLATFORM] [-v] TRACE-FILE")
+		os.Exit(2)
+	}
+	pl, ok := types.ParsePlatform(*platform)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sfs-debug: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-debug:", err)
+		os.Exit(1)
+	}
+	tr, err := sibylfs.ParseTrace(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-debug:", err)
+		os.Exit(1)
+	}
+
+	oracle := core.NewOracle(sibylfs.SpecFor(pl))
+	states := []*osspec.OsState{oracle.InitialState()}
+	fmt.Printf("# model-debug of %s (%s variant)\n\n", flag.Arg(0), pl)
+	for _, st := range tr.Steps {
+		fmt.Printf("step %d: %s\n", st.Line, st.Label)
+		var next []*osspec.OsState
+		if ret, ok := st.Label.(types.ReturnLabel); ok {
+			for _, s := range states {
+				if p, ok := s.Procs[ret.Pid]; ok && p.Run == osspec.RsCalling {
+					for _, c := range osspec.TauFor(s, ret.Pid) {
+						next = append(next, oracle.Step(c, st.Label)...)
+					}
+				} else {
+					next = append(next, oracle.Step(s, st.Label)...)
+				}
+			}
+		} else {
+			for _, s := range states {
+				next = append(next, oracle.Step(s, st.Label)...)
+			}
+		}
+		if len(next) == 0 {
+			fmt.Printf("  !! no tracked state allows this step; stopping\n")
+			break
+		}
+		states = next
+		fmt.Printf("  tracking %d state(s)\n", len(states))
+		if *verbose {
+			for i, s := range states {
+				fmt.Printf("  --- state %d ---\n", i)
+				fmt.Print(indent(s.Dump()))
+			}
+		}
+	}
+	if len(states) > 0 {
+		fmt.Println("\nfinal state(s):")
+		fmt.Print(indent(states[0].Dump()))
+		if len(states) > 1 {
+			fmt.Printf("  (and %d more)\n", len(states)-1)
+		}
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if i > start {
+				out += "  " + s[start:i] + "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+// sfs-gen generates the SibylFS test suite and writes one script file per
+// test into the output directory (or prints statistics with -stats).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	sibylfs "repro"
+)
+
+func main() {
+	outDir := flag.String("o", "", "output directory for script files (omit with -stats)")
+	stats := flag.Bool("stats", false, "print per-group script counts and exit")
+	group := flag.String("group", "", "only emit scripts of this command group")
+	flag.Parse()
+
+	suite := sibylfs.Generate()
+	if *group != "" {
+		var sel []*sibylfs.Script
+		for _, s := range suite {
+			if sibylfs.GroupOfName(s.Name) == *group {
+				sel = append(sel, s)
+			}
+		}
+		suite = sel
+	}
+
+	if *stats {
+		m := sibylfs.SuiteStats(suite)
+		groups := make([]string, 0, len(m))
+		for g := range m {
+			groups = append(groups, g)
+		}
+		sort.Strings(groups)
+		total := 0
+		for _, g := range groups {
+			fmt.Printf("%-12s %6d\n", g, m[g])
+			total += m[g]
+		}
+		fmt.Printf("%-12s %6d\n", "TOTAL", total)
+		return
+	}
+
+	if *outDir == "" {
+		fmt.Fprintln(os.Stderr, "sfs-gen: -o DIR or -stats required")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-gen:", err)
+		os.Exit(1)
+	}
+	for _, s := range suite {
+		path := filepath.Join(*outDir, s.Name+".script")
+		if err := os.WriteFile(path, []byte(s.Render()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-gen:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %d scripts to %s\n", len(suite), *outDir)
+}

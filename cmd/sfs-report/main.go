@@ -1,0 +1,73 @@
+// sfs-report runs the full survey (or a sampled slice) across the
+// configuration matrix and renders text and HTML reports — the merged
+// multi-platform comparison of §7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	sibylfs "repro"
+	"repro/internal/analysis"
+)
+
+func main() {
+	outDir := flag.String("o", "sibylfs-report", "output directory for HTML")
+	sample := flag.Int("sample", 13, "use every Nth generated script (1 = full suite)")
+	workers := flag.Int("w", 0, "parallel workers")
+	configFilter := flag.String("config", "", "substring filter on configuration names")
+	flag.Parse()
+
+	suite := sibylfs.Generate()
+	var scripts []*sibylfs.Script
+	for i, s := range suite {
+		// Always include the targeted survey scenarios; sample the rest.
+		if sibylfs.GroupOfName(s.Name) == "survey" || i%*sample == 0 {
+			scripts = append(scripts, s)
+		}
+	}
+
+	var configs []sibylfs.Config
+	for _, c := range sibylfs.Configurations() {
+		if strings.Contains(c.Name, *configFilter) {
+			configs = append(configs, c)
+		}
+	}
+	fmt.Printf("running %d scripts on %d configurations\n", len(scripts), len(configs))
+
+	results, err := sibylfs.RunSurvey(scripts, configs, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-report:", err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-report:", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		fmt.Print(r.Summary)
+		html, err := analysis.RenderIndexHTML(r.Summary)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-report:", err)
+			os.Exit(1)
+		}
+		name := strings.ReplaceAll(r.Config.Name, " ", "_") + ".html"
+		if err := os.WriteFile(filepath.Join(*outDir, name), []byte(html), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-report:", err)
+			os.Exit(1)
+		}
+	}
+	merged := sibylfs.MergeSurvey(results)
+	fmt.Printf("\n%d tests distinguish configurations:\n", len(merged.Distinguishing()))
+	for i, test := range merged.Distinguishing() {
+		if i >= 25 {
+			fmt.Printf("  ... and %d more\n", len(merged.Distinguishing())-25)
+			break
+		}
+		fmt.Printf("  %-50s deviates on: %s\n", test, strings.Join(merged.DeviationsFor(test), ", "))
+	}
+	fmt.Printf("\nHTML written to %s\n", *outDir)
+}

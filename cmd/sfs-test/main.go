@@ -1,0 +1,132 @@
+// sfs-test executes test scripts against a file system under test and
+// writes the observed traces — the test-executor half of Fig 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	sibylfs "repro"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: sfs-test -fs NAME [-i DIR] [-o DIR] [-w N]
+
+-fs selects the implementation under test:
+  host            the real file system (in a temp-dir jail)
+  spec:PLATFORM   the determinized model (posix|linux|mac_os_x|freebsd)
+  NAME            a memfs survey profile (ext4, btrfs, posixovl_vfat_1.2, ...)
+
+Without -i, the generated suite is used.
+`)
+	os.Exit(2)
+}
+
+func main() {
+	fsName := flag.String("fs", "", "implementation under test")
+	inDir := flag.String("i", "", "directory of .script files (default: generated suite)")
+	outDir := flag.String("o", "", "directory for .trace files (default: stdout summary only)")
+	workers := flag.Int("w", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.Parse()
+	if *fsName == "" {
+		usage()
+	}
+
+	factory, serial, hostOnly := pickFS(*fsName)
+	scripts := loadScripts(*inDir)
+	if hostOnly {
+		scripts = sibylfs.FilterHostSafe(scripts)
+	}
+	w := *workers
+	if serial {
+		w = 1
+	}
+	traces, err := sibylfs.Execute(scripts, factory, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-test:", err)
+		os.Exit(1)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-test:", err)
+			os.Exit(1)
+		}
+		for _, t := range traces {
+			path := filepath.Join(*outDir, t.Name+".trace")
+			if err := os.WriteFile(path, []byte(t.Render()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "sfs-test:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("executed %d scripts on %s\n", len(traces), *fsName)
+}
+
+func pickFS(name string) (f sibylfs.Factory, serial, hostOnly bool) {
+	switch {
+	case name == "host":
+		return sibylfs.HostFS("host"), true, true
+	case strings.HasPrefix(name, "spec:"):
+		pl, ok := parsePlatform(strings.TrimPrefix(name, "spec:"))
+		if !ok {
+			usage()
+		}
+		return sibylfs.SpecFS(name, sibylfs.SpecFor(pl)), false, false
+	default:
+		for _, p := range sibylfs.SurveyProfiles() {
+			if p.Name == name {
+				return sibylfs.MemFS(p), false, false
+			}
+		}
+		return sibylfs.MemFS(sibylfs.LinuxProfile(name)), false, false
+	}
+}
+
+func parsePlatform(s string) (sibylfs.Platform, bool) {
+	switch s {
+	case "posix":
+		return sibylfs.POSIX, true
+	case "linux":
+		return sibylfs.Linux, true
+	case "mac_os_x", "osx":
+		return sibylfs.OSX, true
+	case "freebsd":
+		return sibylfs.FreeBSD, true
+	}
+	return 0, false
+}
+
+func loadScripts(dir string) []*sibylfs.Script {
+	if dir == "" {
+		return sibylfs.Generate()
+	}
+	var out []*sibylfs.Script
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-test:", err)
+		os.Exit(1)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".script") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-test:", err)
+			os.Exit(1)
+		}
+		s, err := sibylfs.ParseScript(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfs-test: %s: %v\n", e.Name(), err)
+			os.Exit(1)
+		}
+		if s.Name == "" {
+			s.Name = strings.TrimSuffix(e.Name(), ".script")
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+package sibylfs
+
+import "repro/internal/cov"
+
+func covStats() (int, int) { return cov.Stats() }
+func covUnhit() []string   { return cov.Unhit() }
+func covReset()            { cov.Reset() }

@@ -1,0 +1,6 @@
+package sibylfs
+
+import "repro/internal/testgen"
+
+// GroupOfName extracts the command group from a script name.
+func GroupOfName(name string) string { return testgen.GroupOf(name) }

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"strings"
+
+	"repro/internal/checker"
+)
+
+// Severity classifies deviations by increasing severity, following the
+// structure of §7.3: test-harness artifacts, POSIX-specification issues
+// and violations, platform conventions, defects likely to cause
+// application failure, and defects causing system halt / data loss /
+// resource exhaustion.
+type Severity int
+
+// Severity levels, least to most severe (§7.3.1–§7.3.5).
+const (
+	SeverityJailArtifact Severity = iota // not a real FS deviation (§7.2's 9 failures)
+	SeveritySpecIssue                    // looseness/ambiguity in POSIX itself
+	SeverityViolation                    // POSIX specification violation
+	SeverityConvention                   // platform convention divergence
+	SeverityAppFailure                   // likely to cause application failure
+	SeverityCritical                     // system halt, data loss, resource exhaustion
+)
+
+// String names the severity level.
+func (s Severity) String() string {
+	switch s {
+	case SeverityJailArtifact:
+		return "jail_artifact"
+	case SeveritySpecIssue:
+		return "spec_issue"
+	case SeverityViolation:
+		return "posix_violation"
+	case SeverityConvention:
+		return "platform_convention"
+	case SeverityAppFailure:
+		return "application_failure"
+	case SeverityCritical:
+		return "critical"
+	}
+	return "unknown"
+}
+
+// Classify assigns a severity to a rejected trace by inspecting the test
+// name and the observed/allowed values — the automated counterpart of the
+// paper's manual classification.
+func Classify(test string, r checker.Result) Severity {
+	observed := make([]string, 0, len(r.Errors))
+	for _, e := range r.Errors {
+		observed = append(observed, e.Observed)
+	}
+	obs := strings.Join(observed, " ")
+
+	switch {
+	// Hangs (EINTR stands for the watchdog-observed spin, Fig 8) and
+	// storage exhaustion on an empty volume are critical.
+	case strings.Contains(obs, "EINTR"):
+		return SeverityCritical
+	case strings.Contains(test, "posixovl") || strings.Contains(obs, "ENOSPC"):
+		return SeverityCritical
+
+	// The jail artifact: rmdir/rename involving the pseudo-root (as source
+	// or destination) observes the backing directory rather than a real
+	// root — the paper's §7.2 chroot-jail failure class.
+	case (strings.HasPrefix(test, "rmdir___") || strings.HasPrefix(test, "rename___")) &&
+		strings.Contains(test, "root"):
+		return SeverityJailArtifact
+
+	// Signals observed on what should be simple error returns (the OS X
+	// pwrite underflow surfaces as EFBIG/SIGXFSZ).
+	case strings.Contains(obs, "EFBIG"):
+		return SeverityAppFailure
+
+	// Invariant violations: a failing call changed the state (detected as
+	// a wrong observation on a later stat after an allowed error).
+	case strings.Contains(test, "invariant"):
+		return SeverityAppFailure
+
+	// chmod wholly unsupported breaks applications.
+	case strings.Contains(obs, "EOPNOTSUPP"):
+		return SeverityAppFailure
+
+	// O_APPEND misbehaviour corrupts data.
+	case strings.Contains(test, "o_append"):
+		return SeverityCritical
+
+	// Permission bypasses and ownership surprises.
+	case strings.Contains(test, "sshfs") || strings.Contains(test, "perm___"):
+		return SeverityAppFailure
+
+	// Wrong-but-harmless error codes and stat details are POSIX
+	// violations or conventions depending on the platform's intent.
+	case strings.Contains(obs, "EISDIR") || strings.Contains(obs, "EPERM"):
+		return SeverityConvention
+
+	default:
+		return SeverityViolation
+	}
+}

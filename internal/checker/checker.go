@@ -1,0 +1,192 @@
+// Package checker is the SibylFS test oracle: it decides whether an
+// observed trace is allowed by the model by maintaining the finite set of
+// model states the real-world system might be in and stepping it with
+// os_trans — the state-set strategy of §3, with no backtracking search.
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/osspec"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// StepError records one non-conformant step and its diagnosis (Fig 4).
+type StepError struct {
+	Line     int
+	Observed string
+	Allowed  []string
+}
+
+// Message renders the Fig 4 diagnostic block.
+func (e StepError) Message() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Error: %d: %s\n", e.Line, e.Observed)
+	fmt.Fprintf(&b, "# unexpected results: %s\n", e.Observed)
+	if len(e.Allowed) > 0 {
+		fmt.Fprintf(&b, "# allowed are only: %s\n", strings.Join(e.Allowed, ", "))
+		fmt.Fprintf(&b, "# continuing with %s\n", strings.Join(e.Allowed, ", "))
+	} else {
+		b.WriteString("# no behaviour allowed here; resetting process state\n")
+	}
+	return b.String()
+}
+
+// Result is the outcome of checking one trace.
+type Result struct {
+	Name        string
+	Accepted    bool
+	Errors      []StepError
+	Steps       int
+	MaxStates   int // peak size of the tracked state set (§7.1's key metric)
+	UsedSpecial bool
+}
+
+// Checker checks traces against one variant of the model.
+type Checker struct {
+	Spec types.Spec
+	// MaxStateSet caps the tracked set to guard against pathological
+	// blowup; the paper's engineering keeps real sets tiny.
+	MaxStateSet int
+	// DisableDedup turns off fingerprint deduplication of the state set —
+	// only for the ablation benchmarks; never set it in real checking.
+	DisableDedup bool
+}
+
+// New returns a checker for the given spec variant.
+func New(spec types.Spec) *Checker {
+	return &Checker{Spec: spec, MaxStateSet: 4096}
+}
+
+// Check runs the oracle over a trace: S_{i+1} = ∪_{s∈S_i} os_trans(s, lbl_i),
+// with deduplication by state fingerprint. The trace is accepted iff the
+// final set is non-empty and no step required recovery.
+func (c *Checker) Check(t *trace.Trace) Result {
+	res := Result{Name: t.Name, Accepted: true}
+	states := []*osspec.OsState{osspec.NewOsState(c.Spec)}
+
+	for _, st := range t.Steps {
+		res.Steps++
+		if len(states) > res.MaxStates {
+			res.MaxStates = len(states)
+		}
+		switch lbl := st.Label.(type) {
+		case types.ReturnLabel:
+			states = c.stepReturn(states, lbl, st, &res)
+		default:
+			next := unionTrans(states, st.Label)
+			if len(next) == 0 {
+				res.Accepted = false
+				res.Errors = append(res.Errors, StepError{
+					Line:     st.Line,
+					Observed: st.Label.String(),
+					Allowed:  nil,
+				})
+				// Recovery: drop the label entirely.
+				continue
+			}
+			states = c.reduce(next)
+		}
+	}
+	if len(states) == 0 {
+		res.Accepted = false
+	}
+	return res
+}
+
+// stepReturn matches an observed return value. Processes still in the
+// calling state are advanced by a τ for that pid first (processing at
+// return time is a legal linearisation for harness-produced traces).
+func (c *Checker) stepReturn(states []*osspec.OsState, lbl types.ReturnLabel, st trace.Step, res *Result) []*osspec.OsState {
+	expanded := make([]*osspec.OsState, 0, len(states))
+	for _, s := range states {
+		if p, ok := s.Procs[lbl.Pid]; ok && p.Run == osspec.RsCalling {
+			expanded = append(expanded, osspec.TauFor(s, lbl.Pid)...)
+		} else {
+			expanded = append(expanded, s)
+		}
+	}
+	expanded = c.reduce(expanded)
+
+	var next []*osspec.OsState
+	for _, s := range expanded {
+		next = append(next, osspec.Trans(s, lbl)...)
+	}
+	if len(next) > 0 {
+		return c.reduce(next)
+	}
+
+	// Non-conformant: diagnose and continue with the allowed values (Fig 4).
+	allowed := allowedSet(expanded, lbl.Pid)
+	res.Accepted = false
+	res.Errors = append(res.Errors, StepError{
+		Line:     st.Line,
+		Observed: lbl.Ret.String(),
+		Allowed:  allowed,
+	})
+	var recovered []*osspec.OsState
+	for _, s := range expanded {
+		recovered = append(recovered, osspec.RecoverReturns(s, lbl.Pid)...)
+	}
+	if len(recovered) == 0 {
+		for _, s := range expanded {
+			recovered = append(recovered, osspec.ResetToRunning(s, lbl.Pid))
+		}
+	}
+	return c.reduce(recovered)
+}
+
+func unionTrans(states []*osspec.OsState, lbl types.Label) []*osspec.OsState {
+	var next []*osspec.OsState
+	for _, s := range states {
+		next = append(next, osspec.Trans(s, lbl)...)
+	}
+	return next
+}
+
+func allowedSet(states []*osspec.OsState, pid types.Pid) []string {
+	seen := make(map[string]bool)
+	for _, s := range states {
+		if d, ok := osspec.AllowedReturn(s, pid); ok {
+			seen[d] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reduce dedupes the state set by fingerprint (or only caps it, for the
+// ablation benchmark).
+func (c *Checker) reduce(states []*osspec.OsState) []*osspec.OsState {
+	if c.DisableDedup {
+		if c.MaxStateSet > 0 && len(states) > c.MaxStateSet {
+			return states[:c.MaxStateSet]
+		}
+		return states
+	}
+	return dedupe(states, c.MaxStateSet)
+}
+
+func dedupe(states []*osspec.OsState, cap int) []*osspec.OsState {
+	seen := make(map[string]bool, len(states))
+	out := states[:0]
+	for _, s := range states {
+		fp := s.Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		out = append(out, s)
+		if cap > 0 && len(out) >= cap {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package checker
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// CheckAll checks many traces concurrently with workers goroutines
+// (workers ≤ 0 selects GOMAXPROCS), preserving input order in the results.
+// Trace independence gives the parallel speedup §7.1 relies on.
+func (c *Checker) CheckAll(traces []*trace.Trace, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]Result, len(traces))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = c.Check(traces[i])
+			}
+		}()
+	}
+	for i := range traces {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// RenderChecked interleaves the original trace with the checker's
+// diagnostics, producing a checked trace in the style of Fig 4.
+func RenderChecked(t *trace.Trace, r Result) string {
+	byLine := make(map[int][]StepError)
+	for _, e := range r.Errors {
+		byLine[e.Line] = append(byLine[e.Line], e)
+	}
+	var b strings.Builder
+	b.WriteString("@type checked_trace\n")
+	if t.Name != "" {
+		fmt.Fprintf(&b, "# Test %s\n", t.Name)
+	}
+	for _, st := range t.Steps {
+		fmt.Fprintf(&b, "%s\n", st.Label)
+		for _, e := range byLine[st.Line] {
+			b.WriteString(e.Message())
+		}
+	}
+	if r.Accepted {
+		b.WriteString("# Trace accepted.\n")
+	} else {
+		fmt.Fprintf(&b, "# Trace NOT accepted: %d error(s).\n", len(r.Errors))
+	}
+	return b.String()
+}

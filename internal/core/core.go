@@ -1,0 +1,47 @@
+// Package core ties the specification layers into the single artefact the
+// paper calls "SibylFS": the executable model usable as a test oracle. The
+// substance lives in the layered packages — state (directory/file heap),
+// pathres (path resolution), fsspec (per-command semantics), osspec (the
+// labelled transition system) and checker (state-set trace checking) — and
+// core exposes the oracle as one value, which is what the public sibylfs
+// package and the cmd/ tools build on.
+package core
+
+import (
+	"repro/internal/checker"
+	"repro/internal/osspec"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Oracle is the SibylFS test oracle for one model variant.
+type Oracle struct {
+	chk *checker.Checker
+}
+
+// NewOracle builds the oracle for a spec variant.
+func NewOracle(spec types.Spec) *Oracle {
+	return &Oracle{chk: checker.New(spec)}
+}
+
+// Spec reports the variant this oracle checks against.
+func (o *Oracle) Spec() types.Spec { return o.chk.Spec }
+
+// Check decides whether a trace is allowed by the model.
+func (o *Oracle) Check(t *trace.Trace) checker.Result { return o.chk.Check(t) }
+
+// CheckAll checks traces concurrently.
+func (o *Oracle) CheckAll(ts []*trace.Trace, workers int) []checker.Result {
+	return o.chk.CheckAll(ts, workers)
+}
+
+// InitialState exposes the LTS's start state (for tools that walk the
+// model directly, like the model-debugging aid of §2).
+func (o *Oracle) InitialState() *osspec.OsState {
+	return osspec.NewOsState(o.chk.Spec)
+}
+
+// Step applies os_trans to a single state (model debugging).
+func (o *Oracle) Step(s *osspec.OsState, lbl types.Label) []*osspec.OsState {
+	return osspec.Trans(s, lbl)
+}

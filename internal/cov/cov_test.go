@@ -1,0 +1,73 @@
+package cov
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPointRegistrationAndHits(t *testing.T) {
+	Reset()
+	a := Point("test/a")
+	b := Point("test/b")
+	if a == b {
+		t.Fatal("distinct ids share a counter")
+	}
+	if again := Point("test/a"); again != a {
+		t.Fatal("re-registration returned a new counter")
+	}
+	Hit(a)
+	Hit(a)
+	hit, total := Stats()
+	if total < 2 {
+		t.Fatalf("total = %d", total)
+	}
+	if hit < 1 {
+		t.Fatalf("hit = %d", hit)
+	}
+	found := false
+	for _, id := range Unhit() {
+		if id == "test/b" {
+			found = true
+		}
+		if id == "test/a" {
+			t.Error("hit point listed as unhit")
+		}
+	}
+	if !found {
+		t.Error("unhit point not listed")
+	}
+}
+
+func TestResetZeroes(t *testing.T) {
+	p := Point("test/reset")
+	Hit(p)
+	Reset()
+	ids, counts := Snapshot()
+	for i, id := range ids {
+		if id == "test/reset" && counts[i] != 0 {
+			t.Error("reset did not zero the counter")
+		}
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	Reset()
+	p := Point("test/conc")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				Hit(p)
+			}
+		}()
+	}
+	wg.Wait()
+	ids, counts := Snapshot()
+	for i, id := range ids {
+		if id == "test/conc" && counts[i] != 8000 {
+			t.Errorf("count = %d, want 8000", counts[i])
+		}
+	}
+}

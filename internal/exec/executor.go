@@ -1,0 +1,86 @@
+// Package exec is the test executor (§6.2): it drives a file system under
+// test with the commands of a test script and records the observed trace.
+// Where the paper forks interpreter processes into a chroot jail, this
+// harness drives fsimpl.FS values in-process; each script execution gets a
+// fresh, empty file system, and handle numbering is normalised so traces
+// are directly comparable across implementations.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/fsimpl"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Run executes one script against a fresh instance from factory and
+// records the trace.
+func Run(s *trace.Script, factory fsimpl.Factory) (*trace.Trace, error) {
+	fs, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("exec: creating file system: %w", err)
+	}
+	defer fs.Close()
+	t := &trace.Trace{Name: s.Name}
+	line := 0
+	emit := func(lbl types.Label) {
+		line++
+		t.Steps = append(t.Steps, trace.Step{Label: lbl, Line: line})
+	}
+	for _, st := range s.Steps {
+		switch lbl := st.Label.(type) {
+		case types.CallLabel:
+			emit(lbl)
+			rv := fs.Apply(lbl.Pid, lbl.Cmd)
+			emit(types.ReturnLabel{Pid: lbl.Pid, Ret: rv})
+		case types.CreateLabel:
+			fs.CreateProcess(lbl.Pid, lbl.Uid, lbl.Gid)
+			emit(lbl)
+		case types.DestroyLabel:
+			fs.DestroyProcess(lbl.Pid)
+			emit(lbl)
+		case types.TauLabel:
+			// Scripts don't contain τ; ignore if present.
+		case types.ReturnLabel:
+			return nil, fmt.Errorf("exec: script %q contains a return label", s.Name)
+		}
+	}
+	return t, nil
+}
+
+// RunAll executes many scripts concurrently (workers ≤ 0 selects
+// GOMAXPROCS), one fresh file system per script, preserving order.
+// Implementations with process-global state (HostFS's umask) should be run
+// with workers = 1.
+func RunAll(scripts []*trace.Script, factory fsimpl.Factory, workers int) ([]*trace.Trace, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	traces := make([]*trace.Trace, len(scripts))
+	errs := make([]error, len(scripts))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				traces[i], errs[i] = Run(scripts[i], factory)
+			}
+		}()
+	}
+	for i := range scripts {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return traces, e
+		}
+	}
+	return traces, nil
+}

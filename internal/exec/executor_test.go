@@ -1,0 +1,108 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/fsimpl"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+func script(name string, labels ...types.Label) *trace.Script {
+	s := &trace.Script{Name: name}
+	for _, l := range labels {
+		s.Steps = append(s.Steps, trace.Step{Label: l})
+	}
+	return s
+}
+
+func TestRunRecordsCallReturnPairs(t *testing.T) {
+	s := script("demo",
+		types.CallLabel{Pid: 1, Cmd: types.Mkdir{Path: "/d", Perm: 0o755}},
+		types.CallLabel{Pid: 1, Cmd: types.Stat{Path: "/d"}},
+	)
+	tr, err := Run(s, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "demo" || len(tr.Steps) != 4 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	for i := 0; i < len(tr.Steps); i += 2 {
+		if _, ok := tr.Steps[i].Label.(types.CallLabel); !ok {
+			t.Errorf("step %d not a call", i)
+		}
+		if _, ok := tr.Steps[i+1].Label.(types.ReturnLabel); !ok {
+			t.Errorf("step %d not a return", i+1)
+		}
+	}
+}
+
+func TestRunHandlesProcessEvents(t *testing.T) {
+	s := script("procs",
+		types.CreateLabel{Pid: 2, Uid: 1000, Gid: 1000},
+		types.CallLabel{Pid: 2, Cmd: types.Umask{Mask: 0o077}},
+		types.DestroyLabel{Pid: 2},
+	)
+	tr, err := Run(s, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) != 4 { // create, call, return, destroy
+		t.Fatalf("steps = %d", len(tr.Steps))
+	}
+}
+
+func TestRunRejectsReturnLabels(t *testing.T) {
+	s := script("bad", types.ReturnLabel{Pid: 1, Ret: types.RvNone{}})
+	if _, err := Run(s, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4"))); err == nil {
+		t.Fatal("script with return label accepted")
+	}
+}
+
+func TestRunAllFreshInstancePerScript(t *testing.T) {
+	// Both scripts create the same path; with a fresh FS per script both
+	// must succeed.
+	mk := func(n string) *trace.Script {
+		return script(n, types.CallLabel{Pid: 1, Cmd: types.Mkdir{Path: "/same", Perm: 0o755}})
+	}
+	traces, err := RunAll([]*trace.Script{mk("a"), mk("b")}, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		ret := tr.Steps[1].Label.(types.ReturnLabel)
+		if !ret.Ret.Equal(types.RvNone{}) {
+			t.Errorf("%s: mkdir = %v (state leaked between scripts?)", tr.Name, ret.Ret)
+		}
+	}
+}
+
+func TestRunAllPreservesOrder(t *testing.T) {
+	var scripts []*trace.Script
+	for i := 0; i < 50; i++ {
+		scripts = append(scripts, script(string(rune('a'+i%26))+itoa(i),
+			types.CallLabel{Pid: 1, Cmd: types.Stat{Path: "/"}}))
+	}
+	traces, err := RunAll(scripts, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scripts {
+		if traces[i].Name != scripts[i].Name {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,31 @@
+// Package fsimpl contains the file systems under test: an independent
+// in-memory POSIX implementation (memfs) with per-platform behaviour
+// profiles and the injected defects from the paper's survey (§7.3), the
+// real host file system (hostfs), and a determinized form of the model
+// itself (specfs, playing the role of the paper's "SibylFS mounted as a
+// FUSE file system").
+package fsimpl
+
+import "repro/internal/types"
+
+// FS is the libc-level interface the test executor drives. Apply performs
+// one call on behalf of a (model) process and returns the observation that
+// goes into the trace. Implementations normalise resource handles: file
+// descriptors count up from 3 and directory handles from 1, per process,
+// exactly as the model does, so that handle values are deterministic.
+type FS interface {
+	// Name identifies the configuration ("ext4", "posixovl_vfat", ...).
+	Name() string
+	// Apply executes cmd for pid and returns the observed value.
+	Apply(pid types.Pid, cmd types.Command) types.RetValue
+	// CreateProcess registers a new process with the given credentials.
+	CreateProcess(pid types.Pid, uid types.Uid, gid types.Gid)
+	// DestroyProcess removes a process, closing its descriptors.
+	DestroyProcess(pid types.Pid)
+	// Close releases external resources (temp dirs for hostfs).
+	Close() error
+}
+
+// Factory creates a fresh, empty file system instance for one test script;
+// every script starts from an empty file system (§2).
+type Factory func() (FS, error)

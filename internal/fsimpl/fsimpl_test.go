@@ -1,0 +1,356 @@
+package fsimpl
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func apply(t *testing.T, fs FS, cmd types.Command) types.RetValue {
+	t.Helper()
+	return fs.Apply(1, cmd)
+}
+
+func wantErr(t *testing.T, rv types.RetValue, e types.Errno) {
+	t.Helper()
+	got, ok := rv.(types.RvErr)
+	if !ok || got.Err != e {
+		t.Fatalf("got %v, want %v", rv, e)
+	}
+}
+
+func wantNone(t *testing.T, rv types.RetValue) {
+	t.Helper()
+	if !rv.Equal(types.RvNone{}) {
+		t.Fatalf("got %v, want RV_none", rv)
+	}
+}
+
+func TestMemfsBasicLifecycle(t *testing.T) {
+	fs := NewMemfs(LinuxProfile("ext4"))
+	wantNone(t, apply(t, fs, types.Mkdir{Path: "/d", Perm: 0o755}))
+	rv := apply(t, fs, types.Open{Path: "/d/f", Flags: types.OCreat | types.ORdwr, Perm: 0o644, HasPerm: true})
+	fd := rv.(types.RvFD).FD
+	if fd != 3 {
+		t.Fatalf("fd = %d", fd)
+	}
+	if n := apply(t, fs, types.Write{FD: fd, Data: []byte("hello"), Size: 5}); !n.Equal(types.RvNum{N: 5}) {
+		t.Fatalf("write = %v", n)
+	}
+	if n := apply(t, fs, types.Lseek{FD: fd, Off: 1, Whence: types.SeekSet}); !n.Equal(types.RvNum{N: 1}) {
+		t.Fatalf("lseek = %v", n)
+	}
+	if b := apply(t, fs, types.Read{FD: fd, Size: 3}); !b.Equal(types.RvBytes{Data: []byte("ell")}) {
+		t.Fatalf("read = %v", b)
+	}
+	st := apply(t, fs, types.Stat{Path: "/d/f"}).(types.RvStats).Stats
+	if st.Size != 5 || st.Kind != types.KindFile || st.Perm != 0o644 {
+		t.Fatalf("stat = %+v", st)
+	}
+	wantNone(t, apply(t, fs, types.Close{FD: fd}))
+	wantErr(t, apply(t, fs, types.Read{FD: fd, Size: 1}), types.EBADF)
+}
+
+func TestMemfsUmask(t *testing.T) {
+	fs := NewMemfs(LinuxProfile("ext4"))
+	old := apply(t, fs, types.Umask{Mask: 0o077}).(types.RvPerm).Perm
+	if old != 0o022 {
+		t.Fatalf("old umask = %v", old)
+	}
+	apply(t, fs, types.Mkdir{Path: "/d", Perm: 0o777})
+	st := apply(t, fs, types.Stat{Path: "/d"}).(types.RvStats).Stats
+	if st.Perm != 0o700 {
+		t.Errorf("perm = %o", st.Perm)
+	}
+}
+
+func TestMemfsPermissions(t *testing.T) {
+	fs := NewMemfs(LinuxProfile("ext4"))
+	apply(t, fs, types.Mkdir{Path: "/p", Perm: 0o755})
+	rv := apply(t, fs, types.Open{Path: "/p/secret", Flags: types.OCreat | types.OWronly, Perm: 0o600, HasPerm: true})
+	apply(t, fs, types.Close{FD: rv.(types.RvFD).FD})
+	fs.CreateProcess(2, 1000, 1000)
+	wantErr(t, fs.Apply(2, types.Open{Path: "/p/secret", Flags: types.ORdonly}), types.EACCES)
+	wantErr(t, fs.Apply(2, types.Open{Path: "/p/new", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}), types.EACCES)
+	// Group membership via add_user_to_group.
+	apply(t, fs, types.Chown{Path: "/p/secret", Uid: 0, Gid: 500})
+	apply(t, fs, types.Chmod{Path: "/p/secret", Perm: 0o640})
+	apply(t, fs, types.AddUserToGroup{Uid: 1000, Gid: 500})
+	if _, ok := fs.Apply(2, types.Open{Path: "/p/secret", Flags: types.ORdonly}).(types.RvFD); !ok {
+		t.Error("supplementary group read denied")
+	}
+}
+
+func TestMemfsReaddirSnapshot(t *testing.T) {
+	fs := NewMemfs(LinuxProfile("ext4"))
+	apply(t, fs, types.Mkdir{Path: "/d", Perm: 0o755})
+	for _, n := range []string{"a", "b"} {
+		rv := apply(t, fs, types.Open{Path: "/d/" + n, Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true})
+		apply(t, fs, types.Close{FD: rv.(types.RvFD).FD})
+	}
+	dh := apply(t, fs, types.Opendir{Path: "/d"}).(types.RvDH).DH
+	first := apply(t, fs, types.Readdir{DH: dh}).(types.RvDirent)
+	if first.End {
+		t.Fatal("premature end")
+	}
+	// Delete the not-yet-returned entry: the snapshot skips it.
+	other := "b"
+	if first.Name == "b" {
+		other = "a"
+	}
+	apply(t, fs, types.Unlink{Path: "/d/" + other})
+	second := apply(t, fs, types.Readdir{DH: dh}).(types.RvDirent)
+	if !second.End {
+		t.Fatalf("deleted entry returned: %v", second)
+	}
+	wantNone(t, apply(t, fs, types.Closedir{DH: dh}))
+	wantErr(t, apply(t, fs, types.Readdir{DH: dh}), types.EBADF)
+}
+
+func TestMemfsBugPosixovlLeak(t *testing.T) {
+	var prof Profile
+	for _, p := range SurveyProfiles() {
+		if p.Name == "posixovl_vfat_1.2" {
+			prof = p
+		}
+	}
+	fs := NewMemfs(prof)
+	data := make([]byte, 8192)
+	iter := 0
+	for ; iter < 200; iter++ {
+		rv := apply(t, fs, types.Open{Path: "/f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true})
+		fd, ok := rv.(types.RvFD)
+		if !ok {
+			break // volume "full" although it looks empty — the §7.3.5 defect
+		}
+		apply(t, fs, types.Write{FD: fd.FD, Data: data, Size: int64(len(data))})
+		apply(t, fs, types.Close{FD: fd.FD})
+		apply(t, fs, types.Link{Src: "/f", Dst: "/g"})
+		rv2 := apply(t, fs, types.Open{Path: "/h", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true})
+		if _, ok := rv2.(types.RvFD); !ok {
+			break
+		}
+		apply(t, fs, types.Close{FD: rv2.(types.RvFD).FD})
+		apply(t, fs, types.Rename{Src: "/h", Dst: "/g"})
+		// The leak: the replaced link's count was not decremented.
+		st := apply(t, fs, types.Stat{Path: "/f"}).(types.RvStats).Stats
+		if st.Nlink != 2 {
+			t.Fatalf("expected leaked nlink 2, got %d", st.Nlink)
+		}
+		apply(t, fs, types.Unlink{Path: "/f"})
+		apply(t, fs, types.Unlink{Path: "/g"})
+	}
+	if iter >= 200 {
+		t.Fatal("leak never exhausted the volume")
+	}
+	// Control: the conforming profile never exhausts.
+	ctrl := NewMemfs(LinuxProfile("ext4"))
+	for i := 0; i < 50; i++ {
+		rv := ctrl.Apply(1, types.Open{Path: "/f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true})
+		fd := rv.(types.RvFD).FD
+		ctrl.Apply(1, types.Write{FD: fd, Data: data, Size: int64(len(data))})
+		ctrl.Apply(1, types.Close{FD: fd})
+		ctrl.Apply(1, types.Unlink{Path: "/f"})
+	}
+}
+
+func TestMemfsBugFig8Spin(t *testing.T) {
+	var prof Profile
+	for _, p := range SurveyProfiles() {
+		if p.Name == "openzfs_1.3.0_osx" {
+			prof = p
+		}
+	}
+	fs := NewMemfs(prof)
+	wantNone(t, apply(t, fs, types.Mkdir{Path: "deserted", Perm: 0o700}))
+	wantNone(t, apply(t, fs, types.Chdir{Path: "deserted"}))
+	wantNone(t, apply(t, fs, types.Rmdir{Path: "../deserted"}))
+	// The watchdog observes the unkillable spin as EINTR.
+	wantErr(t, apply(t, fs, types.Open{Path: "party", Flags: types.OCreat | types.ORdonly, Perm: 0o600, HasPerm: true}), types.EINTR)
+	// The conforming OS X profile returns ENOENT.
+	ctrl := NewMemfs(OSXProfile("hfs"))
+	ctrl.Apply(1, types.Mkdir{Path: "deserted", Perm: 0o700})
+	ctrl.Apply(1, types.Chdir{Path: "deserted"})
+	ctrl.Apply(1, types.Rmdir{Path: "../deserted"})
+	wantErr(t, ctrl.Apply(1, types.Open{Path: "party", Flags: types.OCreat | types.ORdonly, Perm: 0o600, HasPerm: true}), types.ENOENT)
+}
+
+func TestMemfsBugPwriteUnderflow(t *testing.T) {
+	fs := NewMemfs(OSXProfile("hfs"))
+	rv := apply(t, fs, types.Open{Path: "/t", Flags: types.OCreat | types.ORdwr, Perm: 0o644, HasPerm: true})
+	fd := rv.(types.RvFD).FD
+	wantErr(t, apply(t, fs, types.Pwrite{FD: fd, Data: []byte("x"), Size: 1, Off: -1}), types.EFBIG)
+	lin := NewMemfs(LinuxProfile("ext4"))
+	rv = lin.Apply(1, types.Open{Path: "/t", Flags: types.OCreat | types.ORdwr, Perm: 0o644, HasPerm: true})
+	wantErr(t, lin.Apply(1, types.Pwrite{FD: rv.(types.RvFD).FD, Data: []byte("x"), Size: 1, Off: -1}), types.EINVAL)
+}
+
+func TestMemfsBugOAppendBroken(t *testing.T) {
+	var prof Profile
+	for _, p := range SurveyProfiles() {
+		if p.Name == "openzfs_0.6.3_trusty" {
+			prof = p
+		}
+	}
+	fs := NewMemfs(prof)
+	rv := apply(t, fs, types.Open{Path: "/t", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true})
+	fd := rv.(types.RvFD).FD
+	apply(t, fs, types.Write{FD: fd, Data: []byte("precious"), Size: 8})
+	apply(t, fs, types.Close{FD: fd})
+	rv = apply(t, fs, types.Open{Path: "/t", Flags: types.OWronly | types.OAppend})
+	fd = rv.(types.RvFD).FD
+	apply(t, fs, types.Write{FD: fd, Data: []byte("XY"), Size: 2})
+	apply(t, fs, types.Close{FD: fd})
+	rv = apply(t, fs, types.Open{Path: "/t", Flags: types.ORdonly})
+	fd = rv.(types.RvFD).FD
+	got := apply(t, fs, types.Read{FD: fd, Size: 16}).(types.RvBytes)
+	if string(got.Data) != "XYecious" {
+		t.Errorf("broken O_APPEND should overwrite: %q", got.Data)
+	}
+}
+
+func TestMemfsBugFreeBSDInvariant(t *testing.T) {
+	fs := NewMemfs(FreeBSDProfile("ufs"))
+	apply(t, fs, types.Mkdir{Path: "/target", Perm: 0o755})
+	apply(t, fs, types.Symlink{Target: "target", Linkpath: "/sl"})
+	wantErr(t, apply(t, fs, types.Open{
+		Path: "/sl", Flags: types.OCreat | types.OExcl | types.ODirectory | types.OWronly,
+		Perm: 0o644, HasPerm: true,
+	}), types.ENOTDIR)
+	// The POSIX invariant is broken: the symlink was replaced by a file.
+	st := apply(t, fs, types.Lstat{Path: "/sl"}).(types.RvStats).Stats
+	if st.Kind != types.KindFile {
+		t.Errorf("symlink not replaced; kind = %v", st.Kind)
+	}
+}
+
+func TestMemfsSSHFSProfiles(t *testing.T) {
+	var allowOther, umask0 Profile
+	for _, p := range SurveyProfiles() {
+		switch p.Name {
+		case "sshfs_tmpfs_allow_other":
+			allowOther = p
+		case "sshfs_tmpfs_umask_0000":
+			umask0 = p
+		}
+	}
+	// allow_other bypasses permissions and creates root-owned files.
+	fs := NewMemfs(allowOther)
+	fs.CreateProcess(2, 1000, 1000)
+	apply(t, fs, types.Mkdir{Path: "/shared", Perm: 0o777})
+	rv := fs.Apply(2, types.Open{Path: "/shared/mine", Flags: types.OCreat | types.OWronly, Perm: 0o666, HasPerm: true})
+	if _, ok := rv.(types.RvFD); !ok {
+		t.Fatalf("open = %v", rv)
+	}
+	st := fs.Apply(2, types.Stat{Path: "/shared/mine"}).(types.RvStats).Stats
+	if st.Uid != types.RootUid {
+		t.Errorf("creation ownership = %d, want root", st.Uid)
+	}
+	// The umask was OR-ed with 0022 regardless of the process umask.
+	if st.Perm != 0o644 {
+		t.Errorf("perm = %o, want 644 (umask ORed with 0022)", st.Perm)
+	}
+	// umask=0000 ignores the process umask entirely.
+	fs2 := NewMemfs(umask0)
+	fs2.Apply(1, types.Umask{Mask: 0o077})
+	rv = fs2.Apply(1, types.Open{Path: "/f", Flags: types.OCreat | types.OWronly, Perm: 0o666, HasPerm: true})
+	st = fs2.Apply(1, types.Stat{Path: "/f"}).(types.RvStats).Stats
+	if st.Perm != 0o666 {
+		t.Errorf("perm = %o, want 666 (process umask ignored)", st.Perm)
+	}
+}
+
+func TestMemfsFlatDirNlink(t *testing.T) {
+	var btrfs Profile
+	for _, p := range SurveyProfiles() {
+		if p.Name == "btrfs" {
+			btrfs = p
+		}
+	}
+	fs := NewMemfs(btrfs)
+	apply(t, fs, types.Mkdir{Path: "/d", Perm: 0o755})
+	apply(t, fs, types.Mkdir{Path: "/d/sub", Perm: 0o755})
+	st := apply(t, fs, types.Stat{Path: "/d"}).(types.RvStats).Stats
+	if st.Nlink != 1 {
+		t.Errorf("btrfs dir nlink = %d, want 1", st.Nlink)
+	}
+}
+
+func TestMemfsChmodUnsupported(t *testing.T) {
+	var prof Profile
+	for _, p := range SurveyProfiles() {
+		if p.Name == "hfsplus_linux_trusty" {
+			prof = p
+		}
+	}
+	fs := NewMemfs(prof)
+	rv := apply(t, fs, types.Open{Path: "/t", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true})
+	apply(t, fs, types.Close{FD: rv.(types.RvFD).FD})
+	wantErr(t, apply(t, fs, types.Chmod{Path: "/t", Perm: 0o600}), types.EOPNOTSUPP)
+	apply(t, fs, types.Symlink{Target: "t", Linkpath: "/s"})
+	wantErr(t, apply(t, fs, types.Link{Src: "/s", Dst: "/hl"}), types.EPERM)
+}
+
+func TestSpecFSIsDeterministic(t *testing.T) {
+	mk := func() []types.RetValue {
+		fs := NewSpecFS("spec", types.DefaultSpec())
+		var out []types.RetValue
+		out = append(out, fs.Apply(1, types.Mkdir{Path: "/d", Perm: 0o755}))
+		out = append(out, fs.Apply(1, types.Open{Path: "/d/f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}))
+		out = append(out, fs.Apply(1, types.Write{FD: 3, Data: []byte("abc"), Size: 3}))
+		out = append(out, fs.Apply(1, types.Stat{Path: "/d/f"}))
+		out = append(out, fs.Apply(1, types.Rename{Src: "/d", Dst: "/e"}))
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Errorf("step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHostFSBasics(t *testing.T) {
+	fs, err := NewHostFS("host")
+	if err != nil {
+		t.Skipf("host jail unavailable: %v", err)
+	}
+	defer fs.Close()
+	wantNone(t, apply(t, fs, types.Mkdir{Path: "/d", Perm: 0o755}))
+	rv := apply(t, fs, types.Open{Path: "/d/f", Flags: types.OCreat | types.ORdwr, Perm: 0o644, HasPerm: true})
+	fd, ok := rv.(types.RvFD)
+	if !ok {
+		t.Fatalf("open = %v", rv)
+	}
+	apply(t, fs, types.Write{FD: fd.FD, Data: []byte("hi"), Size: 2})
+	st := apply(t, fs, types.Stat{Path: "/d/f"}).(types.RvStats).Stats
+	if st.Size != 2 || st.Kind != types.KindFile {
+		t.Fatalf("host stat = %+v", st)
+	}
+	wantNone(t, apply(t, fs, types.Close{FD: fd.FD}))
+	wantErr(t, apply(t, fs, types.Unlink{Path: "/d"}), types.EISDIR)
+	wantNone(t, apply(t, fs, types.Chdir{Path: "/d"}))
+	st = apply(t, fs, types.Stat{Path: "f"}).(types.RvStats).Stats
+	if st.Size != 2 {
+		t.Fatal("relative stat after chdir failed")
+	}
+}
+
+func TestProfilesCatalogue(t *testing.T) {
+	profiles := SurveyProfiles()
+	if len(profiles) < 12 {
+		t.Fatalf("catalogue too small: %d", len(profiles))
+	}
+	seen := map[string]bool{}
+	for _, p := range profiles {
+		if p.Name == "" || seen[p.Name] {
+			t.Errorf("bad or duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	for _, want := range []string{"ext4", "btrfs", "posixovl_vfat_1.2", "openzfs_1.3.0_osx", "ufs_freebsd_10"} {
+		if !seen[want] {
+			t.Errorf("catalogue missing %q", want)
+		}
+	}
+}

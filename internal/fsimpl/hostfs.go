@@ -1,0 +1,551 @@
+package fsimpl
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"repro/internal/types"
+)
+
+// HostFS drives the real file system of the machine the tests run on, in a
+// private temporary directory that plays the role of the paper's chroot
+// jail (§6.2). It is the closest equivalent of the paper's real-world test
+// targets available in this environment (a Linux kernel). Script paths are
+// interpreted relative to the jail: an absolute script path "/d1/f" maps to
+// <jail>/d1/f; generated scripts use relative symlink targets so the jail
+// boundary is never escaped.
+//
+// HostFS supports a single test process (the harness process); per-pid
+// working directories are tracked as jail-relative prefixes, and credential
+// switching is not attempted — permission-sensitive scripts are run against
+// memfs instead.
+type HostFS struct {
+	name string
+	root string
+	pids map[types.Pid]*hproc
+}
+
+type hproc struct {
+	cwd    string // jail-relative, "" = jail root
+	fds    map[types.FD]int
+	dhs    map[types.DH]*hostDir
+	nextFD types.FD
+	nextDH types.DH
+}
+
+type hostDir struct {
+	names []string
+	pos   int
+	path  string
+}
+
+// NewHostFS creates a fresh jail under the system temp directory. The
+// process umask is pinned to the model's initial 0o022 so creation modes
+// are comparable; umask is process-global, so HostFS suites must run with
+// one executor worker.
+func NewHostFS(name string) (*HostFS, error) {
+	dir, err := os.MkdirTemp("", "sibylfs-host-")
+	if err != nil {
+		return nil, err
+	}
+	// MkdirTemp creates 0700; the model's root is 0755.
+	if err := os.Chmod(dir, 0o755); err != nil {
+		return nil, err
+	}
+	syscall.Umask(0o022)
+	fs := &HostFS{name: name, root: dir, pids: make(map[types.Pid]*hproc)}
+	fs.CreateProcess(1, types.RootUid, types.RootGid)
+	return fs, nil
+}
+
+// HostFactory returns a Factory producing fresh host jails.
+func HostFactory(name string) Factory {
+	return func() (FS, error) { return NewHostFS(name) }
+}
+
+// Name implements FS.
+func (fs *HostFS) Name() string { return fs.name }
+
+// Close implements FS, removing the jail.
+func (fs *HostFS) Close() error {
+	for _, p := range fs.pids {
+		for _, hfd := range p.fds {
+			_ = syscall.Close(hfd)
+		}
+	}
+	return os.RemoveAll(fs.root)
+}
+
+// CreateProcess implements FS. Credentials are ignored: HostFS runs
+// everything as the harness's own user.
+func (fs *HostFS) CreateProcess(pid types.Pid, _ types.Uid, _ types.Gid) {
+	fs.pids[pid] = &hproc{
+		fds:    make(map[types.FD]int),
+		dhs:    make(map[types.DH]*hostDir),
+		nextFD: 3,
+		nextDH: 1,
+	}
+}
+
+// DestroyProcess implements FS.
+func (fs *HostFS) DestroyProcess(pid types.Pid) {
+	p := fs.pids[pid]
+	if p == nil {
+		return
+	}
+	for _, hfd := range p.fds {
+		_ = syscall.Close(hfd)
+	}
+	delete(fs.pids, pid)
+}
+
+// hostPath maps a script path into the jail, preserving trailing slashes
+// (they are semantically significant — §7.3.2). In a real chroot the
+// root's ".." resolves to the root itself; the temp-dir jail has a real
+// parent, so ".." components that would climb above the jail are dropped
+// lexically — the only adjustment made to match chroot behaviour. Other
+// "." / ".." components pass through untouched so the kernel still
+// performs the real resolution (including its error ordering).
+func (fs *HostFS) hostPath(p *hproc, path string) string {
+	if path == "" {
+		return "" // empty path must reach the kernel as empty (ENOENT)
+	}
+	trailing := strings.HasSuffix(path, "/") && strings.Trim(path, "/") != ""
+
+	var comps []string
+	if !strings.HasPrefix(path, "/") && p.cwd != "" {
+		comps = append(comps, strings.Split(p.cwd, "/")...)
+	}
+	for _, c := range strings.Split(path, "/") {
+		if c != "" {
+			comps = append(comps, c)
+		}
+	}
+	depth := 0
+	kept := make([]string, 0, len(comps))
+	for _, c := range comps {
+		switch c {
+		case ".":
+			kept = append(kept, c)
+		case "..":
+			if depth == 0 {
+				continue // chroot semantics: the root's ".." is the root
+			}
+			depth--
+			kept = append(kept, c)
+		default:
+			depth++
+			kept = append(kept, c)
+		}
+	}
+	joined := fs.root + "/" + strings.Join(kept, "/")
+	if trailing && !strings.HasSuffix(joined, "/") {
+		joined += "/"
+	}
+	return joined
+}
+
+// isJailRoot reports whether a host path refers to the jail root itself.
+func (fs *HostFS) isJailRoot(hp string) bool {
+	return filepath.Clean(hp) == fs.root
+}
+
+// mapErrno converts a syscall error into the model's abstract errno.
+func mapErrno(e error) types.Errno {
+	var errno syscall.Errno
+	if !errors.As(e, &errno) {
+		return types.EIO
+	}
+	switch errno {
+	case syscall.EPERM:
+		return types.EPERM
+	case syscall.ENOENT:
+		return types.ENOENT
+	case syscall.EINTR:
+		return types.EINTR
+	case syscall.EIO:
+		return types.EIO
+	case syscall.EBADF:
+		return types.EBADF
+	case syscall.EACCES:
+		return types.EACCES
+	case syscall.EBUSY:
+		return types.EBUSY
+	case syscall.EEXIST:
+		return types.EEXIST
+	case syscall.EXDEV:
+		return types.EXDEV
+	case syscall.ENOTDIR:
+		return types.ENOTDIR
+	case syscall.EISDIR:
+		return types.EISDIR
+	case syscall.EINVAL:
+		return types.EINVAL
+	case syscall.ENFILE:
+		return types.ENFILE
+	case syscall.EMFILE:
+		return types.EMFILE
+	case syscall.ETXTBSY:
+		return types.ETXTBSY
+	case syscall.EFBIG:
+		return types.EFBIG
+	case syscall.ENOSPC:
+		return types.ENOSPC
+	case syscall.ESPIPE:
+		return types.ESPIPE
+	case syscall.EROFS:
+		return types.EROFS
+	case syscall.EMLINK:
+		return types.EMLINK
+	case syscall.EPIPE:
+		return types.EPIPE
+	case syscall.ENAMETOOLONG:
+		return types.ENAMETOOLONG
+	case syscall.ENOTEMPTY:
+		return types.ENOTEMPTY
+	case syscall.ELOOP:
+		return types.ELOOP
+	case syscall.EOVERFLOW:
+		return types.EOVERFLOW
+	case syscall.EOPNOTSUPP:
+		return types.EOPNOTSUPP
+	case syscall.ERANGE:
+		return types.ERANGE
+	case syscall.EDQUOT:
+		return types.EDQUOT
+	case syscall.ENOSYS:
+		return types.ENOSYS
+	}
+	return types.EIO
+}
+
+func herr(e error) types.RetValue { return types.RvErr{Err: mapErrno(e)} }
+
+// Apply implements FS by issuing real syscalls inside the jail.
+func (fs *HostFS) Apply(pid types.Pid, cmd types.Command) types.RetValue {
+	p := fs.pids[pid]
+	if p == nil {
+		return err(types.EINVAL)
+	}
+	switch c := cmd.(type) {
+	case types.Mkdir:
+		if e := syscall.Mkdir(fs.hostPath(p, c.Path), uint32(c.Perm)); e != nil {
+			return herr(e)
+		}
+		return types.RvNone{}
+	case types.Rmdir:
+		hp := fs.hostPath(p, c.Path)
+		if fs.isJailRoot(hp) {
+			// In a real chroot the kernel special-cases rmdir("/") to
+			// EBUSY; the temp-dir jail root is an ordinary directory, so
+			// emulate the chroot behaviour.
+			return err(types.EBUSY)
+		}
+		if e := syscall.Rmdir(hp); e != nil {
+			return herr(e)
+		}
+		return types.RvNone{}
+	case types.Link:
+		if e := syscall.Link(fs.hostPath(p, c.Src), fs.hostPath(p, c.Dst)); e != nil {
+			return herr(e)
+		}
+		return types.RvNone{}
+	case types.Unlink:
+		if e := syscall.Unlink(fs.hostPath(p, c.Path)); e != nil {
+			return herr(e)
+		}
+		return types.RvNone{}
+	case types.Rename:
+		src, dst := fs.hostPath(p, c.Src), fs.hostPath(p, c.Dst)
+		if fs.isJailRoot(src) || fs.isJailRoot(dst) {
+			// Renaming the (chroot) root: EBUSY, as a real root gives.
+			return err(types.EBUSY)
+		}
+		if e := syscall.Rename(src, dst); e != nil {
+			return herr(e)
+		}
+		return types.RvNone{}
+	case types.Symlink:
+		if e := syscall.Symlink(c.Target, fs.hostPath(p, c.Linkpath)); e != nil {
+			return herr(e)
+		}
+		return types.RvNone{}
+	case types.Readlink:
+		buf := make([]byte, types.PathMax)
+		n, e := syscall.Readlink(fs.hostPath(p, c.Path), buf)
+		if e != nil {
+			return herr(e)
+		}
+		return types.RvBytes{Data: append([]byte(nil), buf[:n]...)}
+	case types.Stat:
+		var st syscall.Stat_t
+		if e := syscall.Stat(fs.hostPath(p, c.Path), &st); e != nil {
+			return herr(e)
+		}
+		return types.RvStats{Stats: fs.mapStats(&st)}
+	case types.Lstat:
+		var st syscall.Stat_t
+		if e := syscall.Lstat(fs.hostPath(p, c.Path), &st); e != nil {
+			return herr(e)
+		}
+		return types.RvStats{Stats: fs.mapStats(&st)}
+	case types.Truncate:
+		if e := syscall.Truncate(fs.hostPath(p, c.Path), c.Len); e != nil {
+			return herr(e)
+		}
+		return types.RvNone{}
+	case types.Chmod:
+		if e := syscall.Chmod(fs.hostPath(p, c.Path), uint32(c.Perm)); e != nil {
+			return herr(e)
+		}
+		return types.RvNone{}
+	case types.Chown:
+		if e := syscall.Chown(fs.hostPath(p, c.Path), int(c.Uid), int(c.Gid)); e != nil {
+			return herr(e)
+		}
+		return types.RvNone{}
+	case types.Chdir:
+		// Tracked per-pid, not via the process-global chdir(2).
+		hp := fs.hostPath(p, c.Path)
+		fi, e := os.Stat(hp)
+		if e != nil {
+			return herr(underlying(e))
+		}
+		if !fi.IsDir() {
+			return err(types.ENOTDIR)
+		}
+		rel, e2 := filepath.Rel(fs.root, filepath.Clean(hp))
+		if e2 != nil || strings.HasPrefix(rel, "..") {
+			return err(types.EACCES)
+		}
+		if rel == "." {
+			rel = ""
+		}
+		p.cwd = rel
+		return types.RvNone{}
+	case types.Umask:
+		old := syscall.Umask(int(c.Mask))
+		return types.RvPerm{Perm: types.Perm(old)}
+	case types.AddUserToGroup:
+		return types.RvNone{} // not supported on the host; single-user jail
+	case types.Open:
+		return fs.open(p, c)
+	case types.Close:
+		hfd, ok := p.fds[c.FD]
+		if !ok {
+			return err(types.EBADF)
+		}
+		delete(p.fds, c.FD)
+		if e := syscall.Close(hfd); e != nil {
+			return herr(e)
+		}
+		return types.RvNone{}
+	case types.Read:
+		return fs.read(p, c.FD, c.Size, 0, true)
+	case types.Pread:
+		return fs.read(p, c.FD, c.Size, c.Off, false)
+	case types.Write:
+		return fs.write(p, c.FD, c.Data, c.Size, 0, true)
+	case types.Pwrite:
+		return fs.write(p, c.FD, c.Data, c.Size, c.Off, false)
+	case types.Lseek:
+		hfd, ok := p.fds[c.FD]
+		if !ok {
+			return err(types.EBADF)
+		}
+		var whence int
+		switch c.Whence {
+		case types.SeekSet:
+			whence = 0
+		case types.SeekCur:
+			whence = 1
+		case types.SeekEnd:
+			whence = 2
+		}
+		off, e := syscall.Seek(hfd, c.Off, whence)
+		if e != nil {
+			return herr(e)
+		}
+		return types.RvNum{N: off}
+	case types.Opendir:
+		return fs.opendir(p, c)
+	case types.Readdir:
+		od, ok := p.dhs[c.DH]
+		if !ok {
+			return err(types.EBADF)
+		}
+		for od.pos < len(od.names) {
+			name := od.names[od.pos]
+			od.pos++
+			if _, e := os.Lstat(filepath.Join(od.path, name)); e == nil {
+				return types.RvDirent{Name: name}
+			}
+		}
+		return types.RvDirent{End: true}
+	case types.Closedir:
+		if _, ok := p.dhs[c.DH]; !ok {
+			return err(types.EBADF)
+		}
+		delete(p.dhs, c.DH)
+		return types.RvNone{}
+	case types.Rewinddir:
+		od, ok := p.dhs[c.DH]
+		if !ok {
+			return err(types.EBADF)
+		}
+		names, e := readDirNames(od.path)
+		if e != nil {
+			return herr(underlying(e))
+		}
+		od.names, od.pos = names, 0
+		return types.RvNone{}
+	}
+	return err(types.ENOSYS)
+}
+
+func underlying(e error) error {
+	var pe *os.PathError
+	if errors.As(e, &pe) {
+		return pe.Err
+	}
+	return e
+}
+
+func (fs *HostFS) mapStats(st *syscall.Stat_t) types.Stats {
+	out := types.Stats{
+		Perm:  types.Perm(st.Mode & 0o7777),
+		Nlink: int(st.Nlink),
+		Uid:   types.Uid(st.Uid),
+		Gid:   types.Gid(st.Gid),
+	}
+	switch st.Mode & syscall.S_IFMT {
+	case syscall.S_IFDIR:
+		out.Kind = types.KindDir
+		out.Size = 0 // directory sizes are implementation-defined; normalised
+	case syscall.S_IFLNK:
+		out.Kind = types.KindSymlink
+		out.Size = st.Size
+	default:
+		out.Kind = types.KindFile
+		out.Size = st.Size
+	}
+	return out
+}
+
+func (fs *HostFS) open(p *hproc, c types.Open) types.RetValue {
+	var flags int
+	fl := c.Flags
+	switch {
+	case fl.Has(types.OWronly) && fl.Has(types.ORdwr):
+		flags = syscall.O_WRONLY | syscall.O_RDWR // the kernel's accmode 3
+	case fl.Has(types.ORdwr):
+		flags = syscall.O_RDWR
+	case fl.Has(types.OWronly):
+		flags = syscall.O_WRONLY
+	default:
+		flags = syscall.O_RDONLY
+	}
+	if fl.Has(types.OCreat) {
+		flags |= syscall.O_CREAT
+	}
+	if fl.Has(types.OExcl) {
+		flags |= syscall.O_EXCL
+	}
+	if fl.Has(types.OTrunc) {
+		flags |= syscall.O_TRUNC
+	}
+	if fl.Has(types.OAppend) {
+		flags |= syscall.O_APPEND
+	}
+	if fl.Has(types.ODirectory) {
+		flags |= syscall.O_DIRECTORY
+	}
+	if fl.Has(types.ONofollow) {
+		flags |= syscall.O_NOFOLLOW
+	}
+	hfd, e := syscall.Open(fs.hostPath(p, c.Path), flags, uint32(c.Perm))
+	if e != nil {
+		return herr(e)
+	}
+	fd := p.nextFD
+	p.nextFD++
+	p.fds[fd] = hfd
+	return types.RvFD{FD: fd}
+}
+
+func (fs *HostFS) read(p *hproc, fd types.FD, size, at int64, seq bool) types.RetValue {
+	hfd, ok := p.fds[fd]
+	if !ok {
+		return err(types.EBADF)
+	}
+	if size < 0 {
+		return err(types.EINVAL)
+	}
+	buf := make([]byte, size)
+	var n int
+	var e error
+	if seq {
+		n, e = syscall.Read(hfd, buf)
+	} else {
+		n, e = syscall.Pread(hfd, buf, at)
+	}
+	if e != nil {
+		return herr(e)
+	}
+	return types.RvBytes{Data: append([]byte(nil), buf[:n]...)}
+}
+
+func (fs *HostFS) write(p *hproc, fd types.FD, data []byte, size, at int64, seq bool) types.RetValue {
+	hfd, ok := p.fds[fd]
+	if !ok {
+		return err(types.EBADF)
+	}
+	if size >= 0 && size < int64(len(data)) {
+		data = data[:size]
+	}
+	var n int
+	var e error
+	if seq {
+		n, e = syscall.Write(hfd, data)
+	} else {
+		n, e = syscall.Pwrite(hfd, data, at)
+	}
+	if e != nil {
+		return herr(e)
+	}
+	return types.RvNum{N: int64(n)}
+}
+
+func (fs *HostFS) opendir(p *hproc, c types.Opendir) types.RetValue {
+	hp := fs.hostPath(p, c.Path)
+	fi, e := os.Stat(hp)
+	if e != nil {
+		return herr(underlying(e))
+	}
+	if !fi.IsDir() {
+		return err(types.ENOTDIR)
+	}
+	names, e := readDirNames(hp)
+	if e != nil {
+		return herr(underlying(e))
+	}
+	dh := p.nextDH
+	p.nextDH++
+	p.dhs[dh] = &hostDir{names: names, path: hp}
+	return types.RvDH{DH: dh}
+}
+
+func readDirNames(dir string) ([]string, error) {
+	ents, e := os.ReadDir(dir)
+	if e != nil {
+		return nil, e
+	}
+	names := make([]string, 0, len(ents))
+	for _, ent := range ents {
+		names = append(names, ent.Name())
+	}
+	return names, nil
+}

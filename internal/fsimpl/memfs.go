@@ -1,0 +1,372 @@
+package fsimpl
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// node is a memfs inode. memfs is written independently of the model's
+// state module (different structures, pointer-based tree, its own path
+// walker) so that checking memfs traces against the model is a genuine
+// differential test rather than a tautology.
+type node struct {
+	dir      bool
+	symlink  bool
+	mode     types.Perm
+	uid      types.Uid
+	gid      types.Gid
+	data     []byte // file contents, or symlink target
+	children map[string]*node
+	parent   *node
+	nlink    int
+}
+
+type openFile struct {
+	n        *node
+	off      int64
+	app      bool
+	rd, wr   bool
+	isDir    bool
+	dirNode  *node
+	refBlock int
+}
+
+type openDir struct {
+	n     *node
+	names []string // snapshot at opendir/rewinddir
+	pos   int
+}
+
+type mproc struct {
+	cwd    *node
+	umask  types.Perm
+	uid    types.Uid
+	gid    types.Gid
+	fds    map[types.FD]*openFile
+	dhs    map[types.DH]*openDir
+	nextFD types.FD
+	nextDH types.DH
+}
+
+// Memfs is the in-memory file system under test.
+type Memfs struct {
+	prof       Profile
+	root       *node
+	procs      map[types.Pid]*mproc
+	groups     map[types.Gid]map[types.Uid]bool
+	usedBlocks int
+	leaked     int
+}
+
+const blockSize = 4096
+
+// NewMemfs builds an empty memfs with the given behaviour profile and one
+// initial root process (pid 1).
+func NewMemfs(prof Profile) *Memfs {
+	fs := &Memfs{
+		prof:   prof,
+		procs:  make(map[types.Pid]*mproc),
+		groups: make(map[types.Gid]map[types.Uid]bool),
+	}
+	fs.root = &node{
+		dir:      true,
+		mode:     0o755,
+		children: make(map[string]*node),
+	}
+	fs.root.parent = fs.root
+	fs.CreateProcess(1, types.RootUid, types.RootGid)
+	return fs
+}
+
+// MemFactory returns a Factory producing fresh Memfs instances.
+func MemFactory(prof Profile) Factory {
+	return func() (FS, error) { return NewMemfs(prof), nil }
+}
+
+// Name implements FS.
+func (fs *Memfs) Name() string { return fs.prof.Name }
+
+// Close implements FS.
+func (fs *Memfs) Close() error { return nil }
+
+// CreateProcess implements FS.
+func (fs *Memfs) CreateProcess(pid types.Pid, uid types.Uid, gid types.Gid) {
+	fs.procs[pid] = &mproc{
+		cwd:    fs.root,
+		umask:  0o022,
+		uid:    uid,
+		gid:    gid,
+		fds:    make(map[types.FD]*openFile),
+		dhs:    make(map[types.DH]*openDir),
+		nextFD: 3,
+		nextDH: 1,
+	}
+}
+
+// DestroyProcess implements FS.
+func (fs *Memfs) DestroyProcess(pid types.Pid) {
+	p := fs.procs[pid]
+	if p == nil {
+		return
+	}
+	for fd := range p.fds {
+		fs.closeFD(p, fd)
+	}
+	delete(fs.procs, pid)
+}
+
+func blocksFor(n int) int { return (n + blockSize - 1) / blockSize }
+
+// chargeBlocks accounts bytes against the capacity limit; false = ENOSPC.
+func (fs *Memfs) chargeBlocks(delta int) bool {
+	if fs.prof.CapacityBlocks == 0 {
+		return true
+	}
+	if delta > 0 && fs.usedBlocks+delta > fs.prof.CapacityBlocks {
+		return false
+	}
+	fs.usedBlocks += delta
+	if fs.usedBlocks < 0 {
+		fs.usedBlocks = 0
+	}
+	return true
+}
+
+func (fs *Memfs) full() bool {
+	return fs.prof.CapacityBlocks > 0 && fs.usedBlocks >= fs.prof.CapacityBlocks
+}
+
+// effectiveUmask applies the profile's umask mangling (§7.3.4 SSHFS).
+func (fs *Memfs) effectiveUmask(p *mproc) types.Perm {
+	if fs.prof.UmaskForce != nil {
+		return *fs.prof.UmaskForce
+	}
+	return p.umask | fs.prof.UmaskORExtra
+}
+
+func (fs *Memfs) inGroup(uid types.Uid, gid types.Gid) bool {
+	m, ok := fs.groups[gid]
+	return ok && m[uid]
+}
+
+// access is memfs's own permission algorithm.
+func (fs *Memfs) access(p *mproc, n *node, req types.AccessRequest) bool {
+	if !fs.prof.CheckPerms || p.uid == types.RootUid {
+		return true
+	}
+	class := 2
+	switch {
+	case n.uid == p.uid:
+		class = 0
+	case n.gid == p.gid || fs.inGroup(p.uid, n.gid):
+		class = 1
+	}
+	return n.mode&req.Mask(class) != 0
+}
+
+func (fs *Memfs) sticky(p *mproc, parent, obj *node) bool {
+	if !fs.prof.CheckPerms || p.uid == types.RootUid {
+		return false
+	}
+	if parent.mode&types.PermISVTX == 0 {
+		return false
+	}
+	return p.uid != parent.uid && p.uid != obj.uid
+}
+
+// mres is memfs's path resolution result.
+type mres struct {
+	err      types.Errno
+	n        *node // nil when the leaf is missing
+	parent   *node
+	name     string
+	trailing bool
+	symLeaf  bool // leaf is an unfollowed symlink
+	viaDot   bool // resolved through "." or ".." (no parent/name binding)
+}
+
+// resolve is memfs's independent path walker.
+func (fs *Memfs) resolve(p *mproc, path string, followLast bool) mres {
+	if path == "" {
+		return mres{err: types.ENOENT}
+	}
+	if len(path) > types.PathMax {
+		return mres{err: types.ENAMETOOLONG}
+	}
+	depth := 0
+	var limit int
+	if fs.prof.Platform == types.PlatformLinux {
+		limit = 40
+	} else {
+		limit = 32
+	}
+	start := p.cwd
+	if strings.HasPrefix(path, "/") {
+		start = fs.root
+	} else if !fs.connected(p.cwd) {
+		comps := splitComps(path)
+		if len(comps) > 0 && comps[0] != "." {
+			return mres{err: types.ENOENT}
+		}
+	}
+	comps := splitComps(path)
+	trailing := strings.HasSuffix(path, "/") && strings.Trim(path, "/") != ""
+	if len(comps) == 0 {
+		return mres{n: fs.root, viaDot: true}
+	}
+	return fs.walk(p, start, comps, trailing, followLast, &depth, limit)
+}
+
+func splitComps(path string) []string {
+	var out []string
+	for _, c := range strings.Split(path, "/") {
+		if c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (fs *Memfs) connected(n *node) bool {
+	seen := map[*node]bool{}
+	for n != fs.root {
+		if n == nil || seen[n] {
+			return false
+		}
+		seen[n] = true
+		par := n.parent
+		if par == nil {
+			return false
+		}
+		found := false
+		for _, ch := range par.children {
+			if ch == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+		n = par
+	}
+	return true
+}
+
+func (fs *Memfs) walk(p *mproc, cur *node, comps []string, trailing, followLast bool, depth *int, limit int) mres {
+	for i := 0; i < len(comps); i++ {
+		c := comps[i]
+		last := i == len(comps)-1
+		if len(c) > types.NameMax {
+			return mres{err: types.ENAMETOOLONG}
+		}
+		if !fs.access(p, cur, types.AccessExec) {
+			return mres{err: types.EACCES}
+		}
+		switch c {
+		case ".":
+			if last {
+				return mres{n: cur, viaDot: true, trailing: trailing}
+			}
+			continue
+		case "..":
+			if cur != fs.root && !fs.connected(cur) {
+				return mres{err: types.ENOENT}
+			}
+			cur = cur.parent
+			if last {
+				return mres{n: cur, viaDot: true, trailing: trailing}
+			}
+			continue
+		}
+		child, ok := cur.children[c]
+		if !ok {
+			if last {
+				return mres{parent: cur, name: c, trailing: trailing}
+			}
+			return mres{err: types.ENOENT}
+		}
+		switch {
+		case child.dir:
+			if last {
+				return mres{n: child, parent: cur, name: c, trailing: trailing}
+			}
+			cur = child
+		case child.symlink:
+			follow := !last || followLast
+			if !follow {
+				return mres{n: child, parent: cur, name: c, trailing: trailing, symLeaf: true}
+			}
+			*depth++
+			if *depth > limit {
+				return mres{err: types.ELOOP}
+			}
+			target := string(child.data)
+			if target == "" {
+				return mres{err: types.ENOENT}
+			}
+			next := cur
+			if strings.HasPrefix(target, "/") {
+				next = fs.root
+			}
+			tcomps := splitComps(target)
+			ttrail := strings.HasSuffix(target, "/") && strings.Trim(target, "/") != ""
+			all := append(append([]string(nil), tcomps...), comps[i+1:]...)
+			ft := trailing
+			if len(comps[i+1:]) == 0 {
+				ft = trailing || ttrail
+			}
+			if len(all) == 0 {
+				return mres{n: next, viaDot: true, trailing: ft}
+			}
+			return fs.walk(p, next, all, ft, followLast, depth, limit)
+		default: // regular file
+			if !last {
+				return mres{err: types.ENOTDIR}
+			}
+			return mres{n: child, parent: cur, name: c, trailing: trailing}
+		}
+	}
+	return mres{n: cur, viaDot: true}
+}
+
+func (fs *Memfs) closeFD(p *mproc, fd types.FD) {
+	of, ok := p.fds[fd]
+	if !ok {
+		return
+	}
+	delete(p.fds, fd)
+	if !of.isDir && of.n.nlink == 0 && !fs.anyOpen(of.n) {
+		// last reference to an unlinked file: release its blocks
+		fs.chargeBlocks(-blocksFor(len(of.n.data)))
+	}
+}
+
+func (fs *Memfs) anyOpen(n *node) bool {
+	for _, p := range fs.procs {
+		for _, of := range p.fds {
+			if of.n == n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sortedNames(n *node) []string {
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func err(e types.Errno) types.RetValue { return types.RvErr{Err: e} }
+
+// trailingSlash reports a semantically significant trailing slash.
+func trailingSlash(p string) bool {
+	return strings.HasSuffix(p, "/") && strings.Trim(p, "/") != ""
+}

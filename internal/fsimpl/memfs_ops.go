@@ -1,0 +1,861 @@
+package fsimpl
+
+import (
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Apply implements FS: one libc call, deterministic behaviour per profile.
+func (fs *Memfs) Apply(pid types.Pid, cmd types.Command) types.RetValue {
+	p := fs.procs[pid]
+	if p == nil {
+		return err(types.EINVAL)
+	}
+	switch c := cmd.(type) {
+	case types.Mkdir:
+		return fs.mkdir(p, c)
+	case types.Rmdir:
+		return fs.rmdir(p, c)
+	case types.Link:
+		return fs.link(p, c)
+	case types.Unlink:
+		return fs.unlink(p, c)
+	case types.Rename:
+		return fs.rename(p, c)
+	case types.Symlink:
+		return fs.symlink(p, c)
+	case types.Readlink:
+		return fs.readlink(p, c)
+	case types.Stat:
+		return fs.stat(p, c.Path, true)
+	case types.Lstat:
+		return fs.stat(p, c.Path, false)
+	case types.Truncate:
+		return fs.truncate(p, c)
+	case types.Chmod:
+		return fs.chmod(p, c)
+	case types.Chown:
+		return fs.chown(p, c)
+	case types.Chdir:
+		return fs.chdir(p, c)
+	case types.Umask:
+		old := p.umask
+		p.umask = c.Mask & types.PermMask
+		return types.RvPerm{Perm: old}
+	case types.AddUserToGroup:
+		m, ok := fs.groups[c.Gid]
+		if !ok {
+			m = make(map[types.Uid]bool)
+			fs.groups[c.Gid] = m
+		}
+		m[c.Uid] = true
+		return types.RvNone{}
+	case types.Open:
+		return fs.open(p, c)
+	case types.Close:
+		return fs.close(p, c)
+	case types.Read:
+		return fs.read(p, c.FD, c.Size, -1, true)
+	case types.Pread:
+		return fs.read(p, c.FD, c.Size, c.Off, false)
+	case types.Write:
+		return fs.write(p, c.FD, c.Data, c.Size, -1, true)
+	case types.Pwrite:
+		return fs.write(p, c.FD, c.Data, c.Size, c.Off, false)
+	case types.Lseek:
+		return fs.lseek(p, c)
+	case types.Opendir:
+		return fs.opendir(p, c)
+	case types.Readdir:
+		return fs.readdir(p, c)
+	case types.Closedir:
+		return fs.closedir(p, c)
+	case types.Rewinddir:
+		return fs.rewinddir(p, c)
+	}
+	return err(types.ENOSYS)
+}
+
+func (fs *Memfs) mkdir(p *mproc, c types.Mkdir) types.RetValue {
+	r := fs.resolve(p, c.Path, false)
+	if r.err != 0 {
+		return err(r.err)
+	}
+	if r.n != nil {
+		if !r.n.dir && r.trailing && !r.symLeaf && fs.prof.Platform != types.PlatformLinux {
+			return err(types.ENOTDIR)
+		}
+		return err(types.EEXIST)
+	}
+	if !fs.access(p, r.parent, types.AccessWrite) || !fs.access(p, r.parent, types.AccessExec) {
+		return err(types.EACCES)
+	}
+	if r.parent != fs.root && !fs.connected(r.parent) {
+		return err(types.ENOENT)
+	}
+	nd := &node{
+		dir:      true,
+		mode:     c.Perm &^ fs.effectiveUmask(p) & types.PermMask,
+		uid:      fs.creatorUid(p),
+		gid:      p.gid,
+		children: make(map[string]*node),
+		parent:   r.parent,
+	}
+	r.parent.children[r.name] = nd
+	return types.RvNone{}
+}
+
+func (fs *Memfs) creatorUid(p *mproc) types.Uid {
+	if fs.prof.CreateOwnerRoot {
+		return types.RootUid
+	}
+	return p.uid
+}
+
+func (fs *Memfs) rmdir(p *mproc, c types.Rmdir) types.RetValue {
+	r := fs.resolve(p, c.Path, false)
+	if r.err != 0 {
+		return err(r.err)
+	}
+	if r.n == nil {
+		return err(types.ENOENT)
+	}
+	if !r.n.dir {
+		return err(types.ENOTDIR)
+	}
+	if r.n == fs.root {
+		return err(types.EBUSY)
+	}
+	if r.viaDot {
+		if !fs.connected(r.n) {
+			return err(types.ENOENT)
+		}
+		return err(types.EINVAL)
+	}
+	if len(r.n.children) > 0 {
+		return err(types.ENOTEMPTY)
+	}
+	if !fs.access(p, r.parent, types.AccessWrite) || !fs.access(p, r.parent, types.AccessExec) {
+		return err(types.EACCES)
+	}
+	if fs.sticky(p, r.parent, r.n) {
+		return err(types.EPERM)
+	}
+	delete(r.parent.children, r.name)
+	return types.RvNone{}
+}
+
+func (fs *Memfs) link(p *mproc, c types.Link) types.RetValue {
+	followSrc := fs.prof.Platform == types.PlatformOSX
+	src := fs.resolve(p, c.Src, followSrc)
+	if src.err != 0 {
+		return err(src.err)
+	}
+	if src.n == nil {
+		return err(types.ENOENT)
+	}
+	if src.n.dir {
+		return err(types.EPERM)
+	}
+	if src.symLeaf && fs.prof.LinkToSymlinkEPERM {
+		return err(types.EPERM) // HFS+ on Linux (§7.3.2)
+	}
+	if src.trailing && !src.n.dir {
+		return err(types.ENOTDIR)
+	}
+	dst := fs.resolve(p, c.Dst, false)
+	if dst.err != 0 {
+		return err(dst.err)
+	}
+	if dst.n != nil {
+		// Linux reports EEXIST even for trailing-slash destinations
+		// (§7.3.2: link /dir/ /f.txt/ → EEXIST, not allowed by POSIX).
+		if dst.trailing && !dst.n.dir && fs.prof.Platform != types.PlatformLinux {
+			return err(types.ENOTDIR)
+		}
+		return err(types.EEXIST)
+	}
+	if dst.trailing {
+		return err(types.ENOENT)
+	}
+	if !fs.access(p, dst.parent, types.AccessWrite) || !fs.access(p, dst.parent, types.AccessExec) {
+		return err(types.EACCES)
+	}
+	if dst.parent != fs.root && !fs.connected(dst.parent) {
+		return err(types.ENOENT)
+	}
+	dst.parent.children[dst.name] = src.n
+	src.n.nlink++
+	return types.RvNone{}
+}
+
+func (fs *Memfs) unlink(p *mproc, c types.Unlink) types.RetValue {
+	r := fs.resolve(p, c.Path, false)
+	if r.err != 0 {
+		return err(r.err)
+	}
+	if r.n == nil {
+		return err(types.ENOENT)
+	}
+	if r.n.dir {
+		return err(fs.prof.UnlinkDirErrno)
+	}
+	if r.trailing {
+		return err(types.ENOTDIR)
+	}
+	if !fs.access(p, r.parent, types.AccessWrite) || !fs.access(p, r.parent, types.AccessExec) {
+		return err(types.EACCES)
+	}
+	if fs.sticky(p, r.parent, r.n) {
+		return err(types.EPERM)
+	}
+	fs.removeFileEntry(r.parent, r.name, r.n, false)
+	return types.RvNone{}
+}
+
+// removeFileEntry drops one link to n; leak=true simulates the posixovl
+// link-count bug (the link count is not decremented and the blocks are
+// never reclaimed — §7.3.5).
+func (fs *Memfs) removeFileEntry(parent *node, name string, n *node, leak bool) {
+	delete(parent.children, name)
+	if leak {
+		fs.leaked += blocksFor(len(n.data))
+		return
+	}
+	n.nlink--
+	if n.nlink <= 0 && !fs.anyOpen(n) {
+		fs.chargeBlocks(-blocksFor(len(n.data)))
+	}
+}
+
+func (fs *Memfs) rename(p *mproc, c types.Rename) types.RetValue {
+	src := fs.resolve(p, c.Src, false)
+	if src.err != 0 {
+		return err(src.err)
+	}
+	if src.n == nil {
+		return err(types.ENOENT)
+	}
+	// Trailing slash on either path requires the renamed object to be a
+	// directory; the kernel checks this before even resolving the
+	// destination (Linux-observed: rename("f/","") is ENOTDIR not ENOENT).
+	if !src.n.dir && (trailingSlash(c.Src) || trailingSlash(c.Dst)) {
+		return err(types.ENOTDIR)
+	}
+	dst := fs.resolve(p, c.Dst, false)
+	if dst.err != 0 {
+		return err(dst.err)
+	}
+	if src.n != nil && dst.n != nil && src.n == dst.n {
+		return types.RvNone{} // same object: no-op
+	}
+	if src.n == fs.root || dst.n == fs.root {
+		if fs.prof.Platform == types.PlatformOSX {
+			return err(types.EISDIR) // §7.3.2: OS X deviation
+		}
+		return err(types.EBUSY)
+	}
+	if src.viaDot || (dst.n != nil && dst.viaDot) {
+		return err(types.EINVAL)
+	}
+	if src.trailing && !src.n.dir {
+		return err(types.ENOTDIR)
+	}
+	if dst.n != nil && dst.trailing && !dst.n.dir {
+		return err(types.ENOTDIR)
+	}
+	if dst.n == nil && dst.trailing && !src.n.dir {
+		return err(types.ENOTDIR)
+	}
+	if !src.n.dir && dst.n != nil && dst.n.dir {
+		return err(types.EISDIR)
+	}
+	if src.n.dir && dst.n != nil && !dst.n.dir {
+		return err(types.ENOTDIR)
+	}
+	if src.n.dir && isAncestorNode(src.n, dst.parent) {
+		return err(types.EINVAL)
+	}
+	if src.n.dir && dst.n != nil && isAncestorNode(src.n, dst.n) {
+		return err(types.EINVAL)
+	}
+	if src.n.dir && dst.n != nil && dst.n.dir && len(dst.n.children) > 0 {
+		return err(types.ENOTEMPTY)
+	}
+	if !fs.access(p, src.parent, types.AccessWrite) || !fs.access(p, src.parent, types.AccessExec) {
+		return err(types.EACCES)
+	}
+	if !fs.access(p, dst.parent, types.AccessWrite) || !fs.access(p, dst.parent, types.AccessExec) {
+		return err(types.EACCES)
+	}
+	if fs.sticky(p, src.parent, src.n) {
+		return err(types.EPERM)
+	}
+	if dst.parent != fs.root && !fs.connected(dst.parent) {
+		return err(types.ENOENT)
+	}
+	// Perform the move, replacing the destination if present.
+	if dst.n != nil {
+		if dst.n.dir {
+			delete(dst.parent.children, dst.name)
+		} else {
+			fs.removeFileEntry(dst.parent, dst.name, dst.n, fs.prof.RenameLinkCountLeak)
+		}
+	}
+	delete(src.parent.children, src.name)
+	dst.parent.children[dst.name] = src.n
+	if src.n.dir {
+		src.n.parent = dst.parent
+	}
+	return types.RvNone{}
+}
+
+func isAncestorNode(a, b *node) bool {
+	if a == nil || b == nil || a == b {
+		return a != nil && a == b
+	}
+	cur := b
+	for cur != nil && cur.parent != cur {
+		cur = cur.parent
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (fs *Memfs) symlink(p *mproc, c types.Symlink) types.RetValue {
+	if c.Target == "" {
+		return err(types.ENOENT)
+	}
+	r := fs.resolve(p, c.Linkpath, false)
+	if r.err != 0 {
+		return err(r.err)
+	}
+	if r.n != nil {
+		return err(types.EEXIST)
+	}
+	if r.trailing {
+		return err(types.ENOENT)
+	}
+	if !fs.access(p, r.parent, types.AccessWrite) || !fs.access(p, r.parent, types.AccessExec) {
+		return err(types.EACCES)
+	}
+	if r.parent != fs.root && !fs.connected(r.parent) {
+		return err(types.ENOENT)
+	}
+	mode := types.Perm(0o777)
+	if fs.prof.Platform == types.PlatformOSX || fs.prof.Platform == types.PlatformFreeBSD {
+		mode = 0o755 &^ fs.effectiveUmask(p)
+	}
+	nd := &node{
+		symlink: true,
+		mode:    mode,
+		uid:     fs.creatorUid(p),
+		gid:     p.gid,
+		data:    []byte(c.Target),
+		nlink:   1,
+	}
+	r.parent.children[r.name] = nd
+	return types.RvNone{}
+}
+
+func (fs *Memfs) readlink(p *mproc, c types.Readlink) types.RetValue {
+	// The OS X §7.3.2 quirk: readlink("s2/") where s2 → s1 → dir returns
+	// the contents of s1 rather than EINVAL. Detect the shape before
+	// normal resolution.
+	if fs.prof.SymlinkTrailingReadsLink {
+		if v, ok := fs.osxReadlinkQuirk(p, c.Path); ok {
+			return v
+		}
+	}
+	if trailingSlash(c.Path) {
+		r := fs.resolve(p, c.Path, true)
+		switch {
+		case r.err != 0:
+			return err(r.err)
+		case r.n == nil:
+			return err(types.ENOENT)
+		case r.n.dir:
+			return err(types.EINVAL)
+		default:
+			return err(types.ENOTDIR)
+		}
+	}
+	r := fs.resolve(p, c.Path, false)
+	if r.err != 0 {
+		return err(r.err)
+	}
+	if r.n == nil {
+		return err(types.ENOENT)
+	}
+	if !r.n.symlink {
+		return err(types.EINVAL)
+	}
+	return types.RvBytes{Data: append([]byte(nil), r.n.data...)}
+}
+
+// osxReadlinkQuirk implements the symlink-to-symlink trailing-slash
+// behaviour observed on OS X.
+func (fs *Memfs) osxReadlinkQuirk(p *mproc, path string) (types.RetValue, bool) {
+	if len(path) < 2 || path[len(path)-1] != '/' {
+		return nil, false
+	}
+	bare := fs.resolve(p, path[:len(path)-1], false)
+	if bare.err != 0 || bare.n == nil || !bare.n.symlink {
+		return nil, false
+	}
+	// The outer path is a symlink; if its target is itself a symlink,
+	// OS X returns the inner symlink's contents.
+	tgt := fs.resolve(p, string(bare.n.data), false)
+	if tgt.err == 0 && tgt.n != nil && tgt.n.symlink {
+		return types.RvBytes{Data: append([]byte(nil), tgt.n.data...)}, true
+	}
+	return nil, false
+}
+
+func (fs *Memfs) stat(p *mproc, path string, follow bool) types.RetValue {
+	if trailingSlash(path) {
+		follow = true // lstat("s/") follows the symlink (Linux-observed)
+	}
+	r := fs.resolve(p, path, follow)
+	if r.err != 0 {
+		return err(r.err)
+	}
+	if r.n == nil {
+		return err(types.ENOENT)
+	}
+	if r.trailing && !r.n.dir && !r.n.symlink {
+		return err(types.ENOTDIR)
+	}
+	return types.RvStats{Stats: fs.statsOf(r.n)}
+}
+
+func (fs *Memfs) statsOf(n *node) types.Stats {
+	st := types.Stats{Perm: n.mode, Uid: n.uid, Gid: n.gid}
+	switch {
+	case n.dir:
+		st.Kind = types.KindDir
+		st.Size = 0
+		if fs.prof.FlatDirNlink {
+			st.Nlink = 1 // Btrfs/SSHFS: no directory link counts (§7.3.2)
+		} else {
+			nl := 2
+			for _, ch := range n.children {
+				if ch.dir {
+					nl++
+				}
+			}
+			st.Nlink = nl
+		}
+	case n.symlink:
+		st.Kind = types.KindSymlink
+		st.Size = int64(len(n.data))
+		st.Nlink = n.nlink
+	default:
+		st.Kind = types.KindFile
+		st.Size = int64(len(n.data))
+		st.Nlink = n.nlink
+	}
+	return st
+}
+
+func (fs *Memfs) truncate(p *mproc, c types.Truncate) types.RetValue {
+	if c.Len < 0 {
+		return err(types.EINVAL)
+	}
+	r := fs.resolve(p, c.Path, true)
+	if r.err != 0 {
+		return err(r.err)
+	}
+	if r.n == nil {
+		return err(types.ENOENT)
+	}
+	if r.n.dir {
+		return err(types.EISDIR)
+	}
+	if r.trailing {
+		return err(types.ENOTDIR)
+	}
+	if !fs.access(p, r.n, types.AccessWrite) {
+		return err(types.EACCES)
+	}
+	if !fs.resize(r.n, c.Len) {
+		return err(types.ENOSPC)
+	}
+	return types.RvNone{}
+}
+
+func (fs *Memfs) resize(n *node, size int64) bool {
+	cur := int64(len(n.data))
+	delta := blocksFor(int(size)) - blocksFor(int(cur))
+	if !fs.chargeBlocks(delta) {
+		return false
+	}
+	switch {
+	case size < cur:
+		n.data = n.data[:size]
+	case size > cur:
+		n.data = append(n.data, make([]byte, size-cur)...)
+	}
+	return true
+}
+
+func (fs *Memfs) chmod(p *mproc, c types.Chmod) types.RetValue {
+	if fs.prof.ChmodUnsupported {
+		return err(types.EOPNOTSUPP) // HFS+ on Trusty (§7.3.4)
+	}
+	r := fs.resolve(p, c.Path, true)
+	if r.err != 0 {
+		return err(r.err)
+	}
+	if r.n == nil {
+		return err(types.ENOENT)
+	}
+	if r.trailing && !r.n.dir && !r.n.symlink {
+		return err(types.ENOTDIR)
+	}
+	if fs.prof.CheckPerms && p.uid != types.RootUid && p.uid != r.n.uid {
+		return err(types.EPERM)
+	}
+	r.n.mode = c.Perm & types.PermMask
+	return types.RvNone{}
+}
+
+func (fs *Memfs) chown(p *mproc, c types.Chown) types.RetValue {
+	r := fs.resolve(p, c.Path, true)
+	if r.err != 0 {
+		return err(r.err)
+	}
+	if r.n == nil {
+		return err(types.ENOENT)
+	}
+	if r.trailing && !r.n.dir {
+		return err(types.ENOTDIR)
+	}
+	if fs.prof.CheckPerms && p.uid != types.RootUid {
+		ownerGroup := p.uid == r.n.uid && c.Uid == r.n.uid &&
+			(c.Gid == p.gid || fs.inGroup(p.uid, c.Gid))
+		if !ownerGroup {
+			return err(types.EPERM)
+		}
+	}
+	r.n.uid, r.n.gid = c.Uid, c.Gid
+	return types.RvNone{}
+}
+
+func (fs *Memfs) chdir(p *mproc, c types.Chdir) types.RetValue {
+	r := fs.resolve(p, c.Path, true)
+	if r.err != 0 {
+		return err(r.err)
+	}
+	if r.n == nil {
+		return err(types.ENOENT)
+	}
+	if !r.n.dir {
+		return err(types.ENOTDIR)
+	}
+	if !fs.access(p, r.n, types.AccessExec) {
+		return err(types.EACCES)
+	}
+	p.cwd = r.n
+	return types.RvNone{}
+}
+
+func (fs *Memfs) open(p *mproc, c types.Open) types.RetValue {
+	fl := c.Flags
+	// The kernel's accmode 3 (O_WRONLY|O_RDWR): the open proceeds with
+	// read+write permission checks but yields a descriptor that can
+	// neither read nor write (Linux-observed).
+	accmode3 := fl.Has(types.OWronly) && fl.Has(types.ORdwr)
+	fdRead, fdWrite := fl.Readable(), fl.Writable()
+	if accmode3 {
+		fdRead, fdWrite = false, false
+	}
+	// Fig 8, OpenZFS on OS X: creating a file while the cwd is a
+	// disconnected directory spins the process; the harness watchdog
+	// records the hang as EINTR (see Profile.SpinOnDisconnectedCreate).
+	if fs.prof.SpinOnDisconnectedCreate && fl.Has(types.OCreat) &&
+		c.Path != "" && !fs.connected(p.cwd) {
+		return err(types.EINTR)
+	}
+	if fl.Has(types.OCreat) && fl.Has(types.ODirectory) && fs.prof.Platform == types.PlatformLinux {
+		return err(types.EINVAL) // Linux rejects the combination before path lookup
+	}
+	if fl.Has(types.OCreat) && fs.prof.Platform == types.PlatformLinux &&
+		len(c.Path) > 0 && c.Path[len(c.Path)-1] == '/' && strings.Trim(c.Path, "/") != "" {
+		return err(types.EISDIR) // Linux: creation-style open of "x/" is EISDIR
+	}
+	follow := !(fl.Has(types.ONofollow) || (fl.Has(types.OCreat) && fl.Has(types.OExcl)))
+	if trailingSlash(c.Path) {
+		follow = true // trailing slash overrides O_NOFOLLOW (Linux-observed)
+	}
+	r := fs.resolve(p, c.Path, follow)
+	if r.err != 0 {
+		return err(r.err)
+	}
+	if r.n != nil {
+		if fl.Has(types.OCreat) && fl.Has(types.OExcl) {
+			if r.symLeaf && fs.prof.FreeBSDSymlinkReplaceBug && fl.Has(types.ODirectory) {
+				// §7.3.2: FreeBSD returns ENOTDIR and *replaces the
+				// symlink with a new file*, breaking the POSIX invariant
+				// that failing calls leave the state unchanged.
+				nd := &node{
+					mode:  0o644 &^ fs.effectiveUmask(p),
+					uid:   fs.creatorUid(p),
+					gid:   p.gid,
+					nlink: 1,
+				}
+				r.parent.children[r.name] = nd
+				return err(types.ENOTDIR)
+			}
+			return err(types.EEXIST)
+		}
+		if r.symLeaf {
+			if fl.Has(types.ODirectory) {
+				return err(types.ENOTDIR) // O_DIRECTORY outranks ELOOP
+			}
+			return err(types.ELOOP) // O_NOFOLLOW
+		}
+		if r.n.dir {
+			if fl.Has(types.OCreat) || fl.Writable() || fl.Has(types.OTrunc) {
+				return err(types.EISDIR)
+			}
+			if !fs.access(p, r.n, types.AccessRead) {
+				return err(types.EACCES)
+			}
+			return fs.allocFD(p, &openFile{n: r.n, isDir: true, dirNode: r.n, rd: true})
+		}
+		if fl.Has(types.ODirectory) {
+			return err(types.ENOTDIR)
+		}
+		if r.trailing {
+			return err(types.ENOTDIR)
+		}
+		if (fl.Readable() || accmode3) && !fs.access(p, r.n, types.AccessRead) {
+			return err(types.EACCES)
+		}
+		if fl.Writable() && !fs.access(p, r.n, types.AccessWrite) {
+			return err(types.EACCES)
+		}
+		if fl.Has(types.OTrunc) && (fl.Writable() || fs.prof.Platform == types.PlatformLinux) {
+			fs.resize(r.n, 0) // Linux truncates even on O_RDONLY|O_TRUNC
+		}
+		return fs.allocFD(p, &openFile{
+			n: r.n, app: fl.Has(types.OAppend), rd: fdRead, wr: fdWrite,
+		})
+	}
+	// Missing leaf.
+	if !fl.Has(types.OCreat) {
+		return err(types.ENOENT)
+	}
+	if r.trailing {
+		return err(types.EISDIR)
+	}
+	if !fs.access(p, r.parent, types.AccessWrite) || !fs.access(p, r.parent, types.AccessExec) {
+		return err(types.EACCES)
+	}
+	if r.parent != fs.root && !fs.connected(r.parent) {
+		return err(types.ENOENT)
+	}
+	if fs.full() {
+		// posixovl on a leaked-full volume: open(O_CREAT) fails ENOENT
+		// (the observed Linux 3.19 failure mode, §7.3.5).
+		return err(types.ENOENT)
+	}
+	nd := &node{
+		mode:  c.Perm &^ fs.effectiveUmask(p) & types.PermMask,
+		uid:   fs.creatorUid(p),
+		gid:   p.gid,
+		nlink: 1,
+	}
+	r.parent.children[r.name] = nd
+	return fs.allocFD(p, &openFile{
+		n: nd, app: fl.Has(types.OAppend), rd: fdRead, wr: fdWrite,
+	})
+}
+
+func (fs *Memfs) allocFD(p *mproc, of *openFile) types.RetValue {
+	fd := p.nextFD
+	p.nextFD++
+	p.fds[fd] = of
+	return types.RvFD{FD: fd}
+}
+
+func (fs *Memfs) close(p *mproc, c types.Close) types.RetValue {
+	if _, ok := p.fds[c.FD]; !ok {
+		return err(types.EBADF)
+	}
+	fs.closeFD(p, c.FD)
+	return types.RvNone{}
+}
+
+func (fs *Memfs) read(p *mproc, fd types.FD, size, at int64, seq bool) types.RetValue {
+	of, ok := p.fds[fd]
+	if !ok {
+		return err(types.EBADF)
+	}
+	if of.isDir {
+		return err(types.EISDIR)
+	}
+	if !of.rd {
+		return err(types.EBADF)
+	}
+	if size < 0 {
+		return err(types.EINVAL)
+	}
+	if !seq && at < 0 {
+		return err(types.EINVAL)
+	}
+	pos := of.off
+	if !seq {
+		pos = at
+	}
+	data := of.n.data
+	if pos >= int64(len(data)) {
+		return types.RvBytes{Data: nil}
+	}
+	end := pos + size
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	out := append([]byte(nil), data[pos:end]...)
+	if seq {
+		of.off = end
+	}
+	return types.RvBytes{Data: out}
+}
+
+func (fs *Memfs) write(p *mproc, fd types.FD, data []byte, size, at int64, seq bool) types.RetValue {
+	if size >= 0 && size < int64(len(data)) {
+		data = data[:size]
+	}
+	of, ok := p.fds[fd]
+	if !ok {
+		return err(types.EBADF)
+	}
+	if of.isDir || !of.wr {
+		if len(data) == 0 && fs.prof.Platform == types.PlatformLinux && !of.isDir {
+			return types.RvNum{N: 0} // Linux: zero-length write to RO fd succeeds
+		}
+		return err(types.EBADF)
+	}
+	if size < 0 {
+		return err(types.EINVAL)
+	}
+	if !seq && at < 0 {
+		if fs.prof.PwriteNegativeUnderflow {
+			// §7.3.4: the OS X VFS treats the negative offset as a huge
+			// unsigned value; the process gets SIGXFSZ, which the harness
+			// observes as EFBIG instead of the POSIX-required EINVAL.
+			return err(types.EFBIG)
+		}
+		return err(types.EINVAL)
+	}
+	if len(data) == 0 {
+		return types.RvNum{N: 0} // zero-length writes have no effect
+	}
+	pos := at
+	if seq {
+		pos = of.off
+		if of.app && !fs.prof.OAppendBroken {
+			pos = int64(len(of.n.data))
+		}
+	} else if of.app && fs.prof.OAppendPwriteAppends && !fs.prof.OAppendBroken {
+		pos = int64(len(of.n.data)) // Linux convention (§7.3.3)
+	}
+	end := pos + int64(len(data))
+	if end > int64(len(of.n.data)) {
+		delta := blocksFor(int(end)) - blocksFor(len(of.n.data))
+		if !fs.chargeBlocks(delta) {
+			return err(types.ENOSPC)
+		}
+		of.n.data = append(of.n.data, make([]byte, end-int64(len(of.n.data)))...)
+	}
+	copy(of.n.data[pos:end], data)
+	if seq {
+		of.off = end
+	}
+	return types.RvNum{N: int64(len(data))}
+}
+
+func (fs *Memfs) lseek(p *mproc, c types.Lseek) types.RetValue {
+	of, ok := p.fds[c.FD]
+	if !ok {
+		return err(types.EBADF)
+	}
+	var base int64
+	switch c.Whence {
+	case types.SeekSet:
+		base = 0
+	case types.SeekCur:
+		base = of.off
+	case types.SeekEnd:
+		base = int64(len(of.n.data))
+	default:
+		return err(types.EINVAL)
+	}
+	target := base + c.Off
+	if target < 0 {
+		return err(types.EINVAL)
+	}
+	of.off = target
+	return types.RvNum{N: target}
+}
+
+func (fs *Memfs) opendir(p *mproc, c types.Opendir) types.RetValue {
+	r := fs.resolve(p, c.Path, true)
+	if r.err != 0 {
+		return err(r.err)
+	}
+	if r.n == nil {
+		return err(types.ENOENT)
+	}
+	if !r.n.dir {
+		return err(types.ENOTDIR)
+	}
+	if !fs.access(p, r.n, types.AccessRead) {
+		return err(types.EACCES)
+	}
+	dh := p.nextDH
+	p.nextDH++
+	p.dhs[dh] = &openDir{n: r.n, names: sortedNames(r.n)}
+	return types.RvDH{DH: dh}
+}
+
+func (fs *Memfs) readdir(p *mproc, c types.Readdir) types.RetValue {
+	od, ok := p.dhs[c.DH]
+	if !ok {
+		return err(types.EBADF)
+	}
+	// Snapshot semantics: entries captured at opendir/rewinddir; entries
+	// deleted since are skipped, entries added since are not reported.
+	// Both choices are inside the model's must/may envelope.
+	for od.pos < len(od.names) {
+		name := od.names[od.pos]
+		od.pos++
+		if _, present := od.n.children[name]; present {
+			return types.RvDirent{Name: name}
+		}
+	}
+	return types.RvDirent{End: true}
+}
+
+func (fs *Memfs) closedir(p *mproc, c types.Closedir) types.RetValue {
+	if _, ok := p.dhs[c.DH]; !ok {
+		return err(types.EBADF)
+	}
+	delete(p.dhs, c.DH)
+	return types.RvNone{}
+}
+
+func (fs *Memfs) rewinddir(p *mproc, c types.Rewinddir) types.RetValue {
+	od, ok := p.dhs[c.DH]
+	if !ok {
+		return err(types.EBADF)
+	}
+	od.names = sortedNames(od.n)
+	od.pos = 0
+	return types.RvNone{}
+}

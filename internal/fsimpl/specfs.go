@@ -1,0 +1,102 @@
+package fsimpl
+
+import (
+	"sort"
+
+	"repro/internal/osspec"
+	"repro/internal/types"
+)
+
+// SpecFS determinizes the model and runs it as an implementation — the
+// paper mounts previous SibylFS versions as prototype FUSE file systems the
+// same way (§8, "Differential testing"). At each call it computes the
+// allowed next states from os_trans and picks one deterministically
+// (success preferred, then the smallest errno). Traces produced by SpecFS
+// are by construction inside the model's envelope, which gives the test
+// suite a self-check: the oracle must accept 100% of SpecFS traces.
+type SpecFS struct {
+	name string
+	st   *osspec.OsState
+}
+
+// NewSpecFS builds the determinized model for the given variant.
+func NewSpecFS(name string, spec types.Spec) *SpecFS {
+	return &SpecFS{name: name, st: osspec.NewOsState(spec)}
+}
+
+// SpecFactory returns a Factory producing fresh SpecFS instances.
+func SpecFactory(name string, spec types.Spec) Factory {
+	return func() (FS, error) { return NewSpecFS(name, spec), nil }
+}
+
+// Name implements FS.
+func (fs *SpecFS) Name() string { return fs.name }
+
+// Close implements FS.
+func (fs *SpecFS) Close() error { return nil }
+
+// CreateProcess implements FS.
+func (fs *SpecFS) CreateProcess(pid types.Pid, uid types.Uid, gid types.Gid) {
+	next := osspec.Trans(fs.st, types.CreateLabel{Pid: pid, Uid: uid, Gid: gid})
+	if len(next) > 0 {
+		fs.st = next[0]
+	}
+}
+
+// DestroyProcess implements FS.
+func (fs *SpecFS) DestroyProcess(pid types.Pid) {
+	next := osspec.Trans(fs.st, types.DestroyLabel{Pid: pid})
+	if len(next) > 0 {
+		fs.st = next[0]
+	}
+}
+
+// Apply implements FS: call → τ → pick one allowed return.
+func (fs *SpecFS) Apply(pid types.Pid, cmd types.Command) types.RetValue {
+	called := osspec.Trans(fs.st, types.CallLabel{Pid: pid, Cmd: cmd})
+	if len(called) == 0 {
+		return types.RvErr{Err: types.EINVAL}
+	}
+	cands := osspec.TauFor(called[0], pid)
+	if len(cands) == 0 {
+		return types.RvErr{Err: types.EINVAL}
+	}
+	// Deterministic choice: prefer a success over an error, then the
+	// representation that sorts first; this mirrors "selecting one of the
+	// many possible states at each step".
+	type choice struct {
+		rv   types.RetValue
+		next *osspec.OsState
+	}
+	var choices []choice
+	for _, c := range cands {
+		for _, rv := range representativeReturns(c, pid) {
+			after := osspec.Trans(c, types.ReturnLabel{Pid: pid, Ret: rv})
+			if len(after) > 0 {
+				choices = append(choices, choice{rv: rv, next: after[0]})
+			}
+		}
+	}
+	if len(choices) == 0 {
+		return types.RvErr{Err: types.EINVAL}
+	}
+	sort.Slice(choices, func(i, j int) bool {
+		ie, iErr := choices[i].rv.(types.RvErr)
+		je, jErr := choices[j].rv.(types.RvErr)
+		if iErr != jErr {
+			return !iErr // successes first
+		}
+		if iErr {
+			return ie.Err < je.Err
+		}
+		return choices[i].rv.String() < choices[j].rv.String()
+	})
+	fs.st = choices[0].next
+	return choices[0].rv
+}
+
+// representativeReturns enumerates concrete allowed returns of a candidate
+// state (full reads/writes; every must entry and end-of-dir for readdir).
+func representativeReturns(s *osspec.OsState, pid types.Pid) []types.RetValue {
+	return osspec.ConcreteReturns(s, pid)
+}

@@ -1,0 +1,83 @@
+package osspec
+
+import "repro/internal/types"
+
+// TauFor processes the pending call of exactly pid (the checker linearises
+// call processing at return time, which is sound for traces where each
+// return is observed: the τ can occur at any point between call and return,
+// and choosing the latest allowed point never excludes behaviour for the
+// sequentially-executed traces the harness produces — §6.3).
+func TauFor(s *OsState, pid types.Pid) []*OsState {
+	p, ok := s.Procs[pid]
+	if !ok || p.Run != RsCalling {
+		return nil
+	}
+	return processCall(s, pid, p.PendingCmd)
+}
+
+// AllowedReturn describes the return value(s) a state in RsReturning allows
+// for pid, for diagnostics.
+func AllowedReturn(s *OsState, pid types.Pid) (string, bool) {
+	p, ok := s.Procs[pid]
+	if !ok || p.Run != RsReturning || p.PendingRet == nil {
+		return "", false
+	}
+	if rd, ok := p.PendingRet.(PendingReaddir); ok {
+		return rd.DescribeAgainst(s), true
+	}
+	return p.PendingRet.Describe(), true
+}
+
+// RecoverReturns synthesises successor states as if an allowed return value
+// had been observed — the Fig 4 behaviour ("continuing with EEXIST,
+// ENOTEMPTY") that lets the checker proceed past a non-conformant step.
+func RecoverReturns(s *OsState, pid types.Pid) []*OsState {
+	p, ok := s.Procs[pid]
+	if !ok || p.Run != RsReturning || p.PendingRet == nil {
+		return nil
+	}
+	var rvs []types.RetValue
+	switch pend := p.PendingRet.(type) {
+	case PendingExact:
+		rvs = []types.RetValue{pend.Rv}
+	case PendingAny:
+		rvs = []types.RetValue{types.RvNone{}}
+	case PendingReadPrefix:
+		rvs = []types.RetValue{types.RvBytes{Data: pend.Data}}
+	case PendingWriteUpTo:
+		rvs = []types.RetValue{types.RvNum{N: int64(len(pend.Data))}}
+	case PendingReaddir:
+		h := pend.handle(s)
+		if h == nil {
+			rvs = []types.RetValue{types.RvDirent{End: true}}
+			break
+		}
+		must, _ := refreshedSets(s, h)
+		if len(must) == 0 {
+			rvs = append(rvs, types.RvDirent{End: true})
+		}
+		for n := range must {
+			rvs = append(rvs, types.RvDirent{Name: n})
+		}
+	default:
+		rvs = []types.RetValue{types.RvNone{}}
+	}
+	var out []*OsState
+	for _, rv := range rvs {
+		out = append(out, Trans(s, types.ReturnLabel{Pid: pid, Ret: rv})...)
+	}
+	return out
+}
+
+// ResetToRunning returns a copy of s with pid forced back to the running
+// state, discarding any pending call — the last-resort recovery when no
+// state can explain an observation at all.
+func ResetToRunning(s *OsState, pid types.Pid) *OsState {
+	c := s.Clone()
+	if p, ok := c.Procs[pid]; ok {
+		p.Run = RsRunning
+		p.PendingCmd = nil
+		p.PendingRet = nil
+	}
+	return c
+}

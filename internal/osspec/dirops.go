@@ -1,0 +1,85 @@
+package osspec
+
+import (
+	"repro/internal/cov"
+	"repro/internal/fsspec"
+	"repro/internal/types"
+)
+
+var (
+	covOpendirAlloc = cov.Point("osspec/opendir/alloc")
+	covReaddirBad   = cov.Point("osspec/readdir/ebadf")
+	covReaddirOk    = cov.Point("osspec/readdir/ok")
+	covClosedirBad  = cov.Point("osspec/closedir/ebadf")
+	covClosedirOk   = cov.Point("osspec/closedir/ok")
+	covRewindBad    = cov.Point("osspec/rewinddir/ebadf")
+	covRewindOk     = cov.Point("osspec/rewinddir/ok")
+)
+
+// opendirCall implements opendir(3): the file-system module validates the
+// path; the OS layer allocates the handle and takes the must-set snapshot.
+func opendirCall(s *OsState, pid types.Pid, cmd types.Opendir) []*OsState {
+	dir, res := fsspec.OpendirSpec(ctxFor(s, pid), cmd)
+	if len(res.Oks) == 0 {
+		return fromResult(s, pid, res)
+	}
+	cov.Hit(covOpendirAlloc)
+	dh := s.Procs[pid].NextDH
+	return []*OsState{succExact(s, pid, types.RvDH{DH: dh}, func(c *OsState) {
+		p := c.Procs[pid]
+		snap := currentEntries(c, dir)
+		p.Dhs[dh] = &DirHandleState{
+			Dir:      dir,
+			Must:     cloneSet(snap),
+			May:      make(map[string]bool),
+			Returned: make(map[string]bool),
+			LastSeen: snap,
+		}
+		p.NextDH++
+	})}
+}
+
+// readdirCall implements readdir(3): the successor carries the must/may
+// pattern; the concrete entry (or end-of-stream) observed in the trace
+// resolves the nondeterminism at the next step, exactly as described in §3.
+func readdirCall(s *OsState, pid types.Pid, cmd types.Readdir) []*OsState {
+	p := s.Procs[pid]
+	if _, ok := p.Dhs[cmd.DH]; !ok {
+		cov.Hit(covReaddirBad)
+		return succErrors(s, pid, types.NewErrnoSet(types.EBADF))
+	}
+	cov.Hit(covReaddirOk)
+	return []*OsState{succPending(s, pid, PendingReaddir{Pid: pid, DH: cmd.DH}, nil)}
+}
+
+// closedirCall implements closedir(3).
+func closedirCall(s *OsState, pid types.Pid, cmd types.Closedir) []*OsState {
+	p := s.Procs[pid]
+	if _, ok := p.Dhs[cmd.DH]; !ok {
+		cov.Hit(covClosedirBad)
+		return succErrors(s, pid, types.NewErrnoSet(types.EBADF))
+	}
+	cov.Hit(covClosedirOk)
+	return []*OsState{succExact(s, pid, types.RvNone{}, func(c *OsState) {
+		delete(c.Procs[pid].Dhs, cmd.DH)
+	})}
+}
+
+// rewinddirCall implements rewinddir(3): the stream restarts from the
+// directory's current contents; previous bookkeeping is discarded.
+func rewinddirCall(s *OsState, pid types.Pid, cmd types.Rewinddir) []*OsState {
+	p := s.Procs[pid]
+	if _, ok := p.Dhs[cmd.DH]; !ok {
+		cov.Hit(covRewindBad)
+		return succErrors(s, pid, types.NewErrnoSet(types.EBADF))
+	}
+	cov.Hit(covRewindOk)
+	return []*OsState{succExact(s, pid, types.RvNone{}, func(c *OsState) {
+		h := c.Procs[pid].Dhs[cmd.DH]
+		snap := currentEntries(c, h.Dir)
+		h.Must = cloneSet(snap)
+		h.May = make(map[string]bool)
+		h.Returned = make(map[string]bool)
+		h.LastSeen = snap
+	})}
+}

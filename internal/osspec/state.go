@@ -1,0 +1,272 @@
+// Package osspec is the paper's "POSIX API module" (§5): it defines the
+// labelled transition system whose states model the operating system —
+// processes, file-descriptor tables, open file descriptions, directory
+// handles, users and groups — and whose transition function os_trans maps a
+// state and a label to a finite set of next states. It glues path
+// resolution and the file-system module together and owns all per-process
+// data structures.
+package osspec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/state"
+	"repro/internal/types"
+)
+
+// FidRef identifies an open file description (ty_fid); several descriptors
+// (across processes) may share one description, e.g. after fork — the model
+// keeps the indirection even though the test harness never shares them.
+type FidRef int
+
+// FidState is the state of an open file description (fid_state).
+type FidState struct {
+	IsDir    bool
+	File     state.FileRef
+	Dir      state.DirRef
+	Offset   int64
+	Append   bool
+	Readable bool
+	Writable bool
+	Refs     int
+}
+
+// DirHandleState models an open directory stream with the paper's must/may
+// machinery (§3, "Directory listing nondeterminism"): Must holds entries
+// that a complete sequence of readdir calls must still return; May holds
+// entries that may or may not be returned (added or removed since the
+// handle was opened). LastSeen is the directory contents at the previous
+// readdir, used to fold concurrent modifications into Must/May.
+type DirHandleState struct {
+	Dir      state.DirRef
+	Must     map[string]bool
+	May      map[string]bool
+	Returned map[string]bool
+	LastSeen map[string]bool
+}
+
+// RunKind is a process's run state.
+type RunKind int
+
+// Run states: running (may issue a call), calling (call issued, not yet
+// processed — pre-τ), returning (processed, awaiting the return label).
+const (
+	RsRunning RunKind = iota
+	RsCalling
+	RsReturning
+)
+
+// ProcState is per_process_state: everything the OS tracks per process.
+type ProcState struct {
+	Cwd      state.DirRef
+	CwdValid bool
+	Umask    types.Perm
+	Euid     types.Uid
+	Egid     types.Gid
+	Fds      map[types.FD]FidRef
+	Dhs      map[types.DH]*DirHandleState
+	NextFD   types.FD
+	NextDH   types.DH
+
+	Run        RunKind
+	PendingCmd types.Command // valid in RsCalling
+	PendingRet Pending       // valid in RsReturning
+}
+
+// OsState is ty_os_state: one abstract model state of the whole system.
+type OsState struct {
+	H       *state.Heap
+	Fids    map[FidRef]*FidState
+	NextFid FidRef
+	Procs   map[types.Pid]*ProcState
+	// Groups maps gid → set of member uids (oss_group_table).
+	Groups map[types.Gid]map[types.Uid]bool
+	Spec   types.Spec
+}
+
+// InitialPid is the process every script starts with.
+const InitialPid types.Pid = 1
+
+// NewOsState builds the model's initial state: an empty file system and a
+// single process whose credentials follow the spec's RootUser flag.
+func NewOsState(spec types.Spec) *OsState {
+	s := &OsState{
+		H:       state.NewHeap(),
+		Fids:    make(map[FidRef]*FidState),
+		NextFid: 1,
+		Procs:   make(map[types.Pid]*ProcState),
+		Groups:  make(map[types.Gid]map[types.Uid]bool),
+		Spec:    spec,
+	}
+	uid, gid := types.RootUid, types.RootGid
+	if !spec.RootUser {
+		uid, gid = 1000, 1000
+	}
+	s.addProcess(InitialPid, uid, gid)
+	return s
+}
+
+func (s *OsState) addProcess(pid types.Pid, uid types.Uid, gid types.Gid) {
+	s.Procs[pid] = &ProcState{
+		Cwd:      s.H.Root,
+		CwdValid: true,
+		Umask:    0o022,
+		Euid:     uid,
+		Egid:     gid,
+		Fds:      make(map[types.FD]FidRef),
+		Dhs:      make(map[types.DH]*DirHandleState),
+		NextFD:   3, // 0-2 are the std streams, outside the model's scope
+		NextDH:   1,
+		Run:      RsRunning,
+	}
+}
+
+// Clone deep-copies the state; the checker branches the state set on every
+// nondeterministic choice (§3 "Concurrency nondeterminism via state sets").
+func (s *OsState) Clone() *OsState {
+	c := &OsState{
+		H:       s.H.Clone(),
+		Fids:    make(map[FidRef]*FidState, len(s.Fids)),
+		NextFid: s.NextFid,
+		Procs:   make(map[types.Pid]*ProcState, len(s.Procs)),
+		Groups:  make(map[types.Gid]map[types.Uid]bool, len(s.Groups)),
+		Spec:    s.Spec,
+	}
+	for r, f := range s.Fids {
+		nf := *f
+		c.Fids[r] = &nf
+	}
+	for pid, p := range s.Procs {
+		np := &ProcState{
+			Cwd:      p.Cwd,
+			CwdValid: p.CwdValid,
+			Umask:    p.Umask,
+			Euid:     p.Euid,
+			Egid:     p.Egid,
+			Fds:      make(map[types.FD]FidRef, len(p.Fds)),
+			Dhs:      make(map[types.DH]*DirHandleState, len(p.Dhs)),
+			NextFD:   p.NextFD,
+			NextDH:   p.NextDH,
+			Run:      p.Run,
+			// Commands and pendings are immutable values; share them.
+			PendingCmd: p.PendingCmd,
+			PendingRet: p.PendingRet,
+		}
+		for fd, fid := range p.Fds {
+			np.Fds[fd] = fid
+		}
+		for dh, h := range p.Dhs {
+			np.Dhs[dh] = h.clone()
+		}
+		c.Procs[pid] = np
+	}
+	for gid, members := range s.Groups {
+		m := make(map[types.Uid]bool, len(members))
+		for u := range members {
+			m[u] = true
+		}
+		c.Groups[gid] = m
+	}
+	return c
+}
+
+func (d *DirHandleState) clone() *DirHandleState {
+	return &DirHandleState{
+		Dir:      d.Dir,
+		Must:     cloneSet(d.Must),
+		May:      cloneSet(d.May),
+		Returned: cloneSet(d.Returned),
+		LastSeen: cloneSet(d.LastSeen),
+	}
+}
+
+func cloneSet(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k := range m {
+		c[k] = true
+	}
+	return c
+}
+
+// InGroup reports whether uid is a member of gid (supplementary groups).
+func (s *OsState) InGroup(uid types.Uid, gid types.Gid) bool {
+	m, ok := s.Groups[gid]
+	return ok && m[uid]
+}
+
+// Fingerprint summarises the state for deduplication of the checker's state
+// set. Two states with the same fingerprint are behaviourally equivalent
+// for our purposes (the summary covers the tree, file contents, fds and
+// process run states).
+func (s *OsState) Fingerprint() string {
+	var b []byte
+	b = append(b, s.fsFingerprint()...)
+	pids := make([]int, 0, len(s.Procs))
+	for pid := range s.Procs {
+		pids = append(pids, int(pid))
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		p := s.Procs[types.Pid(pid)]
+		b = append(b, fmt.Sprintf("|p%d:%d,%d,%d,cwd%d,%v,run%d", pid, p.Euid, p.Egid, p.Umask, p.Cwd, p.CwdValid, p.Run)...)
+		if p.Run == RsReturning && p.PendingRet != nil {
+			b = append(b, p.PendingRet.Describe()...)
+		}
+		fds := make([]int, 0, len(p.Fds))
+		for fd := range p.Fds {
+			fds = append(fds, int(fd))
+		}
+		sort.Ints(fds)
+		for _, fd := range fds {
+			fid := s.Fids[p.Fds[types.FD(fd)]]
+			b = append(b, fmt.Sprintf(";fd%d=f%d,d%d,o%d", fd, fid.File, fid.Dir, fid.Offset)...)
+		}
+		dhs := make([]int, 0, len(p.Dhs))
+		for dh := range p.Dhs {
+			dhs = append(dhs, int(dh))
+		}
+		sort.Ints(dhs)
+		for _, dh := range dhs {
+			h := p.Dhs[types.DH(dh)]
+			b = append(b, fmt.Sprintf(";dh%d=%d,m%v,y%v,r%v", dh, h.Dir, sortedKeys(h.Must), sortedKeys(h.May), sortedKeys(h.Returned))...)
+		}
+	}
+	return string(b)
+}
+
+func (s *OsState) fsFingerprint() string {
+	var b []byte
+	drs := make([]int, 0, len(s.H.Dirs))
+	for d := range s.H.Dirs {
+		drs = append(drs, int(d))
+	}
+	sort.Ints(drs)
+	for _, dr := range drs {
+		d := s.H.Dirs[state.DirRef(dr)]
+		b = append(b, fmt.Sprintf("|d%d,p%d,%o,%d,%d:", dr, d.Parent, d.Perm, d.Uid, d.Gid)...)
+		for _, n := range s.H.EntryNames(state.DirRef(dr)) {
+			e := d.Entries[n]
+			b = append(b, fmt.Sprintf("%s=%d/%d/%d;", n, e.Kind, e.File, e.Dir)...)
+		}
+	}
+	frs := make([]int, 0, len(s.H.Files))
+	for f := range s.H.Files {
+		frs = append(frs, int(f))
+	}
+	sort.Ints(frs)
+	for _, fr := range frs {
+		f := s.H.Files[state.FileRef(fr)]
+		b = append(b, fmt.Sprintf("|f%d,%d,%v,%o,%d,%d:%q", fr, f.Nlink, f.IsSymlink, f.Perm, f.Uid, f.Gid, f.Bytes)...)
+	}
+	return string(b)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,86 @@
+// Package reduce implements automatic test-case reduction, one of the
+// §9 future-work items ("it could support automatic test case
+// reduction"): given a script whose execution on some implementation
+// deviates from the model, shrink the script to a minimal command
+// sequence that still deviates — delta debugging over script steps.
+package reduce
+
+import (
+	"repro/internal/checker"
+	"repro/internal/exec"
+	"repro/internal/fsimpl"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Deviates executes the script against a fresh instance and reports
+// whether the oracle rejects the resulting trace.
+func Deviates(s *trace.Script, factory fsimpl.Factory, spec types.Spec) (bool, error) {
+	tr, err := exec.Run(s, factory)
+	if err != nil {
+		return false, err
+	}
+	r := checker.New(spec).Check(tr)
+	return !r.Accepted, nil
+}
+
+// Minimize shrinks a deviating script while the deviation persists,
+// using one-at-a-time removal passes until a fixed point (ddmin's
+// granularity-1 phase, which suffices for our linear scripts). The result
+// still deviates; if the input does not deviate it is returned unchanged.
+func Minimize(s *trace.Script, factory fsimpl.Factory, spec types.Spec) (*trace.Script, error) {
+	bad, err := Deviates(s, factory, spec)
+	if err != nil || !bad {
+		return s, err
+	}
+	cur := s
+	for {
+		shrunk, err := removalPass(cur, factory, spec)
+		if err != nil {
+			return cur, err
+		}
+		if len(shrunk.Steps) == len(cur.Steps) {
+			return cur, nil
+		}
+		cur = shrunk
+	}
+}
+
+// removalPass tries dropping each step (and chunks of steps) once.
+func removalPass(s *trace.Script, factory fsimpl.Factory, spec types.Spec) (*trace.Script, error) {
+	// Coarse first: halves, quarters; then single steps.
+	for _, chunk := range []int{len(s.Steps) / 2, len(s.Steps) / 4, 1} {
+		if chunk < 1 {
+			continue
+		}
+		i := 0
+		for i < len(s.Steps) {
+			end := i + chunk
+			if end > len(s.Steps) {
+				end = len(s.Steps)
+			}
+			cand := without(s, i, end)
+			if len(cand.Steps) == 0 {
+				i = end
+				continue
+			}
+			bad, err := Deviates(cand, factory, spec)
+			if err != nil {
+				return s, err
+			}
+			if bad {
+				s = cand // keep the smaller script; retry same index
+				continue
+			}
+			i = end
+		}
+	}
+	return s, nil
+}
+
+func without(s *trace.Script, from, to int) *trace.Script {
+	out := &trace.Script{Name: s.Name + "_min"}
+	out.Steps = append(out.Steps, s.Steps[:from]...)
+	out.Steps = append(out.Steps, s.Steps[to:]...)
+	return out
+}

@@ -1,0 +1,327 @@
+// Package state implements the paper's "state module": a simple model of
+// directory and file contents, expressed over abstract directory and file
+// references rather than blocks or inodes (§5, "State module"). The API
+// permits arbitrary linking and unlinking, so it can represent disconnected
+// files and directories (reachable through an open descriptor but absent
+// from the tree), which several survey defects depend on (Fig 8).
+package state
+
+import (
+	"sort"
+
+	"repro/internal/types"
+)
+
+// DirRef identifies a directory in the heap (dh_dir_ref in the paper).
+type DirRef int
+
+// FileRef identifies a file in the heap (dh_file_ref).
+type FileRef int
+
+// EntryKind distinguishes what a directory entry points at.
+type EntryKind int
+
+// Directory entries point at files, subdirectories, or symlinks. Symlinks
+// are stored as files whose contents are the link target, flagged as
+// symlinks in the entry and in the file metadata.
+const (
+	EntryFile EntryKind = iota
+	EntryDir
+	EntrySymlink
+)
+
+// Entry is one name→object binding inside a directory.
+type Entry struct {
+	Kind EntryKind
+	File FileRef // valid when Kind is EntryFile or EntrySymlink
+	Dir  DirRef  // valid when Kind is EntryDir
+}
+
+// Dir is the model of a directory: a finite map from names to entries plus
+// the metadata the permissions and stat traits need. Parent supports ".."
+// resolution; the root's parent is itself.
+type Dir struct {
+	Entries map[string]Entry
+	Parent  DirRef
+	Perm    types.Perm
+	Uid     types.Uid
+	Gid     types.Gid
+}
+
+// File is the model of a non-directory file: a byte array plus metadata.
+// Symlink files carry IsSymlink=true and store the target path in Bytes.
+type File struct {
+	Bytes     []byte
+	Nlink     int
+	IsSymlink bool
+	Perm      types.Perm
+	Uid       types.Uid
+	Gid       types.Gid
+}
+
+// Heap is dir_heap_state_fs: the finite maps from references to objects,
+// plus the distinguished root.
+type Heap struct {
+	Dirs  map[DirRef]*Dir
+	Files map[FileRef]*File
+	Root  DirRef
+
+	nextDir  DirRef
+	nextFile FileRef
+}
+
+// NewHeap returns a heap containing only an empty root directory owned by
+// root:root with mode 0o755, matching the paper's empty initial file system.
+func NewHeap() *Heap {
+	h := &Heap{
+		Dirs:     make(map[DirRef]*Dir),
+		Files:    make(map[FileRef]*File),
+		Root:     1,
+		nextDir:  2,
+		nextFile: 1,
+	}
+	h.Dirs[h.Root] = &Dir{
+		Entries: make(map[string]Entry),
+		Parent:  h.Root,
+		Perm:    0o755,
+		Uid:     types.RootUid,
+		Gid:     types.RootGid,
+	}
+	return h
+}
+
+// Clone deep-copies the heap. The checker relies on cloning to branch the
+// state set at nondeterministic points (§3); states in the test suite hold
+// a handful of small files, so a straightforward deep copy is cheap (and
+// is benchmarked in bench_test.go).
+func (h *Heap) Clone() *Heap {
+	c := &Heap{
+		Dirs:     make(map[DirRef]*Dir, len(h.Dirs)),
+		Files:    make(map[FileRef]*File, len(h.Files)),
+		Root:     h.Root,
+		nextDir:  h.nextDir,
+		nextFile: h.nextFile,
+	}
+	for r, d := range h.Dirs {
+		nd := &Dir{
+			Entries: make(map[string]Entry, len(d.Entries)),
+			Parent:  d.Parent,
+			Perm:    d.Perm,
+			Uid:     d.Uid,
+			Gid:     d.Gid,
+		}
+		for n, e := range d.Entries {
+			nd.Entries[n] = e
+		}
+		c.Dirs[r] = nd
+	}
+	for r, f := range h.Files {
+		nf := &File{
+			Bytes:     append([]byte(nil), f.Bytes...),
+			Nlink:     f.Nlink,
+			IsSymlink: f.IsSymlink,
+			Perm:      f.Perm,
+			Uid:       f.Uid,
+			Gid:       f.Gid,
+		}
+		c.Files[r] = nf
+	}
+	return c
+}
+
+// AllocDir creates a fresh, empty, unlinked directory and returns its
+// reference. The caller links it into a parent (or leaves it disconnected).
+func (h *Heap) AllocDir(parent DirRef, perm types.Perm, uid types.Uid, gid types.Gid) DirRef {
+	r := h.nextDir
+	h.nextDir++
+	h.Dirs[r] = &Dir{
+		Entries: make(map[string]Entry),
+		Parent:  parent,
+		Perm:    perm,
+		Uid:     uid,
+		Gid:     gid,
+	}
+	return r
+}
+
+// AllocFile creates a fresh empty file with link count zero.
+func (h *Heap) AllocFile(perm types.Perm, uid types.Uid, gid types.Gid) FileRef {
+	r := h.nextFile
+	h.nextFile++
+	h.Files[r] = &File{Nlink: 0, Perm: perm, Uid: uid, Gid: gid}
+	return r
+}
+
+// AllocSymlink creates a symlink file whose contents are the target path.
+// Symlink permissions are platform-dependent (0o777 on Linux); the caller
+// supplies them.
+func (h *Heap) AllocSymlink(target string, perm types.Perm, uid types.Uid, gid types.Gid) FileRef {
+	r := h.AllocFile(perm, uid, gid)
+	f := h.Files[r]
+	f.Bytes = []byte(target)
+	f.IsSymlink = true
+	return r
+}
+
+// Lookup returns the entry bound to name in dir.
+func (h *Heap) Lookup(dir DirRef, name string) (Entry, bool) {
+	d, ok := h.Dirs[dir]
+	if !ok {
+		return Entry{}, false
+	}
+	e, ok := d.Entries[name]
+	return e, ok
+}
+
+// LinkFile binds name in dir to the file f and bumps its link count.
+func (h *Heap) LinkFile(dir DirRef, name string, f FileRef) {
+	kind := EntryFile
+	if h.Files[f].IsSymlink {
+		kind = EntrySymlink
+	}
+	h.Dirs[dir].Entries[name] = Entry{Kind: kind, File: f}
+	h.Files[f].Nlink++
+}
+
+// UnlinkFile removes the binding of name in dir and decrements the file's
+// link count. Files with zero links and no open descriptors are garbage
+// collected by the OS layer, not here: the heap permits disconnected files.
+func (h *Heap) UnlinkFile(dir DirRef, name string) {
+	d := h.Dirs[dir]
+	e := d.Entries[name]
+	delete(d.Entries, name)
+	if f, ok := h.Files[e.File]; ok {
+		f.Nlink--
+	}
+}
+
+// LinkDir binds name in dir to the directory sub and reparents it.
+func (h *Heap) LinkDir(dir DirRef, name string, sub DirRef) {
+	h.Dirs[dir].Entries[name] = Entry{Kind: EntryDir, Dir: sub}
+	h.Dirs[sub].Parent = dir
+}
+
+// UnlinkDir removes the binding of name in dir. The subdirectory object
+// survives, disconnected, which is exactly what the Fig 8 OpenZFS scenario
+// (rmdir of the current working directory) requires.
+func (h *Heap) UnlinkDir(dir DirRef, name string) {
+	delete(h.Dirs[dir].Entries, name)
+}
+
+// FreeFile removes a file object from the heap. Called by the OS layer
+// when the last link and last open descriptor are gone.
+func (h *Heap) FreeFile(f FileRef) { delete(h.Files, f) }
+
+// EntryNames returns the names in dir in sorted order (sorting only for
+// deterministic iteration in the Go implementation; the model makes no
+// ordering promise — readdir ordering nondeterminism is handled by the
+// must/may machinery in the OS layer).
+func (h *Heap) EntryNames(dir DirRef) []string {
+	d, ok := h.Dirs[dir]
+	if !ok {
+		return nil
+	}
+	names := make([]string, 0, len(d.Entries))
+	for n := range d.Entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsEmptyDir reports whether dir has no entries.
+func (h *Heap) IsEmptyDir(dir DirRef) bool {
+	d, ok := h.Dirs[dir]
+	return ok && len(d.Entries) == 0
+}
+
+// IsAncestor reports whether a is a proper ancestor of b in the current
+// tree (used by rename's subdirectory check).
+func (h *Heap) IsAncestor(a, b DirRef) bool {
+	if a == b {
+		return false
+	}
+	cur := b
+	for {
+		d, ok := h.Dirs[cur]
+		if !ok {
+			return false
+		}
+		if d.Parent == cur {
+			return false // reached root (or a disconnected self-parent)
+		}
+		cur = d.Parent
+		if cur == a {
+			return true
+		}
+	}
+}
+
+// IsConnected reports whether dir is reachable from the root by walking
+// parents. Disconnected directories (rmdir'd while open or while being a
+// process's cwd) report false.
+func (h *Heap) IsConnected(dir DirRef) bool {
+	seen := make(map[DirRef]bool)
+	cur := dir
+	for {
+		if cur == h.Root {
+			return true
+		}
+		if seen[cur] {
+			return false
+		}
+		seen[cur] = true
+		d, ok := h.Dirs[cur]
+		if !ok || d.Parent == cur {
+			return false
+		}
+		// The parent must actually still contain this directory; after
+		// UnlinkDir the child keeps a stale Parent pointer.
+		p, ok := h.Dirs[d.Parent]
+		if !ok {
+			return false
+		}
+		found := false
+		for _, e := range p.Entries {
+			if e.Kind == EntryDir && e.Dir == cur {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+		cur = d.Parent
+	}
+}
+
+// DirLinkCount computes the POSIX st_nlink of a directory: 2 (self "." and
+// the parent's entry) plus one per subdirectory ("..") — the convention the
+// paper's "core behaviour" survey checks (Btrfs does not maintain it).
+func (h *Heap) DirLinkCount(dir DirRef) int {
+	d, ok := h.Dirs[dir]
+	if !ok {
+		return 0
+	}
+	n := 2
+	for _, e := range d.Entries {
+		if e.Kind == EntryDir {
+			n++
+		}
+	}
+	return n
+}
+
+// NameOfDirIn finds the name under which child is linked in parent.
+func (h *Heap) NameOfDirIn(parent, child DirRef) (string, bool) {
+	p, ok := h.Dirs[parent]
+	if !ok {
+		return "", false
+	}
+	for n, e := range p.Entries {
+		if e.Kind == EntryDir && e.Dir == child {
+			return n, true
+		}
+	}
+	return "", false
+}

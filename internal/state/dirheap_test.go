@@ -1,0 +1,204 @@
+package state
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHeapRoot(t *testing.T) {
+	h := NewHeap()
+	root, ok := h.Dirs[h.Root]
+	if !ok {
+		t.Fatal("root missing")
+	}
+	if root.Parent != h.Root {
+		t.Error("root parent must be itself")
+	}
+	if root.Perm != 0o755 || len(root.Entries) != 0 {
+		t.Errorf("root = %+v", root)
+	}
+}
+
+func TestLinkUnlinkFile(t *testing.T) {
+	h := NewHeap()
+	f := h.AllocFile(0o644, 0, 0)
+	if h.Files[f].Nlink != 0 {
+		t.Fatal("fresh file should have nlink 0")
+	}
+	h.LinkFile(h.Root, "a", f)
+	h.LinkFile(h.Root, "b", f)
+	if h.Files[f].Nlink != 2 {
+		t.Fatalf("nlink = %d", h.Files[f].Nlink)
+	}
+	e, ok := h.Lookup(h.Root, "a")
+	if !ok || e.Kind != EntryFile || e.File != f {
+		t.Fatalf("lookup a = %+v %v", e, ok)
+	}
+	h.UnlinkFile(h.Root, "a")
+	if h.Files[f].Nlink != 1 {
+		t.Fatalf("nlink after unlink = %d", h.Files[f].Nlink)
+	}
+	if _, ok := h.Lookup(h.Root, "a"); ok {
+		t.Error("entry a survived unlink")
+	}
+}
+
+func TestSymlinkEntryKind(t *testing.T) {
+	h := NewHeap()
+	s := h.AllocSymlink("target", 0o777, 0, 0)
+	h.LinkFile(h.Root, "s", s)
+	e, _ := h.Lookup(h.Root, "s")
+	if e.Kind != EntrySymlink {
+		t.Errorf("kind = %v", e.Kind)
+	}
+	if string(h.Files[s].Bytes) != "target" || !h.Files[s].IsSymlink {
+		t.Errorf("symlink body wrong: %+v", h.Files[s])
+	}
+}
+
+func TestDirTreeOps(t *testing.T) {
+	h := NewHeap()
+	d1 := h.AllocDir(h.Root, 0o755, 0, 0)
+	h.LinkDir(h.Root, "d1", d1)
+	d2 := h.AllocDir(d1, 0o755, 0, 0)
+	h.LinkDir(d1, "d2", d2)
+
+	if !h.IsAncestor(h.Root, d2) || !h.IsAncestor(d1, d2) {
+		t.Error("ancestry wrong")
+	}
+	if h.IsAncestor(d2, d1) || h.IsAncestor(d1, d1) {
+		t.Error("ancestry not strict")
+	}
+	if !h.IsConnected(d2) {
+		t.Error("d2 should be connected")
+	}
+	name, ok := h.NameOfDirIn(d1, d2)
+	if !ok || name != "d2" {
+		t.Errorf("NameOfDirIn = %q %v", name, ok)
+	}
+
+	h.UnlinkDir(d1, "d2")
+	if h.IsConnected(d2) {
+		t.Error("d2 should be disconnected after unlink")
+	}
+	if h.IsConnected(d1) != true {
+		t.Error("d1 still connected")
+	}
+}
+
+func TestDirLinkCount(t *testing.T) {
+	h := NewHeap()
+	d := h.AllocDir(h.Root, 0o755, 0, 0)
+	h.LinkDir(h.Root, "d", d)
+	if got := h.DirLinkCount(d); got != 2 {
+		t.Errorf("empty dir nlink = %d, want 2", got)
+	}
+	s1 := h.AllocDir(d, 0o755, 0, 0)
+	h.LinkDir(d, "s1", s1)
+	s2 := h.AllocDir(d, 0o755, 0, 0)
+	h.LinkDir(d, "s2", s2)
+	f := h.AllocFile(0o644, 0, 0)
+	h.LinkFile(d, "f", f)
+	if got := h.DirLinkCount(d); got != 4 {
+		t.Errorf("dir with 2 subdirs nlink = %d, want 4", got)
+	}
+}
+
+func TestEntryNamesSorted(t *testing.T) {
+	h := NewHeap()
+	for _, n := range []string{"zz", "aa", "mm"} {
+		f := h.AllocFile(0o644, 0, 0)
+		h.LinkFile(h.Root, n, f)
+	}
+	names := h.EntryNames(h.Root)
+	if len(names) != 3 || names[0] != "aa" || names[2] != "zz" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestIsEmptyDir(t *testing.T) {
+	h := NewHeap()
+	if !h.IsEmptyDir(h.Root) {
+		t.Error("fresh root should be empty")
+	}
+	f := h.AllocFile(0o644, 0, 0)
+	h.LinkFile(h.Root, "f", f)
+	if h.IsEmptyDir(h.Root) {
+		t.Error("root with entry should be non-empty")
+	}
+	if h.IsEmptyDir(DirRef(999)) {
+		t.Error("missing dir reported empty")
+	}
+}
+
+// TestCloneIndependence: mutating a clone never affects the original — the
+// state-set checker depends on this completely.
+func TestCloneIndependence(t *testing.T) {
+	h := NewHeap()
+	d := h.AllocDir(h.Root, 0o755, 0, 0)
+	h.LinkDir(h.Root, "d", d)
+	f := h.AllocFile(0o644, 0, 0)
+	h.Files[f].Bytes = []byte("original")
+	h.LinkFile(d, "f", f)
+
+	c := h.Clone()
+	c.Files[f].Bytes[0] = 'X'
+	c.UnlinkFile(d, "f")
+	c.Dirs[d].Perm = 0o000
+	nd := c.AllocDir(c.Root, 0o700, 1, 1)
+	c.LinkDir(c.Root, "new", nd)
+
+	if string(h.Files[f].Bytes) != "original" {
+		t.Error("clone shares file bytes")
+	}
+	if _, ok := h.Lookup(d, "f"); !ok {
+		t.Error("clone unlink affected original")
+	}
+	if h.Dirs[d].Perm != 0o755 {
+		t.Error("clone shares dir struct")
+	}
+	if _, ok := h.Lookup(h.Root, "new"); ok {
+		t.Error("clone alloc affected original")
+	}
+}
+
+// Property: allocation in a clone mirrors allocation in the original
+// (reference numbering is deterministic), which lets mutation closures
+// captured against one heap apply to any clone.
+func TestCloneAllocDeterminism(t *testing.T) {
+	f := func(nFiles uint8) bool {
+		h := NewHeap()
+		for i := 0; i < int(nFiles%8); i++ {
+			h.AllocFile(0o644, 0, 0)
+		}
+		c := h.Clone()
+		return h.AllocFile(0o600, 0, 0) == c.AllocFile(0o600, 0, 0) &&
+			h.AllocDir(h.Root, 0o755, 0, 0) == c.AllocDir(c.Root, 0o755, 0, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisconnectedSelfLoopSafe(t *testing.T) {
+	h := NewHeap()
+	d := h.AllocDir(h.Root, 0o755, 0, 0)
+	h.LinkDir(h.Root, "d", d)
+	h.UnlinkDir(h.Root, "d")
+	// The disconnected dir's parent pointer is stale; walks must not loop.
+	if h.IsConnected(d) {
+		t.Error("unlinked dir reported connected")
+	}
+	if h.IsAncestor(d, h.Root) {
+		t.Error("phantom ancestry")
+	}
+}
+
+func TestFreeFile(t *testing.T) {
+	h := NewHeap()
+	f := h.AllocFile(0o644, 0, 0)
+	h.FreeFile(f)
+	if _, ok := h.Files[f]; ok {
+		t.Error("file survived FreeFile")
+	}
+}

@@ -1,0 +1,148 @@
+package testgen
+
+import (
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// DirStreamScripts generates opendir/readdir/rewinddir/closedir tests,
+// including the concurrent-modification scenarios that motivate the
+// model's must/may machinery (§3): entries removed after the handle opens,
+// entries added, remove-then-re-add, and modification from a second
+// process.
+func DirStreamScripts() []*trace.Script {
+	var out []*trace.Script
+
+	// mkEntries builds /d with n entries e0..e{n-1}.
+	mk := func(n int) []trace.Step {
+		steps := []trace.Step{call(1, types.Mkdir{Path: "/d", Perm: 0o755})}
+		for i := 0; i < n; i++ {
+			steps = append(steps,
+				call(1, types.Open{Path: "/d/e" + itoa(int64(i)), Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+				call(1, types.Close{FD: types.FD(3 + i)}),
+			)
+		}
+		return steps
+	}
+	reads := func(dh types.DH, n int) []trace.Step {
+		var steps []trace.Step
+		for i := 0; i < n; i++ {
+			steps = append(steps, call(1, types.Readdir{DH: dh}))
+		}
+		return steps
+	}
+
+	// Plain full enumeration for several directory sizes.
+	for _, n := range []int{0, 1, 2, 3, 5, 8} {
+		steps := append(mk(n), call(1, types.Opendir{Path: "/d"}))
+		steps = append(steps, reads(1, n+1)...)
+		steps = append(steps, call(1, types.Closedir{DH: 1}))
+		out = append(out, bare(caseName("readdir", "full", itoa(int64(n))), steps...))
+	}
+
+	// Modification patterns between readdir calls, over a 3-entry dir.
+	type pat struct {
+		name string
+		mid  []trace.Step // steps between the first and later readdirs
+	}
+	pats := []pat{
+		{"delete_unreturned", []trace.Step{call(1, types.Unlink{Path: "/d/e2"})}},
+		{"delete_two", []trace.Step{
+			call(1, types.Unlink{Path: "/d/e1"}),
+			call(1, types.Unlink{Path: "/d/e2"}),
+		}},
+		{"add_entry", []trace.Step{
+			call(1, types.Open{Path: "/d/new", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+			call(1, types.Close{FD: 6}),
+		}},
+		{"delete_readd", []trace.Step{
+			call(1, types.Unlink{Path: "/d/e2"}),
+			call(1, types.Open{Path: "/d/e2", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+			call(1, types.Close{FD: 6}),
+		}},
+		{"rename_within", []trace.Step{call(1, types.Rename{Src: "/d/e0", Dst: "/d/renamed"})}},
+		{"rename_out", []trace.Step{call(1, types.Rename{Src: "/d/e0", Dst: "/moved"})}},
+		{"empty_all", []trace.Step{
+			call(1, types.Unlink{Path: "/d/e0"}),
+			call(1, types.Unlink{Path: "/d/e1"}),
+			call(1, types.Unlink{Path: "/d/e2"}),
+		}},
+	}
+	for _, p := range pats {
+		for _, firstReads := range []int{0, 1, 2} {
+			steps := append(mk(3), call(1, types.Opendir{Path: "/d"}))
+			steps = append(steps, reads(1, firstReads)...)
+			steps = append(steps, p.mid...)
+			steps = append(steps, reads(1, 5)...)
+			steps = append(steps, call(1, types.Closedir{DH: 1}))
+			out = append(out, bare(caseName("readdir", p.name, itoa(int64(firstReads))), steps...))
+		}
+	}
+
+	// rewinddir resets the stream against current contents.
+	for _, mid := range []pat{
+		{"after_delete", []trace.Step{call(1, types.Unlink{Path: "/d/e0"})}},
+		{"after_add", []trace.Step{
+			call(1, types.Open{Path: "/d/x", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+			call(1, types.Close{FD: 6}),
+		}},
+		{"plain", nil},
+	} {
+		steps := append(mk(3), call(1, types.Opendir{Path: "/d"}))
+		steps = append(steps, reads(1, 2)...)
+		steps = append(steps, mid.mid...)
+		steps = append(steps, call(1, types.Rewinddir{DH: 1}))
+		steps = append(steps, reads(1, 5)...)
+		steps = append(steps, call(1, types.Closedir{DH: 1}))
+		out = append(out, bare(caseName("rewinddir", mid.name), steps...))
+	}
+
+	// Two handles on the same directory are independent streams.
+	{
+		steps := append(mk(2),
+			call(1, types.Opendir{Path: "/d"}),
+			call(1, types.Opendir{Path: "/d"}),
+		)
+		steps = append(steps,
+			call(1, types.Readdir{DH: 1}),
+			call(1, types.Readdir{DH: 2}),
+			call(1, types.Readdir{DH: 1}),
+			call(1, types.Readdir{DH: 2}),
+			call(1, types.Readdir{DH: 1}),
+			call(1, types.Readdir{DH: 2}),
+			call(1, types.Closedir{DH: 1}),
+			call(1, types.Closedir{DH: 2}),
+		)
+		out = append(out, bare(caseName("readdir", "two_handles"), steps...))
+	}
+
+	// A second process modifies the directory mid-stream (§6.3: interleaved
+	// calls from multiple processes are within scope).
+	{
+		steps := append(mk(3),
+			call(1, types.Opendir{Path: "/d"}),
+			call(1, types.Readdir{DH: 1}),
+			create(2, 0, 0),
+			call(2, types.Unlink{Path: "/d/e1"}),
+			call(1, types.Readdir{DH: 1}),
+			call(1, types.Readdir{DH: 1}),
+			call(1, types.Readdir{DH: 1}),
+			call(1, types.Closedir{DH: 1}),
+		)
+		out = append(out, bare(caseName("readdir", "cross_process_delete"), steps...))
+	}
+
+	// Misuse: operations on bad/closed handles.
+	out = append(out,
+		bare(caseName("dirbad", "readdir_never_opened"), call(1, types.Readdir{DH: 7})),
+		bare(caseName("dirbad", "closedir_never_opened"), call(1, types.Closedir{DH: 7})),
+		bare(caseName("dirbad", "rewind_never_opened"), call(1, types.Rewinddir{DH: 7})),
+		bare(caseName("dirbad", "readdir_after_close"),
+			call(1, types.Mkdir{Path: "/d", Perm: 0o755}),
+			call(1, types.Opendir{Path: "/d"}),
+			call(1, types.Closedir{DH: 1}),
+			call(1, types.Readdir{DH: 1}),
+		),
+	)
+	return out
+}

@@ -1,0 +1,231 @@
+package testgen
+
+import (
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// HandwrittenScripts are the targeted scenarios from the paper's survey
+// (§7.3) plus a few cross-process interleavings: each one reproduces a
+// catalogued defect when run against the matching fsimpl profile, and is
+// clean on conforming implementations.
+func HandwrittenScripts() []*trace.Script {
+	var out []*trace.Script
+
+	// Fig 8: the OpenZFS-on-OS-X disconnected-directory spin.
+	out = append(out, bare("survey___fig8_disconnected_create",
+		call(1, types.Mkdir{Path: "deserted", Perm: 0o700}),
+		call(1, types.Chdir{Path: "deserted"}),
+		call(1, types.Rmdir{Path: "../deserted"}),
+		call(1, types.Open{Path: "party", Flags: types.OCreat | types.ORdonly, Perm: 0o600, HasPerm: true}),
+	))
+
+	// §7.3.5: the posixovl/VFAT storage leak. Repeatedly create files with
+	// hard links and delete them via rename; on the buggy overlay the
+	// replaced link's count is never decremented and its blocks leak, until
+	// creation fails ENOENT on a volume that looks empty.
+	leak := bare("survey___posixovl_rename_leak")
+	data := mkbytes(8192)
+	for i := 0; i < 40; i++ {
+		fd := types.FD(3 + 2*i)
+		leak.Steps = append(leak.Steps,
+			call(1, types.Open{Path: "/f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+			call(1, types.Write{FD: fd, Data: data, Size: int64(len(data))}),
+			call(1, types.Close{FD: fd}),
+			call(1, types.Link{Src: "/f", Dst: "/g"}),
+			call(1, types.Stat{Path: "/f"}),
+			call(1, types.Open{Path: "/h", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+			call(1, types.Close{FD: fd + 1}),
+			call(1, types.Rename{Src: "/h", Dst: "/g"}), // replaces the hard link
+			call(1, types.Stat{Path: "/f"}),             // nlink must be back to 1
+			call(1, types.Unlink{Path: "/f"}),
+			call(1, types.Unlink{Path: "/g"}),
+		)
+	}
+	out = append(out, leak)
+
+	// §7.3.4: pwrite with a negative offset must be EINVAL; the OS X VFS
+	// underflows and the process dies of SIGXFSZ (observed as EFBIG here).
+	out = append(out, bare("survey___pwrite_negative_offset",
+		call(1, types.Open{Path: "/t", Flags: types.OCreat | types.ORdwr, Perm: 0o644, HasPerm: true}),
+		call(1, types.Pwrite{FD: 3, Data: []byte("x"), Size: 1, Off: -1}),
+		call(1, types.Close{FD: 3}),
+	))
+
+	// §7.3.3: the Linux O_APPEND/pwrite convention.
+	out = append(out, bare("survey___o_append_pwrite",
+		call(1, types.Open{Path: "/t", Flags: types.OCreat | types.OWronly | types.OAppend, Perm: 0o644, HasPerm: true}),
+		call(1, types.Write{FD: 3, Data: []byte("base"), Size: 4}),
+		call(1, types.Pwrite{FD: 3, Data: []byte("XY"), Size: 2, Off: 0}),
+		call(1, types.Close{FD: 3}),
+		call(1, types.Open{Path: "/t", Flags: types.ORdonly}),
+		call(1, types.Read{FD: 4, Size: 16}),
+		call(1, types.Close{FD: 4}),
+	))
+
+	// §7.3.4: OpenZFS 0.6.3 on Trusty does not seek to EOF before writes on
+	// O_APPEND descriptors, overwriting data.
+	out = append(out, bare("survey___o_append_broken_seek",
+		call(1, types.Open{Path: "/t", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+		call(1, types.Write{FD: 3, Data: []byte("precious"), Size: 8}),
+		call(1, types.Close{FD: 3}),
+		call(1, types.Open{Path: "/t", Flags: types.OWronly | types.OAppend}),
+		call(1, types.Write{FD: 4, Data: []byte("XY"), Size: 2}),
+		call(1, types.Close{FD: 4}),
+		call(1, types.Open{Path: "/t", Flags: types.ORdonly}),
+		call(1, types.Read{FD: 5, Size: 16}),
+		call(1, types.Close{FD: 5}),
+	))
+
+	// §7.3.2: unlink of a directory — EISDIR (Linux/LSB) vs EPERM (POSIX).
+	out = append(out, bare("survey___unlink_directory",
+		call(1, types.Mkdir{Path: "/d", Perm: 0o755}),
+		call(1, types.Unlink{Path: "/d"}),
+	))
+
+	// §7.3.2: renaming the root directory — EBUSY/EINVAL vs OS X's EISDIR.
+	out = append(out, bare("survey___rename_root",
+		call(1, types.Mkdir{Path: "/d", Perm: 0o755}),
+		call(1, types.Rename{Src: "/", Dst: "/d/r"}),
+	))
+
+	// §7.3.2: FreeBSD's O_CREAT|O_DIRECTORY|O_EXCL on a symlink returns
+	// ENOTDIR and replaces the symlink — breaking the errors-don't-change-
+	// state invariant. The trailing lstat observes the damage.
+	out = append(out, bare("survey___freebsd_symlink_invariant",
+		call(1, types.Mkdir{Path: "/target", Perm: 0o755}),
+		call(1, types.Symlink{Target: "target", Linkpath: "/sl"}),
+		call(1, types.Open{Path: "/sl", Flags: types.OCreat | types.OExcl | types.ODirectory | types.OWronly, Perm: 0o644, HasPerm: true}),
+		call(1, types.Lstat{Path: "/sl"}),
+	))
+
+	// §7.3.4: HFS+ on Trusty fails every chmod with EOPNOTSUPP.
+	out = append(out, bare("survey___chmod_unsupported",
+		call(1, types.Open{Path: "/t", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+		call(1, types.Close{FD: 3}),
+		call(1, types.Chmod{Path: "/t", Perm: 0o600}),
+		call(1, types.Stat{Path: "/t"}),
+	))
+
+	// §7.3.2: hard link to a symlink — Linux links the symlink itself,
+	// HFS+ on Linux returns EPERM.
+	out = append(out, bare("survey___link_to_symlink",
+		call(1, types.Open{Path: "/t", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+		call(1, types.Close{FD: 3}),
+		call(1, types.Symlink{Target: "t", Linkpath: "/s"}),
+		call(1, types.Link{Src: "/s", Dst: "/hl"}),
+		call(1, types.Lstat{Path: "/hl"}),
+	))
+
+	// §7.3.2: directory link counts (Btrfs/SSHFS report flat nlink=1).
+	out = append(out, bare("survey___dir_link_counts",
+		call(1, types.Mkdir{Path: "/d", Perm: 0o755}),
+		call(1, types.Stat{Path: "/d"}),
+		call(1, types.Mkdir{Path: "/d/sub1", Perm: 0o755}),
+		call(1, types.Stat{Path: "/d"}),
+		call(1, types.Mkdir{Path: "/d/sub2", Perm: 0o755}),
+		call(1, types.Stat{Path: "/d"}),
+		call(1, types.Rmdir{Path: "/d/sub1"}),
+		call(1, types.Stat{Path: "/d"}),
+	))
+
+	// §7.3.2: the readlink symlink-to-symlink trailing-slash quirk.
+	out = append(out, bare("survey___readlink_chain_trailing",
+		call(1, types.Mkdir{Path: "/dir", Perm: 0o755}),
+		call(1, types.Symlink{Target: "dir", Linkpath: "/s1"}),
+		call(1, types.Symlink{Target: "s1", Linkpath: "/s2"}),
+		call(1, types.Readlink{Path: "/s2/"}),
+	))
+
+	// §7.3.4: SSHFS creation ownership — files created by a non-root user
+	// end up owned by the mount owner (root).
+	out = append(out, bare("survey___sshfs_creation_ownership",
+		call(1, types.Mkdir{Path: "/shared", Perm: 0o777}),
+		call(1, types.Chmod{Path: "/shared", Perm: 0o777}), // umask-proof
+		create(2, 1000, 1000),
+		call(2, types.Open{Path: "/shared/mine", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+		call(2, types.Close{FD: 3}),
+		call(2, types.Stat{Path: "/shared/mine"}),
+	))
+
+	// §7.3.4: SSHFS permission bypass with plain allow_other: another user
+	// can open a 0600 file it does not own.
+	out = append(out, bare("survey___sshfs_allow_other_bypass",
+		call(1, types.Mkdir{Path: "/shared", Perm: 0o777}),
+		call(1, types.Open{Path: "/shared/secret", Flags: types.OCreat | types.OWronly, Perm: 0o600, HasPerm: true}),
+		call(1, types.Write{FD: 3, Data: []byte("top"), Size: 3}),
+		call(1, types.Close{FD: 3}),
+		call(1, types.Chown{Path: "/shared/secret", Uid: 1000, Gid: 1000}),
+		create(2, 1001, 1001),
+		call(2, types.Open{Path: "/shared/secret", Flags: types.ORdonly}),
+		call(2, types.Read{FD: 3, Size: 3}),
+	))
+
+	// Cross-process interleavings beyond permissions.
+	out = append(out, bare("interleave___rename_vs_stat",
+		call(1, types.Mkdir{Path: "/d", Perm: 0o755}),
+		call(1, types.Open{Path: "/d/f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+		call(1, types.Close{FD: 3}),
+		create(2, 0, 0),
+		call(2, types.Stat{Path: "/d/f"}),
+		call(1, types.Rename{Src: "/d/f", Dst: "/d/g"}),
+		call(2, types.Stat{Path: "/d/f"}),
+		call(2, types.Stat{Path: "/d/g"}),
+	))
+	out = append(out, bare("interleave___unlink_while_open",
+		call(1, types.Open{Path: "/t", Flags: types.OCreat | types.ORdwr, Perm: 0o644, HasPerm: true}),
+		call(1, types.Write{FD: 3, Data: []byte("keep"), Size: 4}),
+		create(2, 0, 0),
+		call(2, types.Unlink{Path: "/t"}),
+		call(1, types.Pread{FD: 3, Size: 4, Off: 0}),
+		call(1, types.Close{FD: 3}),
+		call(1, types.Stat{Path: "/t"}),
+	))
+	out = append(out, bare("interleave___cwd_per_process",
+		call(1, types.Mkdir{Path: "/a", Perm: 0o755}),
+		call(1, types.Mkdir{Path: "/b", Perm: 0o755}),
+		create(2, 0, 0),
+		call(1, types.Chdir{Path: "/a"}),
+		call(2, types.Chdir{Path: "/b"}),
+		call(1, types.Open{Path: "f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+		call(1, types.Close{FD: 3}),
+		call(2, types.Stat{Path: "f"}),
+		call(2, types.Stat{Path: "/a/f"}),
+	))
+
+	// rmdir under restrictive parents: EACCES (unwritable parent), the
+	// sticky-bit EPERM, and rmdir(".") of a disconnected directory.
+	out = append(out, bare("perm___rmdir_unwritable_parent",
+		call(1, types.Mkdir{Path: "/p", Perm: 0o755}),
+		call(1, types.Mkdir{Path: "/p/victim", Perm: 0o755}),
+		call(1, types.Chmod{Path: "/p", Perm: 0o555}),
+		create(2, 1000, 1000),
+		call(2, types.Rmdir{Path: "/p/victim"}),
+		call(1, types.Lstat{Path: "/p/victim"}),
+	))
+	out = append(out, bare("perm___rmdir_sticky_parent",
+		call(1, types.Mkdir{Path: "/p", Perm: 0o1777}),
+		call(1, types.Mkdir{Path: "/p/victim", Perm: 0o755}),
+		create(2, 1000, 1000),
+		call(2, types.Rmdir{Path: "/p/victim"}),
+		call(1, types.Lstat{Path: "/p/victim"}),
+	))
+	out = append(out, bare("survey___rmdir_disconnected_dot",
+		call(1, types.Mkdir{Path: "/gone", Perm: 0o755}),
+		call(1, types.Chdir{Path: "/gone"}),
+		call(1, types.Rmdir{Path: "/gone"}),
+		call(1, types.Rmdir{Path: "."}),
+	))
+
+	// Process destruction mid-script (the 2% of unreached model lines in
+	// §7.2 includes process destruction — we test it).
+	out = append(out, bare("interleave___destroy_with_open_fds",
+		create(2, 0, 0),
+		call(2, types.Open{Path: "/t", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+		call(2, types.Write{FD: 3, Data: []byte("x"), Size: 1}),
+		trace.Step{Label: types.DestroyLabel{Pid: 2}},
+		call(1, types.Stat{Path: "/t"}),
+	))
+
+	return out
+}

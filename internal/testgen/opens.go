@@ -1,0 +1,71 @@
+package testgen
+
+import (
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// openFlagCombos enumerates the open flag matrix: every access mode times
+// every subset of {O_CREAT, O_EXCL, O_TRUNC, O_APPEND, O_DIRECTORY}, with
+// and without O_NOFOLLOW — open has by far the largest combinatorial space
+// (§6.1: "the open function has an especially large number of tests
+// because one argument is a bitfield of open flags").
+func openFlagCombos() []types.OpenFlags {
+	access := []types.OpenFlags{types.ORdonly, types.OWronly, types.ORdwr}
+	extras := []types.OpenFlags{
+		types.OCreat, types.OExcl, types.OTrunc, types.OAppend, types.ODirectory,
+	}
+	var out []types.OpenFlags
+	for _, a := range access {
+		for mask := 0; mask < 1<<len(extras); mask++ {
+			f := a
+			for i, e := range extras {
+				if mask&(1<<i) != 0 {
+					f |= e
+				}
+			}
+			out = append(out, f, f|types.ONofollow)
+		}
+	}
+	return out
+}
+
+func flagsTag(f types.OpenFlags) string {
+	s := f.String()
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	s = strings.ReplaceAll(s, ";", "_")
+	if s == "" {
+		s = "O_RDONLY"
+	}
+	return s
+}
+
+// OpenScripts generates the open matrix: path classes × flag combinations,
+// with two creation modes for O_CREAT combinations. Each script stats the
+// path afterwards so creation/truncation effects are observed, and closes
+// the descriptor if one was returned (close of FD 5 — the fixture used
+// 3 and 4 — is EBADF when open failed, itself a useful observation).
+func OpenScripts() []*trace.Script {
+	var out []*trace.Script
+	for _, pc := range PathCases {
+		for _, fl := range openFlagCombos() {
+			perms := []types.Perm{0o644}
+			if fl.Has(types.OCreat) {
+				perms = []types.Perm{0o644, 0o000, 0o700}
+			}
+			for _, perm := range perms {
+				cmd := types.Open{Path: pc.Path, Flags: fl, Perm: perm, HasPerm: fl.Has(types.OCreat)}
+				out = append(out, script(
+					caseName("open", pc.Class, flagsTag(fl), perm.String()),
+					cmd,
+					types.Lstat{Path: pc.Path},
+					types.Close{FD: 5},
+				))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+// Package testgen generates the test suite (§6.1): combinatorial tests
+// built by equivalence partitioning over path properties and flag
+// bitfields, plus hand-written sequence tests for read/write, directory
+// streams, permissions, and the survey scenarios of §7.3. The oracle makes
+// intended outcomes unnecessary: scripts only set up state and issue calls.
+package testgen
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// PathCase is one equivalence class of paths (§6.1): the class name
+// records the properties (resolved type, trailing slash, leading slashes,
+// symlink component, ...) and Path is the representative member, resolved
+// against the standard fixture below.
+type PathCase struct {
+	Class string
+	Path  string
+}
+
+// PathCases are the equivalence classes over single paths. The classes
+// cover: the empty path; 1, 2 and ≥3 leading slashes; trailing slashes;
+// resolved type ∈ {file, empty dir, non-empty dir, symlink-to-file,
+// symlink-to-dir, broken symlink, symlink loop, nonexistent, resolution
+// error}; "." and ".." forms; relative and absolute forms; and the
+// missing-file-in-missing-directory case the paper calls out as an
+// initially-missed RN_error class.
+var PathCases = []PathCase{
+	{"empty", ""},
+	{"root", "/"},
+	{"root_2slash", "//"},
+	{"root_3slash", "///"},
+	{"file", "/f_reg"},
+	{"file_rel", "f_reg"},
+	{"file_trailing", "/f_reg/"},
+	{"file_in_nonempty", "/d_nonempty/f"},
+	{"hardlink", "/f_hard"},
+	{"dir_empty", "/d_empty"},
+	{"dir_empty_trailing", "/d_empty/"},
+	{"dir_nonempty", "/d_nonempty"},
+	{"dir_nested", "/d_nonempty/d"},
+	{"dir_dot", "/d_empty/."},
+	{"dir_dotdot", "/d_empty/.."},
+	{"symlink_file", "/s_file"},
+	{"symlink_file_trailing", "/s_file/"},
+	{"symlink_dir", "/s_dir"},
+	{"symlink_dir_trailing", "/s_dir/"},
+	{"symlink_broken", "/s_broken"},
+	{"symlink_loop", "/s_loop1"},
+	{"symlink_chain", "/s_chain"},
+	{"under_file", "/f_reg/x"},
+	{"missing", "/nonexist"},
+	{"missing_trailing", "/nonexist/"},
+	{"missing_in_missing", "/nodir/nofile"},
+	{"missing_in_dir", "/d_empty/new"},
+	{"missing_rel", "d_empty/new2"},
+}
+
+// TargetCases are the equivalence classes for symlink targets (the target
+// is stored verbatim, so fewer properties matter: emptiness, absoluteness,
+// existence, kind).
+var TargetCases = []PathCase{
+	{"empty", ""},
+	{"rel_file", "f_reg"},
+	{"rel_dir", "d_nonempty"},
+	{"rel_missing", "nonexist"},
+	{"abs_file", "/f_reg"},
+	{"dot", "."},
+	{"loop_self", "s_new"},
+	{"trailing", "d_nonempty/"},
+	{"abs_missing", "/nodir/x"},
+	{"dotdot", ".."},
+}
+
+// Fixture returns the setup steps building the standard initial state
+// every combinatorial script starts from. Symlink targets are relative so
+// the scripts also run inside hostfs's jail.
+func Fixture() []trace.Step {
+	calls := []types.Command{
+		types.Mkdir{Path: "/d_empty", Perm: 0o755},
+		types.Mkdir{Path: "/d_nonempty", Perm: 0o755},
+		types.Mkdir{Path: "/d_nonempty/d", Perm: 0o755},
+		types.Open{Path: "/d_nonempty/f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true},
+		types.Close{FD: 3},
+		types.Open{Path: "/f_reg", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true},
+		types.Write{FD: 4, Data: []byte("data"), Size: 4},
+		types.Close{FD: 4},
+		types.Link{Src: "/f_reg", Dst: "/f_hard"},
+		types.Symlink{Target: "f_reg", Linkpath: "/s_file"},
+		types.Symlink{Target: "d_nonempty", Linkpath: "/s_dir"},
+		types.Symlink{Target: "nonexist", Linkpath: "/s_broken"},
+		types.Symlink{Target: "s_loop2", Linkpath: "/s_loop1"},
+		types.Symlink{Target: "s_loop1", Linkpath: "/s_loop2"},
+		types.Symlink{Target: "s_file", Linkpath: "/s_chain"},
+	}
+	steps := make([]trace.Step, len(calls))
+	for i, c := range calls {
+		steps[i] = trace.Step{Label: types.CallLabel{Pid: 1, Cmd: c}}
+	}
+	return steps
+}
+
+// script assembles a named script from the fixture plus extra steps.
+func script(name string, extra ...types.Command) *trace.Script {
+	s := &trace.Script{Name: name, Steps: Fixture()}
+	for _, c := range extra {
+		s.Steps = append(s.Steps, trace.Step{Label: types.CallLabel{Pid: 1, Cmd: c}})
+	}
+	return s
+}
+
+// bare assembles a script with no fixture (for sequence tests that build
+// their own state).
+func bare(name string, steps ...trace.Step) *trace.Script {
+	return &trace.Script{Name: name, Steps: steps}
+}
+
+func call(pid types.Pid, c types.Command) trace.Step {
+	return trace.Step{Label: types.CallLabel{Pid: pid, Cmd: c}}
+}
+
+func create(pid types.Pid, uid types.Uid, gid types.Gid) trace.Step {
+	return trace.Step{Label: types.CreateLabel{Pid: pid, Uid: uid, Gid: gid}}
+}
+
+func caseName(group string, parts ...string) string {
+	n := group
+	for _, p := range parts {
+		n += "___" + p
+	}
+	return n
+}
+
+var _ = fmt.Sprintf // keep fmt for generators in sibling files

@@ -1,0 +1,160 @@
+package testgen
+
+import (
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// PermissionScripts generates the multi-process permission tests: a root
+// process builds state and sets modes/ownership, then a second non-root
+// process attempts an operation. This is where interleaved calls from
+// multiple processes matter ("important when modelling and testing
+// permissions", §1.2). The matrix is operation × object mode × parent mode
+// × caller identity.
+func PermissionScripts() []*trace.Script {
+	var out []*trace.Script
+
+	const (
+		owner  types.Uid = 1000
+		member types.Uid = 1001 // in the object's group
+		other  types.Uid = 1002
+		grp    types.Gid = 500
+	)
+	callers := []struct {
+		tag string
+		uid types.Uid
+		gid types.Gid
+	}{
+		{"owner", owner, grp},
+		{"owner_other_group", owner, 999},
+		{"group_primary", member, grp},
+		{"group_supplementary", member, 999}, // reaches grp via add_user_to_group
+		{"other", other, 999},
+		{"root", 0, 0},
+	}
+	objModes := []types.Perm{0o000, 0o100, 0o200, 0o400, 0o700, 0o070, 0o007, 0o777}
+	parentModes := []types.Perm{0o777, 0o755, 0o555, 0o333, 0o111, 0o444, 0o000, 0o1777}
+
+	type op struct {
+		tag   string
+		steps func() []trace.Step // performed by pid 2
+	}
+	ops := []op{
+		{"open_read", func() []trace.Step {
+			return []trace.Step{call(2, types.Open{Path: "/p/obj", Flags: types.ORdonly})}
+		}},
+		{"open_write", func() []trace.Step {
+			return []trace.Step{call(2, types.Open{Path: "/p/obj", Flags: types.OWronly})}
+		}},
+		{"open_rdwr", func() []trace.Step {
+			return []trace.Step{call(2, types.Open{Path: "/p/obj", Flags: types.ORdwr})}
+		}},
+		{"creat_in_parent", func() []trace.Step {
+			return []trace.Step{call(2, types.Open{Path: "/p/new", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true})}
+		}},
+		{"unlink", func() []trace.Step {
+			return []trace.Step{call(2, types.Unlink{Path: "/p/obj"})}
+		}},
+		{"mkdir_in_parent", func() []trace.Step {
+			return []trace.Step{call(2, types.Mkdir{Path: "/p/nd", Perm: 0o755})}
+		}},
+		{"rename_within", func() []trace.Step {
+			return []trace.Step{call(2, types.Rename{Src: "/p/obj", Dst: "/p/obj2"})}
+		}},
+		{"rename_out", func() []trace.Step {
+			return []trace.Step{call(2, types.Rename{Src: "/p/obj", Dst: "/obj_moved"})}
+		}},
+		{"link_from", func() []trace.Step {
+			return []trace.Step{call(2, types.Link{Src: "/p/obj", Dst: "/p/hard"})}
+		}},
+		{"symlink_in_parent", func() []trace.Step {
+			return []trace.Step{call(2, types.Symlink{Target: "obj", Linkpath: "/p/sl"})}
+		}},
+		{"truncate", func() []trace.Step {
+			return []trace.Step{call(2, types.Truncate{Path: "/p/obj", Len: 1})}
+		}},
+		{"stat_through_parent", func() []trace.Step {
+			return []trace.Step{call(2, types.Stat{Path: "/p/obj"})}
+		}},
+		{"chmod_obj", func() []trace.Step {
+			return []trace.Step{call(2, types.Chmod{Path: "/p/obj", Perm: 0o600})}
+		}},
+		{"chdir_parent", func() []trace.Step {
+			return []trace.Step{
+				call(2, types.Chdir{Path: "/p"}),
+				call(2, types.Stat{Path: "obj"}),
+			}
+		}},
+		{"opendir_parent", func() []trace.Step {
+			return []trace.Step{
+				call(2, types.Opendir{Path: "/p"}),
+				call(2, types.Readdir{DH: 1}),
+			}
+		}},
+		{"chown_obj", func() []trace.Step {
+			return []trace.Step{call(2, types.Chown{Path: "/p/obj", Uid: 1000, Gid: 500})}
+		}},
+		{"mkdir_then_rmdir", func() []trace.Step {
+			return []trace.Step{
+				call(2, types.Mkdir{Path: "/p/tmp", Perm: 0o755}),
+				call(2, types.Rmdir{Path: "/p/tmp"}),
+			}
+		}},
+	}
+
+	for _, o := range ops {
+		for _, om := range objModes {
+			for _, pm := range parentModes {
+				for _, c := range callers {
+					steps := []trace.Step{
+						// Root (pid 1) builds the arena.
+						call(1, types.AddUserToGroup{Uid: member, Gid: grp}),
+						call(1, types.Mkdir{Path: "/p", Perm: 0o777}),
+						call(1, types.Open{Path: "/p/obj", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+						call(1, types.Write{FD: 3, Data: []byte("x"), Size: 1}),
+						call(1, types.Close{FD: 3}),
+						call(1, types.Chown{Path: "/p/obj", Uid: owner, Gid: grp}),
+						call(1, types.Chmod{Path: "/p/obj", Perm: om}),
+						call(1, types.Chown{Path: "/p", Uid: owner, Gid: grp}),
+						call(1, types.Chmod{Path: "/p", Perm: pm}),
+						create(2, c.uid, c.gid),
+					}
+					steps = append(steps, o.steps()...)
+					// Root observes the final state.
+					steps = append(steps,
+						call(1, types.Lstat{Path: "/p/obj"}),
+						call(1, types.Lstat{Path: "/p"}),
+					)
+					out = append(out, bare(
+						caseName("perm", o.tag, om.String(), pm.String(), c.tag),
+						steps...,
+					))
+				}
+			}
+		}
+	}
+
+	// Umask behaviour: creation modes under different umasks (§7.3.4's
+	// SSHFS findings are about exactly this interaction).
+	for _, um := range []types.Perm{0o000, 0o022, 0o077, 0o777} {
+		for _, req := range []types.Perm{0o777, 0o644, 0o600} {
+			out = append(out, bare(caseName("umask", "file", um.String(), req.String()),
+				call(1, types.Umask{Mask: um}),
+				call(1, types.Open{Path: "/u", Flags: types.OCreat | types.OWronly, Perm: req, HasPerm: true}),
+				call(1, types.Close{FD: 3}),
+				call(1, types.Stat{Path: "/u"}),
+			))
+			out = append(out, bare(caseName("umask", "dir", um.String(), req.String()),
+				call(1, types.Umask{Mask: um}),
+				call(1, types.Mkdir{Path: "/ud", Perm: req}),
+				call(1, types.Stat{Path: "/ud"}),
+			))
+			out = append(out, bare(caseName("umask", "symlink", um.String(), req.String()),
+				call(1, types.Umask{Mask: um}),
+				call(1, types.Symlink{Target: "t", Linkpath: "/us"}),
+				call(1, types.Lstat{Path: "/us"}),
+			))
+		}
+	}
+	return out
+}

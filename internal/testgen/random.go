@@ -1,0 +1,132 @@
+package testgen
+
+import (
+	"math/rand"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// RandomScripts implements the randomised testing mode the paper lists as
+// supported future work (§8 "Differential testing", §9): seeded random
+// command sequences over a small name universe, so collisions with
+// existing objects are frequent. Scripts are reproducible from the seed.
+func RandomScripts(seed int64, n, callsPerScript int) []*trace.Script {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]*trace.Script, 0, n)
+	for i := 0; i < n; i++ {
+		s := &trace.Script{Name: caseName("random", itoa(seed), itoa(int64(i)))}
+		g := &randGen{r: r, nextFD: 3, nextDH: 1}
+		for j := 0; j < callsPerScript; j++ {
+			s.Steps = append(s.Steps, call(1, g.command()))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+type randGen struct {
+	r      *rand.Rand
+	nextFD types.FD
+	nextDH types.DH
+	fds    []types.FD
+	dhs    []types.DH
+}
+
+var randNames = []string{
+	"/a", "/b", "/c", "/d", "/d/x", "/d/y", "/d/z", "/e", "/e/w",
+	"a", "b", "d/x", "e/w", "/d/", "/a/", ".", "..", "/", "",
+	"/s1", "/s2", "/d/../a", "//b",
+}
+
+func (g *randGen) path() string { return randNames[g.r.Intn(len(randNames))] }
+
+func (g *randGen) perm() types.Perm {
+	perms := []types.Perm{0o777, 0o755, 0o700, 0o644, 0o600, 0o000, 0o1777}
+	return perms[g.r.Intn(len(perms))]
+}
+
+func (g *randGen) fd() types.FD {
+	// Mostly plausible descriptors, sometimes junk.
+	if len(g.fds) > 0 && g.r.Intn(4) != 0 {
+		return g.fds[g.r.Intn(len(g.fds))]
+	}
+	return types.FD(g.r.Intn(10))
+}
+
+func (g *randGen) dh() types.DH {
+	if len(g.dhs) > 0 && g.r.Intn(4) != 0 {
+		return g.dhs[g.r.Intn(len(g.dhs))]
+	}
+	return types.DH(g.r.Intn(4))
+}
+
+func (g *randGen) data() []byte {
+	n := g.r.Intn(16)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + g.r.Intn(26))
+	}
+	return b
+}
+
+// command draws one random call, tracking handle allocations so that
+// descriptor-based calls mostly target live handles.
+func (g *randGen) command() types.Command {
+	switch g.r.Intn(20) {
+	case 0:
+		return types.Mkdir{Path: g.path(), Perm: g.perm()}
+	case 1:
+		return types.Rmdir{Path: g.path()}
+	case 2:
+		return types.Unlink{Path: g.path()}
+	case 3:
+		return types.Link{Src: g.path(), Dst: g.path()}
+	case 4:
+		return types.Rename{Src: g.path(), Dst: g.path()}
+	case 5:
+		return types.Symlink{Target: g.path(), Linkpath: g.path()}
+	case 6:
+		return types.Readlink{Path: g.path()}
+	case 7:
+		return types.Stat{Path: g.path()}
+	case 8:
+		return types.Lstat{Path: g.path()}
+	case 9:
+		return types.Truncate{Path: g.path(), Len: int64(g.r.Intn(12) - 2)}
+	case 10:
+		return types.Chmod{Path: g.path(), Perm: g.perm()}
+	case 11:
+		return types.Chdir{Path: g.path()}
+	case 12:
+		// open may allocate; assume success for numbering (failed opens
+		// leave a gap, which is fine — misuse is part of the test).
+		fd := g.nextFD
+		g.nextFD++
+		g.fds = append(g.fds, fd)
+		return types.Open{
+			Path:    g.path(),
+			Flags:   types.OpenFlags(g.r.Intn(1 << 9)),
+			Perm:    g.perm(),
+			HasPerm: true,
+		}
+	case 13:
+		return types.Close{FD: g.fd()}
+	case 14:
+		data := g.data()
+		return types.Write{FD: g.fd(), Data: data, Size: int64(len(data))}
+	case 15:
+		return types.Read{FD: g.fd(), Size: int64(g.r.Intn(20))}
+	case 16:
+		return types.Lseek{FD: g.fd(), Off: int64(g.r.Intn(20) - 4), Whence: types.SeekWhence(g.r.Intn(3))}
+	case 17:
+		dh := g.nextDH
+		g.nextDH++
+		g.dhs = append(g.dhs, dh)
+		return types.Opendir{Path: g.path()}
+	case 18:
+		return types.Readdir{DH: g.dh()}
+	default:
+		return types.Closedir{DH: g.dh()}
+	}
+}

@@ -1,0 +1,265 @@
+package testgen
+
+import (
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// ReadWriteScripts generates the sequence tests for read, write, pread,
+// pwrite and lseek — the calls §6.1 says are "inherently hard to test
+// combinatorially", so the suite enumerates parameterised sequences
+// instead: initial content × open mode × operation × size × offset, plus
+// longer chained sequences.
+func ReadWriteScripts() []*trace.Script {
+	var out []*trace.Script
+
+	contents := []struct {
+		tag  string
+		data string
+	}{
+		{"empty", ""},
+		{"small", "hello world"},
+		{"page", string(mkbytes(4096))},
+	}
+	modes := []struct {
+		tag string
+		fl  types.OpenFlags
+	}{
+		{"rdwr", types.ORdwr},
+		{"rdonly", types.ORdonly},
+		{"wronly", types.OWronly},
+		{"append", types.OWronly | types.OAppend},
+		{"rdwr_append", types.ORdwr | types.OAppend},
+	}
+	sizes := []int64{0, 1, 5, 64, 4096}
+	offsets := []int64{0, 3, 100, 4096, -2}
+
+	// setup opens /t with given content; FD numbering: 3 = creator (closed),
+	// 4 = the descriptor under test.
+	setup := func(data string, fl types.OpenFlags) []trace.Step {
+		steps := []trace.Step{
+			call(1, types.Open{Path: "/t", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+		}
+		if data != "" {
+			steps = append(steps, call(1, types.Write{FD: 3, Data: []byte(data), Size: int64(len(data))}))
+		}
+		steps = append(steps,
+			call(1, types.Close{FD: 3}),
+			call(1, types.Open{Path: "/t", Flags: fl}),
+		)
+		return steps
+	}
+	finish := []trace.Step{
+		call(1, types.Stat{Path: "/t"}),
+		call(1, types.Close{FD: 4}),
+	}
+
+	for _, ct := range contents {
+		for _, m := range modes {
+			for _, sz := range sizes {
+				out = append(out, bare(
+					caseName("read", ct.tag, m.tag, itoa(sz)),
+					append(append(setup(ct.data, m.fl),
+						call(1, types.Read{FD: 4, Size: sz}),
+						call(1, types.Read{FD: 4, Size: sz}),
+					), finish...)...,
+				))
+				data := string(mkpat(int(sz)))
+				out = append(out, bare(
+					caseName("write", ct.tag, m.tag, itoa(sz)),
+					append(append(setup(ct.data, m.fl),
+						call(1, types.Write{FD: 4, Data: []byte(data), Size: sz}),
+						call(1, types.Write{FD: 4, Data: []byte(data), Size: sz}),
+					), finish...)...,
+				))
+				for _, off := range offsets {
+					out = append(out, bare(
+						caseName("pread", ct.tag, m.tag, itoa(sz), itoa(off)),
+						append(append(setup(ct.data, m.fl),
+							call(1, types.Pread{FD: 4, Size: sz, Off: off}),
+						), finish...)...,
+					))
+					out = append(out, bare(
+						caseName("pwrite", ct.tag, m.tag, itoa(sz), itoa(off)),
+						append(append(setup(ct.data, m.fl),
+							call(1, types.Pwrite{FD: 4, Data: []byte(data), Size: sz, Off: off}),
+							call(1, types.Pread{FD: 4, Size: sz + 4, Off: 0}),
+						), finish...)...,
+					))
+				}
+			}
+			// lseek: every whence × a spread of offsets, then a read to
+			// observe the new position.
+			for _, wh := range []types.SeekWhence{types.SeekSet, types.SeekCur, types.SeekEnd} {
+				for _, off := range []int64{0, 2, 4096, -1, -100} {
+					out = append(out, bare(
+						caseName("lseek", ct.tag, m.tag, wh.String(), itoa(off)),
+						append(append(setup(ct.data, m.fl),
+							call(1, types.Lseek{FD: 4, Off: off, Whence: wh}),
+							call(1, types.Read{FD: 4, Size: 4}),
+						), finish...)...,
+					))
+				}
+			}
+		}
+	}
+
+	// Chained sequences: interleavings of write/seek/read/truncate that
+	// exercise offset bookkeeping across calls.
+	out = append(out, rwChains()...)
+	// Descriptor-misuse tests: operations on closed and never-opened fds.
+	out = append(out, fdMisuse()...)
+	return out
+}
+
+func rwChains() []*trace.Script {
+	var out []*trace.Script
+	type stepgen func() []trace.Step
+	chains := map[string][]trace.Step{
+		"write_seek_read": {
+			call(1, types.Write{FD: 4, Data: []byte("abcdef"), Size: 6}),
+			call(1, types.Lseek{FD: 4, Off: 0, Whence: types.SeekSet}),
+			call(1, types.Read{FD: 4, Size: 6}),
+		},
+		"write_overwrite": {
+			call(1, types.Write{FD: 4, Data: []byte("abcdef"), Size: 6}),
+			call(1, types.Lseek{FD: 4, Off: 2, Whence: types.SeekSet}),
+			call(1, types.Write{FD: 4, Data: []byte("XY"), Size: 2}),
+			call(1, types.Pread{FD: 4, Size: 6, Off: 0}),
+		},
+		"sparse_seek_write": {
+			call(1, types.Lseek{FD: 4, Off: 10, Whence: types.SeekSet}),
+			call(1, types.Write{FD: 4, Data: []byte("Z"), Size: 1}),
+			call(1, types.Pread{FD: 4, Size: 11, Off: 0}),
+		},
+		"truncate_shrink_read": {
+			call(1, types.Write{FD: 4, Data: []byte("abcdef"), Size: 6}),
+			call(1, types.Truncate{Path: "/t", Len: 3}),
+			call(1, types.Pread{FD: 4, Size: 6, Off: 0}),
+		},
+		"truncate_grow_read": {
+			call(1, types.Write{FD: 4, Data: []byte("ab"), Size: 2}),
+			call(1, types.Truncate{Path: "/t", Len: 5}),
+			call(1, types.Pread{FD: 4, Size: 5, Off: 0}),
+		},
+		"append_interleave": {
+			call(1, types.Write{FD: 4, Data: []byte("one"), Size: 3}),
+			call(1, types.Pwrite{FD: 4, Data: []byte("two"), Size: 3, Off: 0}),
+			call(1, types.Write{FD: 4, Data: []byte("three"), Size: 5}),
+			call(1, types.Pread{FD: 4, Size: 16, Off: 0}),
+		},
+		"two_fds_share_file": {
+			call(1, types.Open{Path: "/t", Flags: types.ORdonly}),
+			call(1, types.Write{FD: 4, Data: []byte("shared"), Size: 6}),
+			call(1, types.Read{FD: 5, Size: 6}),
+			call(1, types.Close{FD: 5}),
+		},
+		"unlinked_but_open": {
+			call(1, types.Write{FD: 4, Data: []byte("ghost"), Size: 5}),
+			call(1, types.Unlink{Path: "/t"}),
+			call(1, types.Pread{FD: 4, Size: 5, Off: 0}),
+			call(1, types.Stat{Path: "/t"}),
+		},
+		"otrunc_reopen": {
+			call(1, types.Write{FD: 4, Data: []byte("gone"), Size: 4}),
+			call(1, types.Open{Path: "/t", Flags: types.OWronly | types.OTrunc}),
+			call(1, types.Pread{FD: 4, Size: 4, Off: 0}),
+			call(1, types.Close{FD: 5}),
+		},
+	}
+	modes := []struct {
+		tag string
+		fl  types.OpenFlags
+	}{
+		{"rdwr", types.ORdwr},
+		{"append", types.ORdwr | types.OAppend},
+	}
+	var _ stepgen
+	for name, chain := range chains {
+		for _, m := range modes {
+			steps := []trace.Step{
+				call(1, types.Open{Path: "/t", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
+				call(1, types.Close{FD: 3}),
+				call(1, types.Open{Path: "/t", Flags: m.fl}),
+			}
+			steps = append(steps, chain...)
+			steps = append(steps,
+				call(1, types.Stat{Path: "/t"}),
+				call(1, types.Close{FD: 4}),
+			)
+			out = append(out, bare(caseName("rwchain", name, m.tag), steps...))
+		}
+	}
+	return out
+}
+
+func fdMisuse() []*trace.Script {
+	var out []*trace.Script
+	ops := map[string]types.Command{
+		"read":   types.Read{FD: 9, Size: 4},
+		"write":  types.Write{FD: 9, Data: []byte("x"), Size: 1},
+		"write0": types.Write{FD: 9, Data: nil, Size: 0},
+		"pread":  types.Pread{FD: 9, Size: 4, Off: 0},
+		"pwrite": types.Pwrite{FD: 9, Data: []byte("x"), Size: 1, Off: 0},
+		"lseek":  types.Lseek{FD: 9, Off: 0, Whence: types.SeekSet},
+		"close":  types.Close{FD: 9},
+	}
+	for name, op := range ops {
+		out = append(out, bare(caseName("fdbad", name, "never_opened"), call(1, op)))
+		out = append(out, bare(caseName("fdbad", name, "after_close"),
+			call(1, types.Open{Path: "/t", Flags: types.OCreat | types.ORdwr, Perm: 0o644, HasPerm: true}),
+			call(1, types.Close{FD: 3}),
+			call(1, remapFD(op, 3)),
+		))
+	}
+	// Reads/writes through a directory descriptor.
+	out = append(out, bare(caseName("fdbad", "read", "dir_fd"),
+		call(1, types.Mkdir{Path: "/d", Perm: 0o755}),
+		call(1, types.Open{Path: "/d", Flags: types.ORdonly}),
+		call(1, types.Read{FD: 3, Size: 4}),
+		call(1, types.Write{FD: 3, Data: []byte("x"), Size: 1}),
+		call(1, types.Close{FD: 3}),
+	))
+	return out
+}
+
+// remapFD rewrites the descriptor of an fd command (for after-close tests).
+func remapFD(c types.Command, fd types.FD) types.Command {
+	switch v := c.(type) {
+	case types.Read:
+		v.FD = fd
+		return v
+	case types.Write:
+		v.FD = fd
+		return v
+	case types.Pread:
+		v.FD = fd
+		return v
+	case types.Pwrite:
+		v.FD = fd
+		return v
+	case types.Lseek:
+		v.FD = fd
+		return v
+	case types.Close:
+		v.FD = fd
+		return v
+	}
+	return c
+}
+
+func mkbytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + i%26)
+	}
+	return b
+}
+
+func mkpat(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('A' + i%26)
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+package testgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+func TestSuiteSizeAndGroups(t *testing.T) {
+	s := Generate()
+	if len(s.Scripts) < 20000 {
+		t.Fatalf("suite has %d scripts; the paper's has 21 070", len(s.Scripts))
+	}
+	stats := s.Stats()
+	// rename must dominate two-path testing, as in §6.1 (≈2 500 in the
+	// paper vs OpenGroup's ≈50).
+	if stats["rename"] < 500 {
+		t.Errorf("rename tests = %d", stats["rename"])
+	}
+	// open has the largest group (flag bitfield).
+	max := ""
+	for g, n := range stats {
+		if max == "" || n > stats[max] {
+			max = g
+		}
+	}
+	if max != "open" && max != "perm" {
+		t.Errorf("largest group = %s; expected open or perm to dominate", max)
+	}
+	for _, g := range []string{"stat", "lstat", "unlink", "rmdir", "mkdir", "link",
+		"symlink", "readlink", "open", "read", "write", "pread", "pwrite",
+		"lseek", "readdir", "perm", "umask", "survey", "truncate", "chmod"} {
+		if stats[g] == 0 {
+			t.Errorf("group %s has no tests", g)
+		}
+	}
+}
+
+func TestScriptNamesUnique(t *testing.T) {
+	s := Generate()
+	seen := make(map[string]bool, len(s.Scripts))
+	for _, sc := range s.Scripts {
+		if seen[sc.Name] {
+			t.Fatalf("duplicate script name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+}
+
+func TestScriptsRenderAndReparse(t *testing.T) {
+	s := Generate()
+	for i := 0; i < len(s.Scripts); i += 211 {
+		sc := s.Scripts[i]
+		re, err := trace.ParseScript(sc.Render())
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if len(re.Steps) != len(sc.Steps) {
+			t.Fatalf("%s: %d steps reparsed as %d", sc.Name, len(sc.Steps), len(re.Steps))
+		}
+	}
+}
+
+func TestFixtureUsesRelativeSymlinkTargets(t *testing.T) {
+	for _, st := range Fixture() {
+		call, ok := st.Label.(types.CallLabel)
+		if !ok {
+			continue
+		}
+		if sl, ok := call.Cmd.(types.Symlink); ok {
+			if strings.HasPrefix(sl.Target, "/") {
+				t.Errorf("fixture symlink %q has absolute target %q (breaks the host jail)", sl.Linkpath, sl.Target)
+			}
+		}
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	cases := map[string]string{
+		"rename___a___b": "rename",
+		"open___x":       "open",
+		"plain":          "plain",
+	}
+	for in, want := range cases {
+		if got := GroupOf(in); got != want {
+			t.Errorf("GroupOf(%q) = %q", in, got)
+		}
+	}
+}
+
+func TestPathCasesCoverProperties(t *testing.T) {
+	// The equivalence classes must include the §6.1 property combinations:
+	// trailing slash, 0/1/2/3 leading slashes, empty path, each resolved
+	// type, a symlink component, and the missing-in-missing RN_error case.
+	var (
+		hasEmpty, hasTrailing, has2Slash, has3Slash, hasRel bool
+		hasLoop, hasBroken, hasMissMiss, hasUnderFile       bool
+	)
+	for _, pc := range PathCases {
+		switch {
+		case pc.Path == "":
+			hasEmpty = true
+		case pc.Path == "//":
+			has2Slash = true
+		case pc.Path == "///":
+			has3Slash = true
+		}
+		if strings.HasSuffix(pc.Path, "/") && strings.Trim(pc.Path, "/") != "" {
+			hasTrailing = true
+		}
+		if pc.Path != "" && !strings.HasPrefix(pc.Path, "/") {
+			hasRel = true
+		}
+		switch pc.Class {
+		case "symlink_loop":
+			hasLoop = true
+		case "symlink_broken":
+			hasBroken = true
+		case "missing_in_missing":
+			hasMissMiss = true
+		case "under_file":
+			hasUnderFile = true
+		}
+	}
+	for name, ok := range map[string]bool{
+		"empty": hasEmpty, "trailing": hasTrailing, "2slash": has2Slash,
+		"3slash": has3Slash, "relative": hasRel, "loop": hasLoop,
+		"broken": hasBroken, "missing_in_missing": hasMissMiss,
+		"under_file": hasUnderFile,
+	} {
+		if !ok {
+			t.Errorf("path classes missing the %s property", name)
+		}
+	}
+}
+
+func TestPermissionScriptsSwitchCredentials(t *testing.T) {
+	found := 0
+	for _, sc := range PermissionScripts() {
+		for _, st := range sc.Steps {
+			if c, ok := st.Label.(types.CreateLabel); ok && c.Uid != 0 {
+				found++
+				break
+			}
+		}
+	}
+	if found < 1000 {
+		t.Errorf("only %d permission scripts switch credentials", found)
+	}
+}
+
+func TestHandwrittenSurveyScenarios(t *testing.T) {
+	names := map[string]bool{}
+	for _, sc := range HandwrittenScripts() {
+		names[sc.Name] = true
+	}
+	for _, want := range []string{
+		"survey___fig8_disconnected_create",
+		"survey___posixovl_rename_leak",
+		"survey___pwrite_negative_offset",
+		"survey___o_append_pwrite",
+		"survey___freebsd_symlink_invariant",
+		"survey___unlink_directory",
+		"survey___rename_root",
+	} {
+		if !names[want] {
+			t.Errorf("missing survey scenario %q", want)
+		}
+	}
+}
+
+func TestFig8ScriptMatchesPaper(t *testing.T) {
+	var fig8 *trace.Script
+	for _, sc := range HandwrittenScripts() {
+		if sc.Name == "survey___fig8_disconnected_create" {
+			fig8 = sc
+		}
+	}
+	if fig8 == nil {
+		t.Fatal("fig8 script missing")
+	}
+	ops := []string{"mkdir", "chdir", "rmdir", "open"}
+	if len(fig8.Steps) != len(ops) {
+		t.Fatalf("fig8 has %d steps", len(fig8.Steps))
+	}
+	for i, st := range fig8.Steps {
+		call := st.Label.(types.CallLabel)
+		if call.Cmd.Op() != ops[i] {
+			t.Errorf("step %d = %s, want %s", i, call.Cmd.Op(), ops[i])
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package trace defines the concrete syntax of test scripts and traces
+// (Figs 2–4 of the paper) and their parser and printer.
+//
+// A script is a header line "@type script" followed by commands, one per
+// line. A command line may carry a process prefix ("2: mkdir ..."); without
+// one it belongs to process 1. "create PID UID GID" and "destroy PID"
+// manage processes. Comments start with '#'.
+//
+// A trace is a header line "@type trace" followed by alternating call and
+// return lines; both carry the pid prefix. Return lines hold a return value
+// ("RV_none", "RV_num(3)", ...) or an error name ("ENOENT").
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Step is one label of a script or trace, with its source line for
+// diagnostics.
+type Step struct {
+	Label types.Label
+	Line  int
+}
+
+// Script is a parsed test script: the calls (and process events) to drive
+// against a file system under test.
+type Script struct {
+	Name  string
+	Steps []Step
+}
+
+// Trace is a parsed trace: the full sequence of call and return labels
+// observed when a script was executed (Fig 3).
+type Trace struct {
+	Name  string
+	Steps []Step
+}
+
+// Render prints a script in concrete syntax.
+func (s *Script) Render() string {
+	var b strings.Builder
+	b.WriteString("@type script\n")
+	if s.Name != "" {
+		fmt.Fprintf(&b, "# Test %s\n", s.Name)
+	}
+	for _, st := range s.Steps {
+		b.WriteString(renderLabel(st.Label))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render prints a trace in concrete syntax.
+func (t *Trace) Render() string {
+	var b strings.Builder
+	b.WriteString("@type trace\n")
+	if t.Name != "" {
+		fmt.Fprintf(&b, "# Test %s\n", t.Name)
+	}
+	for _, st := range t.Steps {
+		b.WriteString(renderLabel(st.Label))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func renderLabel(l types.Label) string {
+	switch lb := l.(type) {
+	case types.CallLabel:
+		return fmt.Sprintf("%d: %s", int(lb.Pid), lb.Cmd)
+	case types.ReturnLabel:
+		return fmt.Sprintf("%d: %s", int(lb.Pid), lb.Ret)
+	case types.CreateLabel:
+		return fmt.Sprintf("create %d %d %d", int(lb.Pid), int(lb.Uid), int(lb.Gid))
+	case types.DestroyLabel:
+		return fmt.Sprintf("destroy %d", int(lb.Pid))
+	case types.TauLabel:
+		return "tau"
+	}
+	return "# unknown label"
+}

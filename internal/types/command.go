@@ -1,0 +1,231 @@
+package types
+
+import "fmt"
+
+// Pid identifies a process in the model of processes and the operating
+// system (§1.1).
+type Pid int
+
+// FD is a per-process file descriptor.
+type FD int
+
+// DH is a per-process directory handle as returned by opendir.
+type DH int
+
+// Command is the Go encoding of the Lem variant type ty_os_command: one
+// constructor per libc function in the model's scope. Go has no algebraic
+// data types, so Command is a sealed interface implemented by one small
+// struct per libc call; consumers dispatch with a type switch and treat an
+// unknown variant as a programming error.
+type Command interface {
+	// Op returns the libc function name ("rename", "open", ...).
+	Op() string
+	// String renders the command in trace syntax (Fig 2 of the paper).
+	String() string
+	// isCommand prevents implementations outside this package.
+	isCommand()
+}
+
+// The command variants, mirroring §1.1's list of calls in scope.
+type (
+	// Close models close(fd).
+	Close struct{ FD FD }
+	// Closedir models closedir(dh).
+	Closedir struct{ DH DH }
+	// Chdir models chdir(path).
+	Chdir struct{ Path string }
+	// Chmod models chmod(path, perm).
+	Chmod struct {
+		Path string
+		Perm Perm
+	}
+	// Chown models chown(path, uid, gid).
+	Chown struct {
+		Path string
+		Uid  Uid
+		Gid  Gid
+	}
+	// Link models link(src, dst).
+	Link struct{ Src, Dst string }
+	// Lseek models lseek(fd, off, whence).
+	Lseek struct {
+		FD     FD
+		Off    int64
+		Whence SeekWhence
+	}
+	// Lstat models lstat(path).
+	Lstat struct{ Path string }
+	// Mkdir models mkdir(path, perm).
+	Mkdir struct {
+		Path string
+		Perm Perm
+	}
+	// Open models open(path, flags[, perm]).
+	Open struct {
+		Path    string
+		Flags   OpenFlags
+		Perm    Perm
+		HasPerm bool
+	}
+	// Opendir models opendir(path).
+	Opendir struct{ Path string }
+	// Pread models pread(fd, size, off).
+	Pread struct {
+		FD   FD
+		Size int64
+		Off  int64
+	}
+	// Pwrite models pwrite(fd, data, size, off).
+	Pwrite struct {
+		FD   FD
+		Data []byte
+		Size int64
+		Off  int64
+	}
+	// Read models read(fd, size).
+	Read struct {
+		FD   FD
+		Size int64
+	}
+	// Readdir models readdir(dh).
+	Readdir struct{ DH DH }
+	// Readlink models readlink(path).
+	Readlink struct{ Path string }
+	// Rename models rename(src, dst).
+	Rename struct{ Src, Dst string }
+	// Rewinddir models rewinddir(dh).
+	Rewinddir struct{ DH DH }
+	// Rmdir models rmdir(path).
+	Rmdir struct{ Path string }
+	// Stat models stat(path).
+	Stat struct{ Path string }
+	// Symlink models symlink(target, linkpath).
+	Symlink struct{ Target, Linkpath string }
+	// Truncate models truncate(path, len).
+	Truncate struct {
+		Path string
+		Len  int64
+	}
+	// Unlink models unlink(path).
+	Unlink struct{ Path string }
+	// Write models write(fd, data, size).
+	Write struct {
+		FD   FD
+		Data []byte
+		Size int64
+	}
+	// Umask models umask(mask).
+	Umask struct{ Mask Perm }
+	// AddUserToGroup extends the model of users and groups; it is part of
+	// the test harness vocabulary rather than libc proper.
+	AddUserToGroup struct {
+		Uid Uid
+		Gid Gid
+	}
+)
+
+func (Close) isCommand()          {}
+func (Closedir) isCommand()       {}
+func (Chdir) isCommand()          {}
+func (Chmod) isCommand()          {}
+func (Chown) isCommand()          {}
+func (Link) isCommand()           {}
+func (Lseek) isCommand()          {}
+func (Lstat) isCommand()          {}
+func (Mkdir) isCommand()          {}
+func (Open) isCommand()           {}
+func (Opendir) isCommand()        {}
+func (Pread) isCommand()          {}
+func (Pwrite) isCommand()         {}
+func (Read) isCommand()           {}
+func (Readdir) isCommand()        {}
+func (Readlink) isCommand()       {}
+func (Rename) isCommand()         {}
+func (Rewinddir) isCommand()      {}
+func (Rmdir) isCommand()          {}
+func (Stat) isCommand()           {}
+func (Symlink) isCommand()        {}
+func (Truncate) isCommand()       {}
+func (Unlink) isCommand()         {}
+func (Write) isCommand()          {}
+func (Umask) isCommand()          {}
+func (AddUserToGroup) isCommand() {}
+
+// Op implementations.
+func (Close) Op() string          { return "close" }
+func (Closedir) Op() string       { return "closedir" }
+func (Chdir) Op() string          { return "chdir" }
+func (Chmod) Op() string          { return "chmod" }
+func (Chown) Op() string          { return "chown" }
+func (Link) Op() string           { return "link" }
+func (Lseek) Op() string          { return "lseek" }
+func (Lstat) Op() string          { return "lstat" }
+func (Mkdir) Op() string          { return "mkdir" }
+func (Open) Op() string           { return "open" }
+func (Opendir) Op() string        { return "opendir" }
+func (Pread) Op() string          { return "pread" }
+func (Pwrite) Op() string         { return "pwrite" }
+func (Read) Op() string           { return "read" }
+func (Readdir) Op() string        { return "readdir" }
+func (Readlink) Op() string       { return "readlink" }
+func (Rename) Op() string         { return "rename" }
+func (Rewinddir) Op() string      { return "rewinddir" }
+func (Rmdir) Op() string          { return "rmdir" }
+func (Stat) Op() string           { return "stat" }
+func (Symlink) Op() string        { return "symlink" }
+func (Truncate) Op() string       { return "truncate" }
+func (Unlink) Op() string         { return "unlink" }
+func (Write) Op() string          { return "write" }
+func (Umask) Op() string          { return "umask" }
+func (AddUserToGroup) Op() string { return "add_user_to_group" }
+
+func q(s string) string { return fmt.Sprintf("%q", s) }
+
+// String implementations render the trace-file syntax of Fig 2.
+func (c Close) String() string    { return fmt.Sprintf("close (FD %d)", int(c.FD)) }
+func (c Closedir) String() string { return fmt.Sprintf("closedir (DH %d)", int(c.DH)) }
+func (c Chdir) String() string    { return "chdir " + q(c.Path) }
+func (c Chmod) String() string    { return fmt.Sprintf("chmod %s %s", q(c.Path), c.Perm) }
+func (c Chown) String() string {
+	return fmt.Sprintf("chown %s %d %d", q(c.Path), int(c.Uid), int(c.Gid))
+}
+func (c Link) String() string { return fmt.Sprintf("link %s %s", q(c.Src), q(c.Dst)) }
+func (c Lseek) String() string {
+	return fmt.Sprintf("lseek (FD %d) %d %s", int(c.FD), c.Off, c.Whence)
+}
+func (c Lstat) String() string { return "lstat " + q(c.Path) }
+func (c Mkdir) String() string { return fmt.Sprintf("mkdir %s %s", q(c.Path), c.Perm) }
+func (c Open) String() string {
+	if c.HasPerm {
+		return fmt.Sprintf("open %s %s %s", q(c.Path), c.Flags, c.Perm)
+	}
+	return fmt.Sprintf("open %s %s", q(c.Path), c.Flags)
+}
+func (c Opendir) String() string { return "opendir " + q(c.Path) }
+func (c Pread) String() string {
+	return fmt.Sprintf("pread (FD %d) %d %d", int(c.FD), c.Size, c.Off)
+}
+func (c Pwrite) String() string {
+	return fmt.Sprintf("pwrite (FD %d) %s %d %d", int(c.FD), q(string(c.Data)), c.Size, c.Off)
+}
+func (c Read) String() string    { return fmt.Sprintf("read (FD %d) %d", int(c.FD), c.Size) }
+func (c Readdir) String() string { return fmt.Sprintf("readdir (DH %d)", int(c.DH)) }
+func (c Readlink) String() string {
+	return "readlink " + q(c.Path)
+}
+func (c Rename) String() string    { return fmt.Sprintf("rename %s %s", q(c.Src), q(c.Dst)) }
+func (c Rewinddir) String() string { return fmt.Sprintf("rewinddir (DH %d)", int(c.DH)) }
+func (c Rmdir) String() string     { return "rmdir " + q(c.Path) }
+func (c Stat) String() string      { return "stat " + q(c.Path) }
+func (c Symlink) String() string {
+	return fmt.Sprintf("symlink %s %s", q(c.Target), q(c.Linkpath))
+}
+func (c Truncate) String() string { return fmt.Sprintf("truncate %s %d", q(c.Path), c.Len) }
+func (c Unlink) String() string   { return "unlink " + q(c.Path) }
+func (c Write) String() string {
+	return fmt.Sprintf("write (FD %d) %s %d", int(c.FD), q(string(c.Data)), c.Size)
+}
+func (c Umask) String() string { return "umask " + c.Mask.String() }
+func (c AddUserToGroup) String() string {
+	return fmt.Sprintf("add_user_to_group %d %d", int(c.Uid), int(c.Gid))
+}

@@ -1,0 +1,163 @@
+// Package types defines the abstract vocabulary of the SibylFS model:
+// error numbers, open flags, file kinds, permissions, libc commands
+// (ty_os_command in the paper), transition labels (os_label) and return
+// values. It corresponds to the "Types" part of the Lem specification
+// (Fig 7 of the paper).
+package types
+
+import "fmt"
+
+// Errno is an abstract POSIX error number. The model works with symbolic
+// errors, not platform-specific integer values, because the oracle compares
+// names observed in traces, not raw integers.
+type Errno int
+
+// Error numbers used by the specification. The list covers every error the
+// file-system portion of POSIX (and the Linux/OS X/FreeBSD variants) can
+// produce for the calls in scope.
+const (
+	EOK Errno = iota // not an error; internal sentinel, never returned
+	EPERM
+	ENOENT
+	EINTR
+	EIO
+	EBADF
+	EACCES
+	EBUSY
+	EEXIST
+	EXDEV
+	ENOTDIR
+	EISDIR
+	EINVAL
+	ENFILE
+	EMFILE
+	ETXTBSY
+	EFBIG
+	ENOSPC
+	ESPIPE
+	EROFS
+	EMLINK
+	EPIPE
+	ENAMETOOLONG
+	ENOTEMPTY
+	ELOOP
+	EOVERFLOW
+	EOPNOTSUPP
+	ERANGE
+	EDQUOT
+	ENOSYS
+)
+
+var errnoNames = map[Errno]string{
+	EOK:          "RV_none",
+	EPERM:        "EPERM",
+	ENOENT:       "ENOENT",
+	EINTR:        "EINTR",
+	EIO:          "EIO",
+	EBADF:        "EBADF",
+	EACCES:       "EACCES",
+	EBUSY:        "EBUSY",
+	EEXIST:       "EEXIST",
+	EXDEV:        "EXDEV",
+	ENOTDIR:      "ENOTDIR",
+	EISDIR:       "EISDIR",
+	EINVAL:       "EINVAL",
+	ENFILE:       "ENFILE",
+	EMFILE:       "EMFILE",
+	ETXTBSY:      "ETXTBSY",
+	EFBIG:        "EFBIG",
+	ENOSPC:       "ENOSPC",
+	ESPIPE:       "ESPIPE",
+	EROFS:        "EROFS",
+	EMLINK:       "EMLINK",
+	EPIPE:        "EPIPE",
+	ENAMETOOLONG: "ENAMETOOLONG",
+	ENOTEMPTY:    "ENOTEMPTY",
+	ELOOP:        "ELOOP",
+	EOVERFLOW:    "EOVERFLOW",
+	EOPNOTSUPP:   "EOPNOTSUPP",
+	ERANGE:       "ERANGE",
+	EDQUOT:       "EDQUOT",
+	ENOSYS:       "ENOSYS",
+}
+
+var errnoByName = func() map[string]Errno {
+	m := make(map[string]Errno, len(errnoNames))
+	for e, n := range errnoNames {
+		m[n] = e
+	}
+	return m
+}()
+
+// String returns the conventional upper-case POSIX name of the error.
+func (e Errno) String() string {
+	if n, ok := errnoNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("E?%d", int(e))
+}
+
+// ParseErrno maps a POSIX error name (e.g. "ENOENT") to its Errno. The
+// second result reports whether the name was recognised.
+func ParseErrno(name string) (Errno, bool) {
+	e, ok := errnoByName[name]
+	if !ok || e == EOK {
+		return 0, false
+	}
+	return e, true
+}
+
+// ErrnoSet is a set of error numbers, used by the specification combinators
+// to accumulate the envelope of allowed errors for a call (§4 of the paper).
+type ErrnoSet map[Errno]struct{}
+
+// NewErrnoSet builds a set from the given errors.
+func NewErrnoSet(es ...Errno) ErrnoSet {
+	s := make(ErrnoSet, len(es))
+	for _, e := range es {
+		s[e] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts the given errors into the set.
+func (s ErrnoSet) Add(es ...Errno) {
+	for _, e := range es {
+		s[e] = struct{}{}
+	}
+}
+
+// Has reports whether e is in the set.
+func (s ErrnoSet) Has(e Errno) bool { _, ok := s[e]; return ok }
+
+// Union adds every element of other to s and returns s.
+func (s ErrnoSet) Union(other ErrnoSet) ErrnoSet {
+	for e := range other {
+		s[e] = struct{}{}
+	}
+	return s
+}
+
+// Sorted returns the elements in ascending numeric order (which matches the
+// declaration order above and gives deterministic diagnostics).
+func (s ErrnoSet) Sorted() []Errno {
+	out := make([]Errno, 0, len(s))
+	for e := range s {
+		out = append(out, e)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of the set.
+func (s ErrnoSet) Clone() ErrnoSet {
+	c := make(ErrnoSet, len(s))
+	for e := range s {
+		c[e] = struct{}{}
+	}
+	return c
+}

@@ -1,0 +1,51 @@
+package types
+
+import "fmt"
+
+// Label is the Go encoding of os_label (§5): the alphabet of the labelled
+// transition system. A trace is a sequence of labels.
+type Label interface {
+	// String renders the label in trace syntax.
+	String() string
+	isLabel()
+}
+
+// CallLabel is OS_CALL(pid, cmd): process pid invokes a libc function.
+type CallLabel struct {
+	Pid Pid
+	Cmd Command
+}
+
+// ReturnLabel is OS_RETURN(pid, rv): a value is returned to process pid.
+type ReturnLabel struct {
+	Pid Pid
+	Ret RetValue
+}
+
+// CreateLabel is OS_CREATE(pid, uid, gid): a new process appears.
+type CreateLabel struct {
+	Pid Pid
+	Uid Uid
+	Gid Gid
+}
+
+// DestroyLabel is OS_DESTROY(pid): a process disappears.
+type DestroyLabel struct{ Pid Pid }
+
+// TauLabel is OS_TAU: an internal transition (the in-kernel processing of a
+// pending call).
+type TauLabel struct{}
+
+func (CallLabel) isLabel()    {}
+func (ReturnLabel) isLabel()  {}
+func (CreateLabel) isLabel()  {}
+func (DestroyLabel) isLabel() {}
+func (TauLabel) isLabel()     {}
+
+func (l CallLabel) String() string   { return fmt.Sprintf("%d: %s", int(l.Pid), l.Cmd) }
+func (l ReturnLabel) String() string { return fmt.Sprintf("%d: %s", int(l.Pid), l.Ret) }
+func (l CreateLabel) String() string {
+	return fmt.Sprintf("create %d %d %d", int(l.Pid), int(l.Uid), int(l.Gid))
+}
+func (l DestroyLabel) String() string { return fmt.Sprintf("destroy %d", int(l.Pid)) }
+func (TauLabel) String() string       { return "tau" }

@@ -1,0 +1,79 @@
+package types
+
+// Platform selects the variant of the model being checked against
+// (contribution point 2 of the paper): the strict POSIX envelope, or the
+// observed real-world behaviour of Linux, OS X or FreeBSD.
+type Platform int
+
+// The four primary modes supported by SibylFS.
+const (
+	PlatformPOSIX Platform = iota
+	PlatformLinux
+	PlatformOSX
+	PlatformFreeBSD
+)
+
+// String returns the name used in configuration files and reports.
+func (p Platform) String() string {
+	switch p {
+	case PlatformPOSIX:
+		return "posix"
+	case PlatformLinux:
+		return "linux"
+	case PlatformOSX:
+		return "mac_os_x"
+	case PlatformFreeBSD:
+		return "freebsd"
+	}
+	return "unknown"
+}
+
+// ParsePlatform maps a configuration name to a Platform.
+func ParsePlatform(s string) (Platform, bool) {
+	switch s {
+	case "posix":
+		return PlatformPOSIX, true
+	case "linux":
+		return PlatformLinux, true
+	case "mac_os_x", "osx", "darwin":
+		return PlatformOSX, true
+	case "freebsd":
+		return PlatformFreeBSD, true
+	}
+	return 0, false
+}
+
+// SymlinkLimit is the maximum number of symlink expansions during one path
+// resolution before ELOOP, per platform.
+func (p Platform) SymlinkLimit() int {
+	switch p {
+	case PlatformLinux:
+		return 40
+	default:
+		return 32
+	}
+}
+
+// Spec bundles the model variant and the trait mix-ins (§4 "Traits"): the
+// permissions trait can be disabled ("core without permissions"), and
+// checking can assume the initial process runs as root.
+type Spec struct {
+	Platform    Platform
+	Permissions bool // false = all files accessible by all users
+	Timestamps  bool // reserved; timestamp checking is untested in the paper too
+	RootUser    bool // initial process runs with uid 0
+}
+
+// DefaultSpec is the configuration used throughout the test suite: the
+// Linux variant with the permissions trait mixed in and a root initial
+// process, matching the paper's standard Linux platform runs.
+func DefaultSpec() Spec {
+	return Spec{Platform: PlatformLinux, Permissions: true, RootUser: true}
+}
+
+// NameMax and PathMax are the component and path length limits used for
+// ENAMETOOLONG checks; all modelled platforms use these values.
+const (
+	NameMax = 255
+	PathMax = 4096
+)

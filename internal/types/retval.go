@@ -1,0 +1,114 @@
+package types
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// RetValue is the Go encoding of error_or_value ret_value: what a libc call
+// returns to the process. Like Command, it is a sealed interface standing
+// in for a Lem variant type.
+type RetValue interface {
+	// String renders the value in trace syntax (Fig 3).
+	String() string
+	// Equal reports whether two return values are the same observation.
+	Equal(RetValue) bool
+	isRetValue()
+}
+
+// RvNone is a successful call with no interesting value ("RV_none").
+type RvNone struct{}
+
+// RvNum is a successful call returning an integer (byte counts, offsets).
+type RvNum struct{ N int64 }
+
+// RvBytes is a successful read returning data.
+type RvBytes struct{ Data []byte }
+
+// RvStats is a successful stat/lstat.
+type RvStats struct{ Stats Stats }
+
+// RvFD is a successful open returning a file descriptor.
+type RvFD struct{ FD FD }
+
+// RvDH is a successful opendir returning a directory handle.
+type RvDH struct{ DH DH }
+
+// RvDirent is a successful readdir returning one name; End marks
+// end-of-directory (readdir returned NULL).
+type RvDirent struct {
+	Name string
+	End  bool
+}
+
+// RvErr is an error return.
+type RvErr struct{ Err Errno }
+
+// RvPerm is the previous mask returned by umask.
+type RvPerm struct{ Perm Perm }
+
+func (RvNone) isRetValue()   {}
+func (RvNum) isRetValue()    {}
+func (RvBytes) isRetValue()  {}
+func (RvStats) isRetValue()  {}
+func (RvFD) isRetValue()     {}
+func (RvDH) isRetValue()     {}
+func (RvDirent) isRetValue() {}
+func (RvErr) isRetValue()    {}
+func (RvPerm) isRetValue()   {}
+
+func (RvNone) String() string    { return "RV_none" }
+func (v RvNum) String() string   { return fmt.Sprintf("RV_num(%d)", v.N) }
+func (v RvBytes) String() string { return fmt.Sprintf("RV_bytes(%q)", string(v.Data)) }
+func (v RvStats) String() string { return "RV_stats " + v.Stats.String() }
+func (v RvFD) String() string    { return fmt.Sprintf("RV_file_descriptor(FD %d)", int(v.FD)) }
+func (v RvDH) String() string    { return fmt.Sprintf("RV_dir_handle(DH %d)", int(v.DH)) }
+func (v RvDirent) String() string {
+	if v.End {
+		return "RV_readdir_end"
+	}
+	return fmt.Sprintf("RV_readdir(%q)", v.Name)
+}
+func (v RvErr) String() string  { return v.Err.String() }
+func (v RvPerm) String() string { return "RV_perm(" + v.Perm.String() + ")" }
+
+// Equal implementations compare observations structurally.
+func (RvNone) Equal(o RetValue) bool { _, ok := o.(RvNone); return ok }
+func (v RvNum) Equal(o RetValue) bool {
+	w, ok := o.(RvNum)
+	return ok && v.N == w.N
+}
+func (v RvBytes) Equal(o RetValue) bool {
+	w, ok := o.(RvBytes)
+	return ok && bytes.Equal(v.Data, w.Data)
+}
+func (v RvStats) Equal(o RetValue) bool {
+	w, ok := o.(RvStats)
+	return ok && v.Stats == w.Stats
+}
+func (v RvFD) Equal(o RetValue) bool {
+	w, ok := o.(RvFD)
+	return ok && v.FD == w.FD
+}
+func (v RvDH) Equal(o RetValue) bool {
+	w, ok := o.(RvDH)
+	return ok && v.DH == w.DH
+}
+func (v RvDirent) Equal(o RetValue) bool {
+	w, ok := o.(RvDirent)
+	return ok && v.End == w.End && v.Name == w.Name
+}
+func (v RvErr) Equal(o RetValue) bool {
+	w, ok := o.(RvErr)
+	return ok && v.Err == w.Err
+}
+func (v RvPerm) Equal(o RetValue) bool {
+	w, ok := o.(RvPerm)
+	return ok && v.Perm == w.Perm
+}
+
+// IsError reports whether rv is an error return.
+func IsError(rv RetValue) bool {
+	_, ok := rv.(RvErr)
+	return ok
+}

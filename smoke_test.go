@@ -1,0 +1,100 @@
+package sibylfs
+
+import (
+	"testing"
+
+	"repro/internal/fsimpl"
+)
+
+// TestSmokePipeline is the end-to-end sanity check: a handful of scripts
+// executed against the determinized model and against memfs must be
+// accepted by the oracle.
+func TestSmokePipeline(t *testing.T) {
+	scriptText := `@type script
+# Test rename___rename_emptydir___nonemptydir
+mkdir "emptydir" 0o777
+mkdir "nonemptydir" 0o777
+open "nonemptydir/f" [O_CREAT;O_WRONLY] 0o666
+rename "emptydir" "nonemptydir"
+`
+	s, err := ParseScript(scriptText)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, factory := range []Factory{
+		SpecFS("spec", DefaultSpec()),
+		MemFS(LinuxProfile("ext4")),
+	} {
+		tr, err := ExecuteOne(s, factory)
+		if err != nil {
+			t.Fatalf("exec: %v", err)
+		}
+		r := CheckOne(DefaultSpec(), tr)
+		if !r.Accepted {
+			t.Errorf("trace not accepted:\n%s", RenderChecked(tr, r))
+		}
+	}
+}
+
+// TestSmokeSSHFSRenameEPERM reproduces Fig 4: SSHFS returning EPERM for a
+// rename of an empty dir onto a non-empty dir is rejected with the right
+// diagnosis.
+func TestSmokeSSHFSRenameEPERM(t *testing.T) {
+	traceText := `@type trace
+# Test rename___rename_emptydir___nonemptydir
+1: mkdir "emptydir" 0o777
+1: RV_none
+1: mkdir "nonemptydir" 0o777
+1: RV_none
+1: open "nonemptydir/f" [O_CREAT;O_WRONLY] 0o666
+1: RV_file_descriptor(FD 3)
+1: rename "emptydir" "nonemptydir"
+1: EPERM
+`
+	tr, err := ParseTrace(traceText)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r := CheckOne(DefaultSpec(), tr)
+	if r.Accepted {
+		t.Fatalf("EPERM rename should be rejected")
+	}
+	if len(r.Errors) != 1 {
+		t.Fatalf("want 1 error, got %+v", r.Errors)
+	}
+	got := r.Errors[0].Allowed
+	want := map[string]bool{"EEXIST": true, "ENOTEMPTY": true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Errorf("allowed = %v, want EEXIST and ENOTEMPTY", got)
+	}
+}
+
+// TestSmokeSuiteSample executes a slice of the generated suite on the
+// conforming Linux memfs and checks acceptance.
+func TestSmokeSuiteSample(t *testing.T) {
+	suite := Generate()
+	if len(suite) < 1000 {
+		t.Fatalf("suite too small: %d", len(suite))
+	}
+	sample := suite[:0:0]
+	for i := 0; i < len(suite); i += 97 {
+		sample = append(sample, suite[i])
+	}
+	traces, err := Execute(sample, MemFS(fsimpl.LinuxProfile("ext4")), 0)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	results := Check(DefaultSpec(), traces, 0)
+	bad := 0
+	for i, r := range results {
+		if !r.Accepted {
+			bad++
+			if bad <= 5 {
+				t.Logf("rejected:\n%s", RenderChecked(traces[i], r))
+			}
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%d/%d sampled traces rejected", bad, len(sample))
+	}
+}

@@ -1,0 +1,156 @@
+package sibylfs
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/fsimpl"
+	"repro/internal/types"
+)
+
+// Config is one survey configuration: an implementation under test paired
+// with the model variant its traces are checked against.
+type Config struct {
+	Name    string
+	Factory Factory
+	Spec    Spec
+	// Serial forces single-worker execution (hostfs's process-global
+	// umask).
+	Serial bool
+	// SkipUserScripts excludes scripts that switch credentials
+	// (hostfs runs everything as the harness user).
+	SkipUserScripts bool
+}
+
+// Configurations returns the survey matrix: conforming baselines for every
+// platform, one profile per catalogued §7.3 defect, several conforming
+// Linux file systems (distinct configurations, behaviourally alike — as
+// ext2/ext3/ext4 are in the paper), the determinized model, and the real
+// host kernel; most are checked both against their native variant and
+// against strict POSIX, mirroring the paper's >40 system configurations.
+func Configurations() []Config {
+	var out []Config
+	add := func(c Config) { out = append(out, c) }
+
+	profiles := fsimpl.SurveyProfiles()
+	// Conforming Linux file systems beyond ext4: distinct configurations
+	// sharing the conforming profile.
+	for _, alias := range []string{"ext2", "ext3", "tmpfs", "xfs", "f2fs", "nilfs2", "minix"} {
+		profiles = append(profiles, fsimpl.LinuxProfile(alias))
+	}
+	for _, p := range profiles {
+		p := p
+		native := SpecFor(p.Platform)
+		add(Config{
+			Name:    fmt.Sprintf("%s vs %s", p.Name, native.Platform),
+			Factory: fsimpl.MemFactory(p),
+			Spec:    native,
+		})
+		if p.Platform != types.PlatformPOSIX {
+			add(Config{
+				Name:    fmt.Sprintf("%s vs posix", p.Name),
+				Factory: fsimpl.MemFactory(p),
+				Spec:    SpecFor(POSIX),
+			})
+		}
+	}
+	for _, pl := range []Platform{POSIX, Linux, OSX, FreeBSD} {
+		pl := pl
+		name := fmt.Sprintf("specfs_%s", pl)
+		add(Config{
+			Name:    fmt.Sprintf("%s vs %s", name, pl),
+			Factory: fsimpl.SpecFactory(name, SpecFor(pl)),
+			Spec:    SpecFor(pl),
+		})
+	}
+	add(Config{
+		Name:            "hostfs vs linux",
+		Factory:         fsimpl.HostFactory("hostfs"),
+		Spec:            SpecFor(Linux),
+		Serial:          true,
+		SkipUserScripts: true,
+	})
+	add(Config{
+		Name:            "hostfs vs posix",
+		Factory:         fsimpl.HostFactory("hostfs"),
+		Spec:            SpecFor(POSIX),
+		Serial:          true,
+		SkipUserScripts: true,
+	})
+	return out
+}
+
+// SurveyResult is the outcome of running one configuration.
+type SurveyResult struct {
+	Config  Config
+	Summary *analysis.RunSummary
+}
+
+// RunSurvey executes scripts on every configuration and summarises the
+// deviations (the §7.3 survey). workers applies per configuration.
+func RunSurvey(scripts []*Script, configs []Config, workers int) ([]SurveyResult, error) {
+	var out []SurveyResult
+	for _, cfg := range configs {
+		sel := scripts
+		if cfg.SkipUserScripts {
+			sel = FilterHostSafe(scripts)
+		}
+		w := workers
+		if cfg.Serial {
+			w = 1
+		}
+		traces, err := Execute(sel, cfg.Factory, w)
+		if err != nil {
+			return out, fmt.Errorf("survey %s: %w", cfg.Name, err)
+		}
+		results := Check(cfg.Spec, traces, workers)
+		out = append(out, SurveyResult{
+			Config:  cfg,
+			Summary: analysis.Summarise(cfg.Name, traces, results),
+		})
+	}
+	return out, nil
+}
+
+// FilterHostSafe drops scripts that switch credentials or belong to the
+// multi-user permission group.
+func FilterHostSafe(scripts []*Script) []*Script {
+	var out []*Script
+	for _, s := range scripts {
+		if hostSafeScript(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func hostSafeScript(s *Script) bool {
+	if GroupOfName(s.Name) == "perm" {
+		return false
+	}
+	for _, st := range s.Steps {
+		switch l := st.Label.(type) {
+		case types.CreateLabel:
+			if l.Uid != 0 {
+				return false
+			}
+		case types.CallLabel:
+			// Absolute symlink targets would escape the temp-dir jail
+			// (a real chroot, as the paper used, confines them).
+			if sl, ok := l.Cmd.(types.Symlink); ok && len(sl.Target) > 0 && sl.Target[0] == '/' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MergeSurvey merges the per-configuration summaries, exposing the tests
+// that distinguish configurations.
+func MergeSurvey(results []SurveyResult) *analysis.Merged {
+	runs := make([]*analysis.RunSummary, len(results))
+	for i, r := range results {
+		runs[i] = r.Summary
+	}
+	return analysis.Merge(runs)
+}
