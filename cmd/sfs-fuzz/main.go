@@ -1,0 +1,161 @@
+// sfs-fuzz is the coverage-guided script fuzzer: it mutates test scripts,
+// drives them against an implementation under test, admits inputs that
+// reach new model coverage points to a persistent corpus, and minimizes
+// every spec deviation it finds (§8/§9 future work of the paper, made a
+// feedback loop).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	sibylfs "repro"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: sfs-fuzz -fs NAME [flags]
+
+-fs selects the implementation under test:
+  host            the real file system (in a temp-dir jail; implies -workers 1)
+  spec:PLATFORM   the determinized model (posix|linux|mac_os_x|freebsd)
+  NAME            a memfs survey profile (ext4, btrfs, posixovl_vfat_1.2, ...)
+
+The model variant defaults to the profile's platform; override with -spec.
+
+flags:
+`)
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	fsName := flag.String("fs", "", "implementation under test")
+	specName := flag.String("spec", "", "model variant to check against (posix|linux|mac_os_x|freebsd)")
+	duration := flag.Duration("duration", 30*time.Second, "how long to fuzz (0 with -runs for a run-bounded session)")
+	runs := flag.Int64("runs", 0, "stop after this many candidate executions (0 = until -duration)")
+	workers := flag.Int("workers", 4, "parallel fuzzing workers")
+	seed := flag.Int64("seed", 1, "session seed (reproducible with -workers 1)")
+	corpus := flag.String("corpus", "", "corpus directory to persist/resume (also receives findings)")
+	steps := flag.Int("steps", 30, "max steps per candidate script")
+	outDir := flag.String("o", "", "directory for report.html and summary.txt (default: -corpus dir, if set)")
+	verbose := flag.Bool("v", false, "log corpus admissions, findings and progress")
+	flag.Parse()
+	if *fsName == "" {
+		usage()
+	}
+
+	factory, platform, serial := pickFS(*fsName)
+	spec := sibylfs.SpecFor(platform)
+	if *specName != "" {
+		pl, ok := parsePlatform(*specName)
+		if !ok {
+			usage()
+		}
+		spec = sibylfs.SpecFor(pl)
+	}
+	w := *workers
+	if serial {
+		w = 1
+	}
+
+	cfg := sibylfs.FuzzConfig{
+		Name:      fmt.Sprintf("sfs-fuzz %s vs %s", *fsName, spec.Platform),
+		Factory:   factory,
+		Spec:      spec,
+		Seed:      *seed,
+		Workers:   w,
+		Duration:  *duration,
+		MaxRuns:   *runs,
+		MaxSteps:  *steps,
+		CorpusDir: *corpus,
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	res, err := sibylfs.Fuzz(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-fuzz:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %d runs in %v (%.0f/s), %d exec errors\n",
+		cfg.Name, res.Runs, res.Elapsed.Round(time.Millisecond),
+		float64(res.Runs)/res.Elapsed.Seconds(), res.ExecErrors)
+	fmt.Printf("corpus: %d entries (%d new), model coverage %d/%d points (started at %d)\n",
+		res.CorpusSize, res.NewEntries, res.CovHit, res.CovTotal, res.InitialCovHit)
+	if len(res.Findings) == 0 && res.Crashes == 0 {
+		fmt.Println("no deviations found")
+	} else {
+		fmt.Print(res.Summary)
+		for _, f := range res.Findings {
+			fmt.Printf("  %s [%s] %d steps (+%d duplicates)\n", f.Name, f.Kind, len(f.Script.Steps), f.Dups)
+		}
+	}
+
+	dir := *outDir
+	if dir == "" {
+		dir = *corpus
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-fuzz:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "report.html"), []byte(res.HTML), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-fuzz:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "summary.txt"), []byte(res.Summary.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-fuzz:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: %s\n", filepath.Join(dir, "report.html"))
+	}
+	if len(res.Findings) > 0 || res.Crashes > 0 {
+		os.Exit(3) // deviations found: distinct from usage/config errors
+	}
+}
+
+func pickFS(name string) (f sibylfs.Factory, platform sibylfs.Platform, serial bool) {
+	switch {
+	case name == "host":
+		return sibylfs.HostFS("host"), sibylfs.Linux, true
+	case strings.HasPrefix(name, "spec:"):
+		pl, ok := parsePlatform(strings.TrimPrefix(name, "spec:"))
+		if !ok {
+			usage()
+		}
+		return sibylfs.SpecFS(name, sibylfs.SpecFor(pl)), pl, false
+	default:
+		for _, p := range sibylfs.SurveyProfiles() {
+			if p.Name == name {
+				return sibylfs.MemFS(p), p.Platform, false
+			}
+		}
+		// Any other name is a *conforming* Linux memfs configuration (as
+		// ext2/xfs are in the survey matrix). Say so, or a typo'd defect
+		// profile would silently fuzz a defect-free target and report
+		// "no deviations found".
+		fmt.Fprintf(os.Stderr, "sfs-fuzz: note: %q is not a survey profile; fuzzing a conforming Linux memfs under that name\n", name)
+		return sibylfs.MemFS(sibylfs.LinuxProfile(name)), sibylfs.Linux, false
+	}
+}
+
+func parsePlatform(s string) (sibylfs.Platform, bool) {
+	switch s {
+	case "posix":
+		return sibylfs.POSIX, true
+	case "linux":
+		return sibylfs.Linux, true
+	case "mac_os_x", "osx":
+		return sibylfs.OSX, true
+	case "freebsd":
+		return sibylfs.FreeBSD, true
+	}
+	return 0, false
+}

@@ -116,9 +116,13 @@ func TestTable72HostAcceptance(t *testing.T) {
 // accepted with zero failures (by construction, a soundness check).
 func TestTable72SpecFSSelfCheck(t *testing.T) {
 	suite := Generate()
+	stride := 41
+	if testing.Short() {
+		stride = 163 // a thinner but still cross-group sample
+	}
 	var sel []*Script
 	for i, s := range suite {
-		if i%41 == 0 {
+		if i%stride == 0 {
 			sel = append(sel, s)
 		}
 	}
@@ -207,33 +211,6 @@ func TestTable73Survey(t *testing.T) {
 	}
 }
 
-// survey helpers: run the targeted survey scripts on one profile.
-func runSurveyScripts(t *testing.T, profName string, spec Spec) *analysis.RunSummary {
-	t.Helper()
-	var prof Profile
-	found := false
-	for _, p := range SurveyProfiles() {
-		if p.Name == profName {
-			prof, found = p, true
-		}
-	}
-	if !found {
-		t.Fatalf("profile %q missing", profName)
-	}
-	var scripts []*Script
-	for _, s := range Generate() {
-		if GroupOfName(s.Name) == "survey" {
-			scripts = append(scripts, s)
-		}
-	}
-	traces, err := Execute(scripts, MemFS(prof), 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	results := Check(spec, traces, 0)
-	return analysis.Summarise(profName, traces, results)
-}
-
 func deviated(s *analysis.RunSummary, test string) *analysis.Deviation {
 	for i := range s.Deviating {
 		if s.Deviating[i].Test == test {
@@ -246,6 +223,9 @@ func deviated(s *analysis.RunSummary, test string) *analysis.Deviation {
 // TestFig8OpenZFSSpin — Fig 8: the disconnected-directory create spins on
 // OpenZFS/OS X; the oracle flags the watchdog's EINTR as critical.
 func TestFig8OpenZFSSpin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("survey execution run")
+	}
 	s := runSurveyScripts(t, "openzfs_1.3.0_osx", SpecFor(OSX))
 	d := deviated(s, "survey___fig8_disconnected_create")
 	if d == nil {
@@ -267,6 +247,9 @@ func TestFig8OpenZFSSpin(t *testing.T) {
 // TestSurveyPosixovlLeak — §7.3.5: the storage leak is detected both as a
 // wrong link count and as creation failing on an "empty" volume.
 func TestSurveyPosixovlLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("survey execution run")
+	}
 	s := runSurveyScripts(t, "posixovl_vfat_1.2", SpecFor(Linux))
 	d := deviated(s, "survey___posixovl_rename_leak")
 	if d == nil {
@@ -284,6 +267,9 @@ func TestSurveyPosixovlLeak(t *testing.T) {
 
 // TestSurveyPwriteUnderflow — §7.3.4: the OS X VFS negative-offset bug.
 func TestSurveyPwriteUnderflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("survey execution run")
+	}
 	s := runSurveyScripts(t, "hfsplus_osx_10.9.5", SpecFor(OSX))
 	d := deviated(s, "survey___pwrite_negative_offset")
 	if d == nil {
@@ -300,6 +286,9 @@ func TestSurveyPwriteUnderflow(t *testing.T) {
 // TestSurveyInvariantViolation — §7.3.2: FreeBSD's symlink replacement
 // breaks "errors don't change the state".
 func TestSurveyInvariantViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("survey execution run")
+	}
 	s := runSurveyScripts(t, "ufs_freebsd_10", SpecFor(FreeBSD))
 	d := deviated(s, "survey___freebsd_symlink_invariant")
 	if d == nil {
@@ -316,7 +305,7 @@ func TestSurveyInvariantViolation(t *testing.T) {
 // POSIX-checking the same trace flags it, Linux-checking accepts it.
 func TestSurveyPlatformConventions(t *testing.T) {
 	var script *Script
-	for _, s := range Generate() {
+	for _, s := range testSurveyScripts() {
 		if s.Name == "survey___o_append_pwrite" {
 			script = s
 		}
@@ -337,7 +326,7 @@ func TestSurveyPlatformConventions(t *testing.T) {
 // from EPERM (POSIX/OS X).
 func TestSurveyErrorCodes(t *testing.T) {
 	var script *Script
-	for _, s := range Generate() {
+	for _, s := range testSurveyScripts() {
 		if s.Name == "survey___unlink_directory" {
 			script = s
 		}
@@ -358,6 +347,9 @@ func TestSurveyErrorCodes(t *testing.T) {
 // TestSurveySSHFS — §7.3.4: the three mount options compared; allow_other
 // alone lets another user read a 0600 file.
 func TestSurveySSHFS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("survey execution run")
+	}
 	bypass := runSurveyScripts(t, "sshfs_tmpfs_allow_other", SpecFor(Linux))
 	if deviated(bypass, "survey___sshfs_allow_other_bypass") == nil {
 		t.Error("allow_other permission bypass not detected")

@@ -1,0 +1,29 @@
+package sibylfs
+
+import "repro/internal/fuzz"
+
+// Fuzzing vocabulary, re-exported: a coverage-guided mutation fuzzer over
+// test scripts (the feedback loop of §8/§9's future work; see
+// internal/fuzz and cmd/sfs-fuzz).
+type (
+	// FuzzConfig parameterises a fuzzing session.
+	FuzzConfig = fuzz.Config
+	// FuzzResult is the outcome of a session.
+	FuzzResult = fuzz.Result
+	// FuzzFinding is one minimized defect the fuzzer discovered.
+	FuzzFinding = fuzz.Finding
+)
+
+// Fuzz runs a coverage-guided fuzzing session: mutated scripts are
+// executed via the configured Factory, checked against the model, admitted
+// to the corpus when they reach new model coverage points, and minimized
+// into findings when the oracle rejects them.
+//
+//	cfg := sibylfs.FuzzConfig{
+//	    Factory:  sibylfs.MemFS(sibylfs.LinuxProfile("ext4")),
+//	    Spec:     sibylfs.DefaultSpec(),
+//	    Duration: 30 * time.Second,
+//	    Workers:  4,
+//	}
+//	res, err := sibylfs.Fuzz(cfg)
+func Fuzz(cfg FuzzConfig) (*FuzzResult, error) { return fuzz.Run(cfg) }

@@ -22,6 +22,10 @@ type RunSummary struct {
 	Rejected  int
 	ByGroup   map[string]*GroupSummary
 	Deviating []Deviation
+	// CovHit/CovTotal report model coverage-point figures for the run
+	// (§7.2); zero CovTotal means coverage was not measured.
+	CovHit   int
+	CovTotal int
 }
 
 // GroupSummary is the per-command-group breakdown.
@@ -105,6 +109,10 @@ func (s *RunSummary) String() string {
 		if counts[sev] > 0 {
 			fmt.Fprintf(&b, "  severity %-22s %d\n", sev, counts[sev])
 		}
+	}
+	if s.CovTotal > 0 {
+		fmt.Fprintf(&b, "  model coverage %d/%d points (%.1f%%)\n",
+			s.CovHit, s.CovTotal, 100*float64(s.CovHit)/float64(s.CovTotal))
 	}
 	return b.String()
 }

@@ -3,6 +3,14 @@
 // paper does (their suite reaches 98% of the model). Spec code registers
 // points at init time and hits them during evaluation; the report divides
 // hit points by registered points.
+//
+// Beyond the global counters, the package supports per-run attribution for
+// coverage-guided fuzzing (internal/fuzz): a Tracker snapshots the counters
+// around one evaluation and returns exactly the points that run hit.
+// Exactness under concurrency comes from a reader/writer discipline:
+// evaluations that do not need attribution run inside Guard (shared side),
+// attribution windows take the exclusive side, so no foreign hit can land
+// inside an open window.
 package cov
 
 import (
@@ -14,6 +22,13 @@ import (
 var (
 	mu     sync.Mutex
 	points = make(map[string]*uint64)
+	// numHit counts points whose counter went 0→1 since the last Reset,
+	// so HitCount is O(1) — the fuzzer polls it once per run.
+	numHit atomic.Int64
+
+	// attrMu coordinates exact attribution: Tracker.Attribute holds the
+	// write side, Guard the read side.
+	attrMu sync.RWMutex
 )
 
 // Point registers a coverage point and returns its counter. Call at package
@@ -31,7 +46,83 @@ func Point(id string) *uint64 {
 }
 
 // Hit increments a counter. Safe for concurrent use.
-func Hit(c *uint64) { atomic.AddUint64(c, 1) }
+func Hit(c *uint64) {
+	if atomic.AddUint64(c, 1) == 1 {
+		numHit.Add(1)
+	}
+}
+
+// HitCount returns the number of distinct points hit since the last Reset,
+// in O(1). It is monotone between Resets, which is what the fuzzer's
+// cheap "did this run reach anything new globally?" pre-filter relies on.
+func HitCount() int { return int(numHit.Load()) }
+
+// Guard runs f on the shared side of the attribution lock: f's coverage
+// hits can never land inside a concurrently open Tracker.Attribute window.
+// Multiple Guard calls proceed in parallel with each other. Evaluations
+// whose hits need no attribution (the fuzzer's fast path, minimization
+// probes) run under Guard so concurrent attribution stays exact.
+func Guard(f func()) {
+	attrMu.RLock()
+	defer attrMu.RUnlock()
+	f()
+}
+
+// Tracker attributes coverage to individual runs: Attribute(f) returns
+// exactly the points hit during f. Concurrent Attribute calls (from
+// parallel fuzz workers) serialize against each other and against Guard
+// sections, so the delta is exact provided all other model evaluation in
+// the process runs under Guard. A Tracker may be reused across runs; it is
+// not safe for concurrent use by itself (each worker keeps its own, or
+// serializes externally — Attribute's internal lock already serializes the
+// windows).
+type Tracker struct {
+	ids  []string
+	ctrs []*uint64
+	base []uint64
+}
+
+// NewTracker returns a Tracker over the points registered so far.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// refresh (re)builds the point table; points register at package init, but
+// a Tracker built before an import completes would otherwise miss some.
+func (t *Tracker) refresh() {
+	mu.Lock()
+	defer mu.Unlock()
+	if len(t.ids) == len(points) {
+		return
+	}
+	t.ids = t.ids[:0]
+	for id := range points {
+		t.ids = append(t.ids, id)
+	}
+	sort.Strings(t.ids)
+	t.ctrs = make([]*uint64, len(t.ids))
+	for i, id := range t.ids {
+		t.ctrs[i] = points[id]
+	}
+	t.base = make([]uint64, len(t.ids))
+}
+
+// Attribute runs f inside an exclusive attribution window and returns the
+// sorted ids of the coverage points f hit.
+func (t *Tracker) Attribute(f func()) []string {
+	attrMu.Lock()
+	defer attrMu.Unlock()
+	t.refresh()
+	for i, c := range t.ctrs {
+		t.base[i] = atomic.LoadUint64(c)
+	}
+	f()
+	var hit []string
+	for i, c := range t.ctrs {
+		if atomic.LoadUint64(c) > t.base[i] {
+			hit = append(hit, t.ids[i])
+		}
+	}
+	return hit
+}
 
 // Snapshot returns hit counts for every registered point, sorted by id.
 func Snapshot() (ids []string, counts []uint64) {
@@ -68,6 +159,7 @@ func Reset() {
 	for _, c := range points {
 		atomic.StoreUint64(c, 0)
 	}
+	numHit.Store(0)
 }
 
 // Unhit returns the ids of registered points that have never been hit.

@@ -1,7 +1,9 @@
 package cov
 
 import (
+	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -48,6 +50,76 @@ func TestResetZeroes(t *testing.T) {
 			t.Error("reset did not zero the counter")
 		}
 	}
+}
+
+func TestHitCount(t *testing.T) {
+	Reset()
+	if HitCount() != 0 {
+		t.Fatalf("HitCount after Reset = %d", HitCount())
+	}
+	a := Point("test/hitcount_a")
+	b := Point("test/hitcount_b")
+	Hit(a)
+	Hit(a) // repeat hits do not re-count the point
+	before := HitCount()
+	Hit(b)
+	if HitCount() != before+1 {
+		t.Errorf("HitCount = %d, want %d", HitCount(), before+1)
+	}
+	hit, _ := Stats()
+	if HitCount() != hit {
+		t.Errorf("HitCount = %d disagrees with Stats hit = %d", HitCount(), hit)
+	}
+}
+
+func TestTrackerAttribute(t *testing.T) {
+	Reset()
+	a := Point("test/track_a")
+	b := Point("test/track_b")
+	Hit(a) // pre-existing global hits must not leak into the delta
+	tr := NewTracker()
+	got := tr.Attribute(func() { Hit(b); Hit(b) })
+	if !reflect.DeepEqual(got, []string{"test/track_b"}) {
+		t.Errorf("delta = %v, want [test/track_b]", got)
+	}
+	// A reused tracker attributes the next run independently.
+	got = tr.Attribute(func() { Hit(a) })
+	if !reflect.DeepEqual(got, []string{"test/track_a"}) {
+		t.Errorf("second delta = %v, want [test/track_a]", got)
+	}
+	if got = tr.Attribute(func() {}); got != nil {
+		t.Errorf("empty run delta = %v, want nil", got)
+	}
+}
+
+// TestTrackerExcludesGuardedHits is the concurrency contract: hits made
+// under Guard never land inside an open attribution window, so parallel
+// fuzz workers get exact per-run deltas.
+func TestTrackerExcludesGuardedHits(t *testing.T) {
+	Reset()
+	noise := Point("test/track_noise")
+	mine := Point("test/track_mine")
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				Guard(func() { Hit(noise) })
+			}
+		}()
+	}
+	tr := NewTracker()
+	for i := 0; i < 200; i++ {
+		got := tr.Attribute(func() { Hit(mine) })
+		if !reflect.DeepEqual(got, []string{"test/track_mine"}) {
+			t.Errorf("iteration %d: delta = %v, want [test/track_mine]", i, got)
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
 }
 
 func TestConcurrentHits(t *testing.T) {

@@ -1,0 +1,210 @@
+package fuzz
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Entry is one corpus input: a script together with the exact set of model
+// coverage points its checked execution hits. Entries are keyed by that
+// set — two scripts covering identical points occupy one slot, the shorter
+// script winning.
+type Entry struct {
+	Script *trace.Script
+	Points []string // sorted coverage-point ids
+	Sig    string   // hash of Points, the corpus key
+}
+
+// PointsSig hashes a sorted point set into the corpus key.
+func PointsSig(points []string) string {
+	h := sha1.Sum([]byte(strings.Join(points, "\n")))
+	return hex.EncodeToString(h[:8])
+}
+
+// Corpus is the in-memory corpus: entries keyed by coverage signature,
+// plus the union of covered points and per-point reference counts (how
+// many entries hit each point — the scheduler favours entries holding
+// rare points).
+type Corpus struct {
+	entries []*Entry
+	bySig   map[string]int
+	seen    map[string]bool
+	refs    map[string]int
+	// weights caches each entry's rarity score for the scheduler; it is
+	// rebuilt lazily after an admission changes the refcounts (the
+	// scheduler consults it on every iteration, admissions are rare).
+	weights      []float64
+	weightsTotal float64
+	weightsStale bool
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{
+		bySig: make(map[string]int),
+		seen:  make(map[string]bool),
+		refs:  make(map[string]int),
+	}
+}
+
+// Len returns the number of entries.
+func (c *Corpus) Len() int { return len(c.entries) }
+
+// Entries returns the backing slice (not a copy; callers must not mutate).
+func (c *Corpus) Entries() []*Entry { return c.entries }
+
+// Seen reports whether a coverage point is covered by some entry.
+func (c *Corpus) Seen(point string) bool { return c.seen[point] }
+
+// SeenCount returns the number of distinct points the corpus covers.
+func (c *Corpus) SeenCount() int { return len(c.seen) }
+
+// Rarity scores an entry: the sum over its points of 1/refcount, so an
+// entry that is the sole holder of a point scores at least 1 for it.
+func (c *Corpus) Rarity(e *Entry) float64 {
+	var w float64
+	for _, p := range e.Points {
+		if n := c.refs[p]; n > 0 {
+			w += 1 / float64(n)
+		}
+	}
+	return w
+}
+
+// Admit offers a script with its attributed point set to the corpus.
+// The input is admitted iff it hits at least one point no existing entry
+// hits. Independently, if an entry with the identical point set already
+// exists, the shorter script replaces the longer one (dedup keeps the
+// cheapest representative per signature); the superseded script is
+// returned as evicted so persisted copies can be deleted.
+func (c *Corpus) Admit(s *trace.Script, points []string) (e *Entry, admitted, replaced bool, evicted *trace.Script) {
+	if len(points) == 0 {
+		return nil, false, false, nil
+	}
+	sorted := append([]string(nil), points...)
+	sort.Strings(sorted)
+	sig := PointsSig(sorted)
+	if i, ok := c.bySig[sig]; ok {
+		old := c.entries[i]
+		if len(s.Steps) < len(old.Script.Steps) {
+			evicted = old.Script
+			old.Script = s
+			return old, false, true, evicted
+		}
+		return old, false, false, nil
+	}
+	fresh := false
+	for _, p := range sorted {
+		if !c.seen[p] {
+			fresh = true
+			break
+		}
+	}
+	if !fresh {
+		return nil, false, false, nil
+	}
+	e = &Entry{Script: s, Points: sorted, Sig: sig}
+	c.bySig[sig] = len(c.entries)
+	c.entries = append(c.entries, e)
+	for _, p := range sorted {
+		c.seen[p] = true
+		c.refs[p]++
+	}
+	c.weightsStale = true
+	return e, true, false, nil
+}
+
+// Weights returns the per-entry rarity scores and their sum, rebuilding
+// the cache only after an admission invalidated it. The slice is owned by
+// the corpus; callers must not mutate it and must hold whatever lock
+// guards the corpus while using it.
+func (c *Corpus) Weights() ([]float64, float64) {
+	if c.weightsStale || len(c.weights) != len(c.entries) {
+		c.weights = c.weights[:0]
+		c.weightsTotal = 0
+		for _, e := range c.entries {
+			w := c.Rarity(e)
+			if w <= 0 {
+				w = 1e-9
+			}
+			c.weights = append(c.weights, w)
+			c.weightsTotal += w
+		}
+		c.weightsStale = false
+	}
+	return c.weights, c.weightsTotal
+}
+
+// ---- On-disk persistence ----
+//
+// A corpus directory holds one .script file per entry, named by a hash of
+// the script text (not the coverage signature: coverage is recomputed on
+// load, so files survive model evolution). Findings live in a findings/
+// subdirectory and are not reloaded as corpus entries.
+
+// scriptFileName names an entry file by its rendered content.
+func scriptFileName(s *trace.Script) string {
+	h := sha1.Sum([]byte(s.Render()))
+	return hex.EncodeToString(h[:8]) + ".script"
+}
+
+// SaveScript writes one corpus script under dir.
+func SaveScript(dir string, s *trace.Script) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, scriptFileName(s))
+	return os.WriteFile(path, []byte(s.Render()), 0o644)
+}
+
+// RemoveScript deletes a superseded corpus script's file, if present.
+func RemoveScript(dir string, s *trace.Script) error {
+	err := os.Remove(filepath.Join(dir, scriptFileName(s)))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// LoadScripts parses every .script file directly under dir, in sorted
+// filename order (so corpus replay is deterministic). A missing directory
+// is an empty corpus, not an error.
+func LoadScripts(dir string) ([]*trace.Script, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, de := range entries {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".script") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []*trace.Script
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		s, err := trace.ParseScript(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: corpus file %s: %w", name, err)
+		}
+		if s.Name == "" {
+			s.Name = strings.TrimSuffix(name, ".script")
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,542 @@
+// Package fuzz is a coverage-guided mutation fuzzer over test scripts —
+// the feedback loop the paper leaves as future work (§8 randomised /
+// differential testing, §9 automatic test-case reduction), built from the
+// repo's existing parts: seeded random generation (internal/testgen),
+// model coverage points (internal/cov), the executor (internal/exec), the
+// oracle (internal/checker) and ddmin reduction (internal/reduce).
+//
+// The loop is the classic greybox one: a scheduler picks a corpus entry
+// (weighted towards entries holding rare coverage points), mutation
+// operators derive a candidate script, the executor drives it against the
+// implementation under test, and the oracle checks the observed trace
+// against the model. Candidates that hit model coverage points no corpus
+// entry hits are admitted (the corpus is keyed by coverage-point set);
+// oracle-rejected traces are minimized with delta debugging and recorded
+// as findings, rendered through internal/analysis. The corpus persists to
+// disk so successive runs resume where the last one stopped.
+//
+// Coverage attribution is exact even with parallel workers: the fast path
+// (execute + check, no attribution) runs under cov.Guard, and the rare
+// re-run that attributes a promising candidate's exact point set runs in a
+// cov.Tracker window that excludes all guarded evaluation.
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/checker"
+	"repro/internal/cov"
+	"repro/internal/exec"
+	"repro/internal/fsimpl"
+	"repro/internal/reduce"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Config parameterises one fuzzing session.
+type Config struct {
+	// Name labels the session in reports (e.g. "fuzz hfsplus_linux_trusty
+	// vs linux").
+	Name string
+	// Factory creates the implementation under test, one instance per run.
+	Factory fsimpl.Factory
+	// Spec is the model variant the oracle checks against.
+	Spec types.Spec
+	// Seed makes the session reproducible (with Workers = 1).
+	Seed int64
+	// Workers is the number of parallel fuzzing goroutines
+	// (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// Duration bounds wall-clock time; zero means no time bound.
+	Duration time.Duration
+	// MaxRuns bounds the number of candidate executions; zero means no
+	// bound. At least one of Duration and MaxRuns must be set.
+	MaxRuns int64
+	// MaxSteps caps candidate script length (default 30).
+	MaxSteps int
+	// CorpusDir persists the corpus (and findings) for resumption; empty
+	// keeps everything in memory.
+	CorpusDir string
+	// Seeds are extra initial inputs offered to the corpus at startup.
+	Seeds []*trace.Script
+	// KeepCoverage leaves the process-global coverage counters as they
+	// are instead of resetting them at session start.
+	KeepCoverage bool
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// Result is the outcome of one fuzzing session.
+type Result struct {
+	Runs       int64
+	ExecErrors int64
+	Crashes    int64
+	// CorpusSize is the final number of corpus entries; NewEntries counts
+	// those admitted during this session's loop (excluding reloaded ones).
+	CorpusSize int
+	NewEntries int
+	// InitialCovHit is the number of model coverage points hit after
+	// seeding/corpus reload, before any mutation ran — resumed sessions
+	// start strictly ahead of empty ones.
+	InitialCovHit int
+	// CovHit/CovTotal are the session-end model coverage figures (§7.2).
+	CovHit   int
+	CovTotal int
+	Findings []*Finding
+	// Summary/HTML are the findings rendered through internal/analysis.
+	Summary *analysis.RunSummary
+	HTML    string
+	Elapsed time.Duration
+}
+
+// Run executes one fuzzing session.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Factory == nil {
+		return nil, errors.New("fuzz: Config.Factory is required")
+	}
+	if cfg.Duration <= 0 && cfg.MaxRuns <= 0 {
+		return nil, errors.New("fuzz: set Config.Duration or Config.MaxRuns")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 30
+	}
+	if cfg.Name == "" {
+		cfg.Name = "fuzz"
+	}
+
+	e := &engine{
+		cfg:     cfg,
+		check:   checker.New(cfg.Spec),
+		corpus:  NewCorpus(),
+		tracker: cov.NewTracker(),
+		bySig:   make(map[string]*Finding),
+		rawSeen: make(map[string]*Finding),
+	}
+	if !cfg.KeepCoverage {
+		cov.Reset()
+	}
+
+	if err := e.seed(); err != nil {
+		return nil, err
+	}
+	initialHit := cov.HitCount()
+	e.logf("fuzz: start corpus=%d coverage=%d points", e.corpus.Len(), initialHit)
+
+	start := time.Now()
+	var deadline time.Time
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			e.worker(id, deadline)
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	e.progress(done)
+
+	res := &Result{
+		Runs:          e.runs.Load(),
+		ExecErrors:    e.execErrs.Load(),
+		Crashes:       e.crashes.Load(),
+		InitialCovHit: initialHit,
+		Elapsed:       time.Since(start),
+	}
+	e.mu.Lock()
+	res.CorpusSize = e.corpus.Len()
+	res.NewEntries = e.newEntries
+	res.Findings = append(res.Findings, e.findings...)
+	e.mu.Unlock()
+	res.CovHit, res.CovTotal = cov.Stats()
+
+	sum, html, err := Report(cfg.Name, res.Findings)
+	if err != nil {
+		return nil, err
+	}
+	res.Summary, res.HTML = sum, html
+	e.logf("fuzz: done runs=%d corpus=%d (+%d) coverage=%d/%d findings=%d crashes=%d in %v",
+		res.Runs, res.CorpusSize, res.NewEntries, res.CovHit, res.CovTotal,
+		len(res.Findings), res.Crashes, res.Elapsed.Round(time.Millisecond))
+	return res, nil
+}
+
+// engine is the shared state of one session.
+type engine struct {
+	cfg   Config
+	check *checker.Checker
+
+	mu         sync.Mutex // corpus, findings, newEntries
+	corpus     *Corpus
+	findings   []*Finding
+	bySig      map[string]*Finding
+	rawSeen    map[string]*Finding // pre-minimization dedup (see reportDeviation)
+	newEntries int
+
+	tracker  *cov.Tracker // Attribute serializes internally
+	runs     atomic.Int64
+	seq      atomic.Int64
+	execErrs atomic.Int64
+	crashes  atomic.Int64
+}
+
+func (e *engine) logf(format string, args ...any) {
+	if e.cfg.Log != nil {
+		fmt.Fprintf(e.cfg.Log, format+"\n", args...)
+	}
+}
+
+// seed loads the persisted corpus (if any) and the configured seed
+// scripts, replaying each through attributed execution so the corpus keys
+// and the global coverage counters reflect the current model.
+func (e *engine) seed() error {
+	var scripts []*trace.Script
+	if e.cfg.CorpusDir != "" {
+		loaded, err := LoadScripts(e.cfg.CorpusDir)
+		if err != nil {
+			return err
+		}
+		scripts = append(scripts, loaded...)
+	}
+	scripts = append(scripts, e.cfg.Seeds...)
+	for _, s := range scripts {
+		if !validLifecycle(s) {
+			continue
+		}
+		e.offer(s, false)
+	}
+	return nil
+}
+
+// worker is one fuzzing goroutine: its RNG stream is derived from the
+// session seed and worker id, so a single-worker session is fully
+// deterministic.
+func (e *engine) worker(id int, deadline time.Time) {
+	r := rand.New(rand.NewSource(workerSeed(e.cfg.Seed, id)))
+	m := &mutator{r: r, maxSteps: e.cfg.MaxSteps}
+	for {
+		seq := e.seq.Add(1)
+		if e.cfg.MaxRuns > 0 && seq > e.cfg.MaxRuns {
+			return
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return
+		}
+		e.step(r, m, seq)
+		e.runs.Add(1)
+	}
+}
+
+func workerSeed(seed int64, id int) int64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(id)*0xd1342543de82ef95 + 1
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return int64(z ^ (z >> 31))
+}
+
+// step runs one fuzzing iteration.
+func (e *engine) step(r *rand.Rand, m *mutator, seq int64) {
+	parent, donor := e.pick(r)
+	var cand *trace.Script
+	if parent == nil {
+		cand = m.fresh(e.cfg.Seed, int(seq))
+	} else {
+		cand = m.mutate(parent, donor)
+		cand.Name = candidateName(seq)
+	}
+
+	before := cov.HitCount()
+	tr, res, crash, err := e.execCheck(cand)
+	switch {
+	case crash != "":
+		e.crashes.Add(1)
+		e.reportCrash(cand, crash)
+	case err != nil:
+		e.execErrs.Add(1)
+	case !res.Accepted:
+		e.reportDeviation(cand, tr, res)
+	case cov.HitCount() > before || r.Intn(64) == 0:
+		// The cheap pre-filter only sees *globally* new points, which a
+		// deviating run may have claimed first even though no corpus entry
+		// holds them — so a small slice of accepted runs is attributed
+		// unconditionally, letting the corpus eventually absorb points
+		// first reached along defect paths.
+		e.offer(cand, true)
+	}
+}
+
+// execCheck is the fast path: execute and check once under cov.Guard (so
+// its hits never land in a concurrent attribution window), catching
+// panics from the implementation or the model.
+func (e *engine) execCheck(s *trace.Script) (tr *trace.Trace, res checker.Result, crash string, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			crash = fmt.Sprintf("%v", p)
+		}
+	}()
+	cov.Guard(func() {
+		tr, err = exec.Run(s, e.cfg.Factory)
+		if err == nil {
+			res = e.check.Check(tr)
+		}
+	})
+	return tr, res, "", err
+}
+
+// pick chooses a parent entry (weighted by coverage-point rarity) and an
+// independent donor for splicing. Roughly one candidate in ten is
+// generated from scratch instead, so exploration never stops; an empty
+// corpus always generates fresh inputs.
+func (e *engine) pick(r *rand.Rand) (parent, donor *trace.Script) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.corpus.Len()
+	if n == 0 || r.Intn(10) == 0 {
+		return nil, nil
+	}
+	entries := e.corpus.Entries()
+	weights, total := e.corpus.Weights()
+	x := r.Float64() * total
+	idx := n - 1
+	for i, w := range weights {
+		if x < w {
+			idx = i
+			break
+		}
+		x -= w
+	}
+	parent = entries[idx].Script
+	donor = entries[r.Intn(n)].Script
+	return parent, donor
+}
+
+// offer attributes the script's exact coverage-point set (re-running it in
+// an exclusive cov.Tracker window) and admits it to the corpus if it hits
+// a point no existing entry hits. Scripts whose attributed re-run deviates
+// are routed to the findings path instead (e.g. loaded corpus entries that
+// deviate under a different profile than they were collected on).
+func (e *engine) offer(s *trace.Script, fromLoop bool) {
+	var tr *trace.Trace
+	var res checker.Result
+	var runErr error
+	var crash string
+	points := e.tracker.Attribute(func() {
+		defer func() {
+			if p := recover(); p != nil {
+				crash = fmt.Sprintf("%v", p)
+			}
+		}()
+		tr, runErr = exec.Run(s, e.cfg.Factory)
+		if runErr == nil {
+			res = e.check.Check(tr)
+		}
+	})
+	if crash != "" {
+		// E.g. a reloaded corpus replayed against a different profile that
+		// panics on it: a finding, not a session abort.
+		e.crashes.Add(1)
+		e.reportCrash(s, crash)
+		return
+	}
+	if runErr != nil {
+		e.execErrs.Add(1)
+		return
+	}
+	if !res.Accepted {
+		e.reportDeviation(s, tr, res)
+		return
+	}
+	e.mu.Lock()
+	entry, admitted, replaced, evicted := e.corpus.Admit(s, points)
+	if admitted && fromLoop {
+		e.newEntries++
+	}
+	if (admitted || replaced) && e.cfg.CorpusDir != "" {
+		// Persist while still holding e.mu: a save racing a concurrent
+		// replace of the same signature could otherwise re-create the
+		// just-evicted file after its removal, and nothing would ever
+		// delete it again. Admissions are rare, so the I/O under the lock
+		// does not matter.
+		if err := SaveScript(e.cfg.CorpusDir, s); err != nil {
+			e.logf("fuzz: persisting corpus entry: %v", err)
+		}
+		if evicted != nil {
+			if err := RemoveScript(e.cfg.CorpusDir, evicted); err != nil {
+				e.logf("fuzz: removing superseded corpus entry: %v", err)
+			}
+		}
+	}
+	e.mu.Unlock()
+	if admitted && fromLoop {
+		e.logf("fuzz: corpus +%s (%d points, %d steps)", entry.Sig, len(entry.Points), len(s.Steps))
+	}
+}
+
+// reportDeviation minimizes an oracle-rejected candidate and records the
+// finding, deduplicating by minimized signature. Minimization costs many
+// oracle executions, and on defect-heavy targets most deviating candidates
+// re-discover a known root cause — so a cheap pre-minimization key (the
+// failing ops with their observed/allowed diagnoses) short-circuits
+// duplicates before ddmin runs.
+func (e *engine) reportDeviation(cand *trace.Script, tr *trace.Trace, res checker.Result) {
+	rawKey := rawDeviationKey(tr, res)
+	e.mu.Lock()
+	if f, ok := e.rawSeen[rawKey]; ok {
+		f.Dups++
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+
+	min, err := reduce.MinimizeWith(cand, e.guardedDeviates)
+	if err != nil {
+		min = cand
+	}
+	trMin, resMin := tr, res
+	if min != cand {
+		if tr2, res2, crash, err2 := e.execCheck(min); crash == "" && err2 == nil && !res2.Accepted {
+			trMin, resMin = tr2, res2
+		} else {
+			min = cand // minimization went nondeterministic; keep the original
+		}
+	}
+	sig := findingSig(min, resMin)
+	name := findingName(KindDeviation, sig)
+	if min == cand {
+		// Don't rename the caller's script in place (cand may be a
+		// user-supplied Config.Seeds entry that was already minimal).
+		min = copyScript(cand)
+	}
+	min.Name = name
+	trMin.Name = name
+	resMin.Name = name
+
+	e.mu.Lock()
+	if f, ok := e.bySig[sig]; ok {
+		f.Dups++
+		e.rawSeen[rawKey] = f
+		e.mu.Unlock()
+		return
+	}
+	f := &Finding{
+		Name:     name,
+		Kind:     KindDeviation,
+		Script:   min,
+		Original: cand,
+		Trace:    trMin,
+		Result:   resMin,
+		Sig:      sig,
+	}
+	e.bySig[sig] = f
+	e.rawSeen[rawKey] = f
+	e.findings = append(e.findings, f)
+	e.mu.Unlock()
+
+	e.logf("fuzz: DEVIATION %s (%d steps, observed %s)", name, len(min.Steps), observedOf(resMin))
+	if e.cfg.CorpusDir != "" {
+		if err := saveFinding(e.cfg.CorpusDir, f); err != nil {
+			e.logf("fuzz: persisting finding: %v", err)
+		}
+	}
+}
+
+// reportCrash minimizes a panicking candidate with a panic-preserving
+// oracle and records it.
+func (e *engine) reportCrash(cand *trace.Script, panicVal string) {
+	min, err := reduce.MinimizeWith(cand, func(s *trace.Script) (bad bool, oerr error) {
+		_, _, crash, runErr := e.execCheck(s)
+		if runErr != nil {
+			return false, nil // an unexecutable shrink is not the crash
+		}
+		return crash != "", nil
+	})
+	if err != nil {
+		min = cand
+	}
+	sig := "panic|" + panicVal + "|" + findingSig(min, checker.Result{})
+	name := findingName(KindCrash, sig)
+	if min == cand {
+		min = copyScript(cand)
+	}
+	min.Name = name
+
+	e.mu.Lock()
+	if f, ok := e.bySig[sig]; ok {
+		f.Dups++
+		e.mu.Unlock()
+		return
+	}
+	f := &Finding{
+		Name:       name,
+		Kind:       KindCrash,
+		Script:     min,
+		Original:   cand,
+		Sig:        sig,
+		PanicValue: panicVal,
+	}
+	e.bySig[sig] = f
+	e.findings = append(e.findings, f)
+	e.mu.Unlock()
+
+	e.logf("fuzz: CRASH %s: %s", name, panicVal)
+	if e.cfg.CorpusDir != "" {
+		if err := saveFinding(e.cfg.CorpusDir, f); err != nil {
+			e.logf("fuzz: persisting finding: %v", err)
+		}
+	}
+}
+
+// guardedDeviates is the minimization oracle: execute + check under
+// cov.Guard, so reduction probes cannot pollute attribution windows.
+func (e *engine) guardedDeviates(s *trace.Script) (bad bool, err error) {
+	_, res, crash, err := e.execCheck(s)
+	if err != nil {
+		return false, nil // shrinks that fail to execute don't deviate
+	}
+	if crash != "" {
+		return false, nil // crash shrink belongs to the crash oracle
+	}
+	return !res.Accepted, nil
+}
+
+func observedOf(r checker.Result) string {
+	if len(r.Errors) == 0 {
+		return "?"
+	}
+	return r.Errors[0].Observed
+}
+
+// progress emits a status line every few seconds until done closes.
+func (e *engine) progress(done <-chan struct{}) {
+	if e.cfg.Log == nil {
+		<-done
+		return
+	}
+	t := time.NewTicker(5 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			e.mu.Lock()
+			corpus, findings := e.corpus.Len(), len(e.findings)
+			e.mu.Unlock()
+			e.logf("fuzz: runs=%d corpus=%d coverage=%d findings=%d",
+				e.runs.Load(), corpus, cov.HitCount(), findings)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package fuzz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/fsimpl"
+	"repro/internal/testgen"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+func linuxSpec() types.Spec { return types.DefaultSpec() }
+
+// ---- corpus semantics ----
+
+func TestCorpusAdmitAndDedup(t *testing.T) {
+	c := NewCorpus()
+	s1 := testgen.RandomScript(1, 0, 8)
+	s2 := testgen.RandomScript(1, 1, 4)
+	s3 := testgen.RandomScript(1, 2, 2)
+
+	if _, admitted, _, _ := c.Admit(s1, []string{"p/a", "p/b"}); !admitted {
+		t.Fatal("first input with fresh points not admitted")
+	}
+	// No new point → rejected.
+	if _, admitted, _, _ := c.Admit(s2, []string{"p/a"}); admitted {
+		t.Error("input covering only seen points admitted")
+	}
+	// New point → admitted.
+	if _, admitted, _, _ := c.Admit(s2, []string{"p/a", "p/c"}); !admitted {
+		t.Error("input with a new point rejected")
+	}
+	if c.Len() != 2 || c.SeenCount() != 3 {
+		t.Fatalf("corpus = %d entries / %d points, want 2 / 3", c.Len(), c.SeenCount())
+	}
+	// Identical point set, shorter script → replaces in place.
+	e, admitted, replaced, evicted := c.Admit(s3, []string{"p/b", "p/a"}) // order must not matter
+	if admitted || !replaced {
+		t.Fatalf("same-signature shorter script: admitted=%v replaced=%v, want replace", admitted, replaced)
+	}
+	if e.Script != s3 {
+		t.Error("replacement kept the longer script")
+	}
+	if evicted != s1 {
+		t.Error("replacement did not report the superseded script as evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("replacement grew the corpus to %d", c.Len())
+	}
+	// Identical point set, longer script → dropped.
+	if _, admitted, replaced, _ := c.Admit(s1, []string{"p/a", "p/b"}); admitted || replaced {
+		t.Error("longer same-signature script admitted or replaced")
+	}
+	// Empty attribution never enters.
+	if _, admitted, _, _ := c.Admit(s1, nil); admitted {
+		t.Error("empty point set admitted")
+	}
+}
+
+func TestCorpusRarityFavoursSoleHolders(t *testing.T) {
+	c := NewCorpus()
+	e1, _, _, _ := c.Admit(testgen.RandomScript(2, 0, 3), []string{"p/common"})
+	e2, _, _, _ := c.Admit(testgen.RandomScript(2, 1, 3), []string{"p/common", "p/rare"})
+	if c.Rarity(e2) <= c.Rarity(e1) {
+		t.Errorf("rarity(e2)=%v ≤ rarity(e1)=%v; sole holder of p/rare should score higher",
+			c.Rarity(e2), c.Rarity(e1))
+	}
+}
+
+// ---- mutator validity ----
+
+// TestMutatorProducesParsableScripts: every mutation product must render
+// and re-parse to the same script (so corpus persistence round-trips) and
+// keep the process lifecycle well-formed (so rejections are real
+// deviations, not harness artifacts).
+func TestMutatorProducesParsableScripts(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	m := &mutator{r: r, maxSteps: 30}
+	parent := testgen.RandomScript(99, 0, 12)
+	donor := testgen.RandomScript(99, 1, 12)
+	for i := 0; i < 500; i++ {
+		cand := m.mutate(parent, donor)
+		if len(cand.Steps) == 0 || len(cand.Steps) > 30 {
+			t.Fatalf("iteration %d: %d steps out of bounds", i, len(cand.Steps))
+		}
+		if !validLifecycle(cand) {
+			t.Fatalf("iteration %d: ill-formed process lifecycle:\n%s", i, cand.Render())
+		}
+		text := cand.Render()
+		back, err := trace.ParseScript(text)
+		if err != nil {
+			t.Fatalf("iteration %d: mutated script does not parse: %v\n%s", i, err, text)
+		}
+		if back.Render() != text {
+			t.Fatalf("iteration %d: render/parse round-trip changed the script:\n%s\nvs\n%s",
+				i, text, back.Render())
+		}
+		// Evolve: occasionally adopt the mutant as the next parent.
+		if i%7 == 0 {
+			parent = cand
+		}
+	}
+}
+
+func TestValidLifecycle(t *testing.T) {
+	callStep := func(pid types.Pid) trace.Step {
+		return trace.Step{Label: types.CallLabel{Pid: pid, Cmd: types.Stat{Path: "/"}}}
+	}
+	ok := &trace.Script{Steps: []trace.Step{
+		callStep(1),
+		{Label: types.CreateLabel{Pid: 2, Uid: 1, Gid: 1}},
+		callStep(2),
+		{Label: types.DestroyLabel{Pid: 2}},
+	}}
+	if !validLifecycle(ok) {
+		t.Error("well-formed script rejected")
+	}
+	for name, bad := range map[string]*trace.Script{
+		"call from unknown pid":  {Steps: []trace.Step{callStep(3)}},
+		"call after destroy":     {Steps: []trace.Step{{Label: types.CreateLabel{Pid: 2}}, {Label: types.DestroyLabel{Pid: 2}}, callStep(2)}},
+		"duplicate create":       {Steps: []trace.Step{{Label: types.CreateLabel{Pid: 2}}, {Label: types.CreateLabel{Pid: 2}}}},
+		"destroy of unknown pid": {Steps: []trace.Step{{Label: types.DestroyLabel{Pid: 5}}}},
+		"return label in script": {Steps: []trace.Step{{Label: types.ReturnLabel{Pid: 1, Ret: types.RvNone{}}}}},
+	} {
+		if validLifecycle(bad) {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// ---- engine behaviour ----
+
+// TestFuzzDeterministic: one worker, same seed and run budget ⇒ identical
+// schedule, corpus and coverage.
+func TestFuzzDeterministic(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(Config{
+			Factory: fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")),
+			Spec:    linuxSpec(),
+			Seed:    7,
+			Workers: 1,
+			MaxRuns: 400,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Runs != b.Runs || a.CorpusSize != b.CorpusSize || a.CovHit != b.CovHit ||
+		len(a.Findings) != len(b.Findings) {
+		t.Fatalf("runs %d/%d corpus %d/%d cov %d/%d findings %d/%d differ",
+			a.Runs, b.Runs, a.CorpusSize, b.CorpusSize, a.CovHit, b.CovHit,
+			len(a.Findings), len(b.Findings))
+	}
+	if a.CorpusSize == 0 {
+		t.Fatal("no corpus entries admitted in 400 runs")
+	}
+}
+
+// TestFuzzFindsAndMinimizesDeviation is the end-to-end acceptance check:
+// fuzzing the HFS+-on-Trusty defect profile (§7.3: chmod fails
+// EOPNOTSUPP, link-to-symlink fails EPERM) against the Linux model must
+// surface a deviation and minimize it to its essence.
+func TestFuzzFindsAndMinimizesDeviation(t *testing.T) {
+	var prof fsimpl.Profile
+	for _, p := range fsimpl.SurveyProfiles() {
+		if p.Name == "hfsplus_linux_trusty" {
+			prof = p
+		}
+	}
+	if prof.Name == "" {
+		t.Fatal("survey profile missing")
+	}
+	res, err := Run(Config{
+		Name:    "fuzz hfsplus_linux_trusty vs linux",
+		Factory: fsimpl.MemFactory(prof),
+		Spec:    linuxSpec(),
+		Seed:    3,
+		Workers: 2,
+		MaxRuns: 1200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("no deviations found on a defect-injected profile")
+	}
+	foundChmod := false
+	for _, f := range res.Findings {
+		if f.Kind != KindDeviation {
+			continue
+		}
+		if len(f.Script.Steps) >= len(f.Original.Steps) && len(f.Original.Steps) > 2 {
+			t.Errorf("%s: not minimized (%d steps from %d)", f.Name, len(f.Script.Steps), len(f.Original.Steps))
+		}
+		for _, e := range f.Result.Errors {
+			if e.Observed == "EOPNOTSUPP" && len(f.Script.Steps) <= 2 {
+				foundChmod = true
+			}
+		}
+	}
+	if !foundChmod {
+		t.Error("chmod-EOPNOTSUPP defect not found and minimized to ≤ 2 steps")
+	}
+	// Findings render through the analysis pipeline.
+	if res.Summary == nil || res.Summary.Rejected == 0 {
+		t.Fatal("analysis summary missing the deviations")
+	}
+	if res.Summary.CovTotal == 0 {
+		t.Error("summary carries no coverage figures")
+	}
+	if !strings.Contains(res.HTML, "Model coverage") || !strings.Contains(res.HTML, "fuzz___") {
+		t.Error("HTML report missing coverage or findings")
+	}
+}
+
+// TestFuzzCorpusPersistAndResume: a session persists its corpus; a
+// resumed session reloads it and starts with strictly more initial model
+// coverage than a cold one.
+func TestFuzzCorpusPersistAndResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Factory:   fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")),
+		Spec:      linuxSpec(),
+		Seed:      11,
+		Workers:   1,
+		MaxRuns:   400,
+		CorpusDir: dir,
+	}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.InitialCovHit != 0 {
+		t.Errorf("cold session started with coverage %d, want 0", first.InitialCovHit)
+	}
+	if first.CorpusSize == 0 {
+		t.Fatal("first session admitted nothing")
+	}
+
+	cfg.Seed = 12 // a different schedule, same persisted corpus
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CorpusSize == 0 {
+		t.Fatal("resumed session has an empty corpus")
+	}
+	if second.InitialCovHit <= first.InitialCovHit {
+		t.Errorf("resumed initial coverage %d not strictly above cold start %d",
+			second.InitialCovHit, first.InitialCovHit)
+	}
+	// The reloaded corpus replays to at least the coverage it was
+	// collected at (entries are re-attributed, not trusted).
+	if second.InitialCovHit > first.CovHit {
+		t.Errorf("resumed initial coverage %d exceeds what the first session reached (%d)",
+			second.InitialCovHit, first.CovHit)
+	}
+}
+
+// TestFuzzSeedScriptsEnterCorpus: configured seed inputs are attributed
+// and admitted before the loop starts.
+func TestFuzzSeedScriptsEnterCorpus(t *testing.T) {
+	res, err := Run(Config{
+		Factory: fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")),
+		Spec:    linuxSpec(),
+		Seed:    5,
+		Workers: 1,
+		MaxRuns: 1, // practically no fuzzing: corpus comes from the seeds
+		Seeds:   testgen.RandomScripts(42, 10, 15),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorpusSize == 0 {
+		t.Fatal("seed scripts not admitted")
+	}
+	if res.InitialCovHit == 0 {
+		t.Fatal("seed replay hit no coverage points")
+	}
+}
+
+// TestFuzzConfigValidation: missing factory or missing stop condition are
+// rejected.
+func TestFuzzConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Spec: linuxSpec(), MaxRuns: 1}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := Run(Config{Factory: fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")), Spec: linuxSpec()}); err == nil {
+		t.Error("unbounded session accepted")
+	}
+}

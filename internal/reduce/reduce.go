@@ -13,6 +13,13 @@ import (
 	"repro/internal/types"
 )
 
+// Oracle reports whether a script still exhibits the behaviour being
+// minimized (for spec deviations: executes the script and asks the checker).
+// Callers may wrap extra policy around the check — the fuzzer's oracle runs
+// under cov.Guard so minimization probes never pollute a concurrent
+// coverage-attribution window.
+type Oracle func(*trace.Script) (bool, error)
+
 // Deviates executes the script against a fresh instance and reports
 // whether the oracle rejects the resulting trace.
 func Deviates(s *trace.Script, factory fsimpl.Factory, spec types.Spec) (bool, error) {
@@ -29,13 +36,20 @@ func Deviates(s *trace.Script, factory fsimpl.Factory, spec types.Spec) (bool, e
 // granularity-1 phase, which suffices for our linear scripts). The result
 // still deviates; if the input does not deviate it is returned unchanged.
 func Minimize(s *trace.Script, factory fsimpl.Factory, spec types.Spec) (*trace.Script, error) {
-	bad, err := Deviates(s, factory, spec)
+	return MinimizeWith(s, func(c *trace.Script) (bool, error) {
+		return Deviates(c, factory, spec)
+	})
+}
+
+// MinimizeWith is Minimize with an injected deviation oracle.
+func MinimizeWith(s *trace.Script, deviates Oracle) (*trace.Script, error) {
+	bad, err := deviates(s)
 	if err != nil || !bad {
 		return s, err
 	}
 	cur := s
 	for {
-		shrunk, err := removalPass(cur, factory, spec)
+		shrunk, err := removalPass(cur, deviates)
 		if err != nil {
 			return cur, err
 		}
@@ -47,7 +61,7 @@ func Minimize(s *trace.Script, factory fsimpl.Factory, spec types.Spec) (*trace.
 }
 
 // removalPass tries dropping each step (and chunks of steps) once.
-func removalPass(s *trace.Script, factory fsimpl.Factory, spec types.Spec) (*trace.Script, error) {
+func removalPass(s *trace.Script, deviates Oracle) (*trace.Script, error) {
 	// Coarse first: halves, quarters; then single steps.
 	for _, chunk := range []int{len(s.Steps) / 2, len(s.Steps) / 4, 1} {
 		if chunk < 1 {
@@ -64,7 +78,7 @@ func removalPass(s *trace.Script, factory fsimpl.Factory, spec types.Spec) (*tra
 				i = end
 				continue
 			}
-			bad, err := Deviates(cand, factory, spec)
+			bad, err := deviates(cand)
 			if err != nil {
 				return s, err
 			}

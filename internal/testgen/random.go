@@ -10,27 +10,72 @@ import (
 // RandomScripts implements the randomised testing mode the paper lists as
 // supported future work (§8 "Differential testing", §9): seeded random
 // command sequences over a small name universe, so collisions with
-// existing objects are frequent. Scripts are reproducible from the seed.
+// existing objects are frequent. Each script draws from an independent RNG
+// derived from (seed, index), so any script is reproducible on its own —
+// the property corpus replay in internal/fuzz depends on.
 func RandomScripts(seed int64, n, callsPerScript int) []*trace.Script {
-	r := rand.New(rand.NewSource(seed))
 	out := make([]*trace.Script, 0, n)
 	for i := 0; i < n; i++ {
-		s := &trace.Script{Name: caseName("random", itoa(seed), itoa(int64(i)))}
-		g := &randGen{r: r, nextFD: 3, nextDH: 1}
-		for j := 0; j < callsPerScript; j++ {
-			s.Steps = append(s.Steps, call(1, g.command()))
-		}
-		out = append(out, s)
+		out = append(out, RandomScript(seed, i, callsPerScript))
 	}
 	return out
 }
 
-type randGen struct {
+// RandomScript regenerates script number index of the sequence RandomScripts
+// produces for seed, without generating the scripts before it.
+func RandomScript(seed int64, index, callsPerScript int) *trace.Script {
+	r := rand.New(rand.NewSource(ScriptSeed(seed, index)))
+	s := &trace.Script{Name: caseName("random", itoa(seed), itoa(int64(index)))}
+	g := NewCmdGen(r)
+	for j := 0; j < callsPerScript; j++ {
+		s.Steps = append(s.Steps, call(1, g.Command()))
+	}
+	return s
+}
+
+// ScriptSeed derives the per-script RNG seed from the suite seed and the
+// script index with a splitmix64 finalizer, so nearby (seed, index) pairs
+// yield uncorrelated streams.
+func ScriptSeed(seed int64, index int) int64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(index) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// CmdGen draws random commands, tracking handle allocations so that
+// descriptor-based calls mostly target live handles. It backs RandomScript
+// and is exported for the fuzzer's mutation operators, which share the
+// same name/flag/perm universes.
+type CmdGen struct {
 	r      *rand.Rand
 	nextFD types.FD
 	nextDH types.DH
 	fds    []types.FD
 	dhs    []types.DH
+}
+
+// NewCmdGen returns a generator drawing from r, with handle numbering
+// starting at the executor's first descriptor (FD 3, DH 1).
+func NewCmdGen(r *rand.Rand) *CmdGen {
+	return &CmdGen{r: r, nextFD: 3, nextDH: 1}
+}
+
+// SeedHandles primes the live-handle pools, for mutating into an existing
+// script that has already allocated descriptors.
+func (g *CmdGen) SeedHandles(fds []types.FD, dhs []types.DH) {
+	g.fds = append(g.fds, fds...)
+	for _, fd := range fds {
+		if fd >= g.nextFD {
+			g.nextFD = fd + 1
+		}
+	}
+	g.dhs = append(g.dhs, dhs...)
+	for _, dh := range dhs {
+		if dh >= g.nextDH {
+			g.nextDH = dh + 1
+		}
+	}
 }
 
 var randNames = []string{
@@ -39,29 +84,35 @@ var randNames = []string{
 	"/s1", "/s2", "/d/../a", "//b",
 }
 
-func (g *randGen) path() string { return randNames[g.r.Intn(len(randNames))] }
+// Path draws from the small name universe (§6.1's idea: few names, many
+// collisions).
+func (g *CmdGen) Path() string { return randNames[g.r.Intn(len(randNames))] }
 
-func (g *randGen) perm() types.Perm {
-	perms := []types.Perm{0o777, 0o755, 0o700, 0o644, 0o600, 0o000, 0o1777}
-	return perms[g.r.Intn(len(perms))]
+var randPerms = []types.Perm{0o777, 0o755, 0o700, 0o644, 0o600, 0o000, 0o1777}
+
+// Perm draws a creation/chmod mode from the suite's permission universe.
+func (g *CmdGen) Perm() types.Perm {
+	return randPerms[g.r.Intn(len(randPerms))]
 }
 
-func (g *randGen) fd() types.FD {
-	// Mostly plausible descriptors, sometimes junk.
+// FD draws a mostly-plausible file descriptor, sometimes junk.
+func (g *CmdGen) FD() types.FD {
 	if len(g.fds) > 0 && g.r.Intn(4) != 0 {
 		return g.fds[g.r.Intn(len(g.fds))]
 	}
 	return types.FD(g.r.Intn(10))
 }
 
-func (g *randGen) dh() types.DH {
+// DH draws a mostly-plausible directory handle, sometimes junk.
+func (g *CmdGen) DH() types.DH {
 	if len(g.dhs) > 0 && g.r.Intn(4) != 0 {
 		return g.dhs[g.r.Intn(len(g.dhs))]
 	}
 	return types.DH(g.r.Intn(4))
 }
 
-func (g *randGen) data() []byte {
+// Data draws a short lowercase payload.
+func (g *CmdGen) Data() []byte {
 	n := g.r.Intn(16)
 	b := make([]byte, n)
 	for i := range b {
@@ -70,34 +121,39 @@ func (g *randGen) data() []byte {
 	return b
 }
 
-// command draws one random call, tracking handle allocations so that
+// Flags draws an open flag combination from the full 9-bit matrix.
+func (g *CmdGen) Flags() types.OpenFlags {
+	return types.OpenFlags(g.r.Intn(1 << 9))
+}
+
+// Command draws one random call, tracking handle allocations so that
 // descriptor-based calls mostly target live handles.
-func (g *randGen) command() types.Command {
+func (g *CmdGen) Command() types.Command {
 	switch g.r.Intn(20) {
 	case 0:
-		return types.Mkdir{Path: g.path(), Perm: g.perm()}
+		return types.Mkdir{Path: g.Path(), Perm: g.Perm()}
 	case 1:
-		return types.Rmdir{Path: g.path()}
+		return types.Rmdir{Path: g.Path()}
 	case 2:
-		return types.Unlink{Path: g.path()}
+		return types.Unlink{Path: g.Path()}
 	case 3:
-		return types.Link{Src: g.path(), Dst: g.path()}
+		return types.Link{Src: g.Path(), Dst: g.Path()}
 	case 4:
-		return types.Rename{Src: g.path(), Dst: g.path()}
+		return types.Rename{Src: g.Path(), Dst: g.Path()}
 	case 5:
-		return types.Symlink{Target: g.path(), Linkpath: g.path()}
+		return types.Symlink{Target: g.Path(), Linkpath: g.Path()}
 	case 6:
-		return types.Readlink{Path: g.path()}
+		return types.Readlink{Path: g.Path()}
 	case 7:
-		return types.Stat{Path: g.path()}
+		return types.Stat{Path: g.Path()}
 	case 8:
-		return types.Lstat{Path: g.path()}
+		return types.Lstat{Path: g.Path()}
 	case 9:
-		return types.Truncate{Path: g.path(), Len: int64(g.r.Intn(12) - 2)}
+		return types.Truncate{Path: g.Path(), Len: int64(g.r.Intn(12) - 2)}
 	case 10:
-		return types.Chmod{Path: g.path(), Perm: g.perm()}
+		return types.Chmod{Path: g.Path(), Perm: g.Perm()}
 	case 11:
-		return types.Chdir{Path: g.path()}
+		return types.Chdir{Path: g.Path()}
 	case 12:
 		// open may allocate; assume success for numbering (failed opens
 		// leave a gap, which is fine — misuse is part of the test).
@@ -105,28 +161,28 @@ func (g *randGen) command() types.Command {
 		g.nextFD++
 		g.fds = append(g.fds, fd)
 		return types.Open{
-			Path:    g.path(),
-			Flags:   types.OpenFlags(g.r.Intn(1 << 9)),
-			Perm:    g.perm(),
+			Path:    g.Path(),
+			Flags:   g.Flags(),
+			Perm:    g.Perm(),
 			HasPerm: true,
 		}
 	case 13:
-		return types.Close{FD: g.fd()}
+		return types.Close{FD: g.FD()}
 	case 14:
-		data := g.data()
-		return types.Write{FD: g.fd(), Data: data, Size: int64(len(data))}
+		data := g.Data()
+		return types.Write{FD: g.FD(), Data: data, Size: int64(len(data))}
 	case 15:
-		return types.Read{FD: g.fd(), Size: int64(g.r.Intn(20))}
+		return types.Read{FD: g.FD(), Size: int64(g.r.Intn(20))}
 	case 16:
-		return types.Lseek{FD: g.fd(), Off: int64(g.r.Intn(20) - 4), Whence: types.SeekWhence(g.r.Intn(3))}
+		return types.Lseek{FD: g.FD(), Off: int64(g.r.Intn(20) - 4), Whence: types.SeekWhence(g.r.Intn(3))}
 	case 17:
 		dh := g.nextDH
 		g.nextDH++
 		g.dhs = append(g.dhs, dh)
-		return types.Opendir{Path: g.path()}
+		return types.Opendir{Path: g.Path()}
 	case 18:
-		return types.Readdir{DH: g.dh()}
+		return types.Readdir{DH: g.DH()}
 	default:
-		return types.Closedir{DH: g.dh()}
+		return types.Closedir{DH: g.DH()}
 	}
 }

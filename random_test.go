@@ -13,7 +13,11 @@ import (
 )
 
 func TestRandomDifferentialMemfs(t *testing.T) {
-	scripts := testgen.RandomScripts(1, 300, 25)
+	n := 300
+	if testing.Short() {
+		n = 80
+	}
+	scripts := testgen.RandomScripts(1, n, 25)
 	traces, err := Execute(scripts, MemFS(LinuxProfile("ext4")), 0)
 	if err != nil {
 		t.Fatal(err)
@@ -31,7 +35,11 @@ func TestRandomDifferentialMemfs(t *testing.T) {
 }
 
 func TestRandomDifferentialSpecFS(t *testing.T) {
-	scripts := testgen.RandomScripts(2, 100, 20)
+	n := 100
+	if testing.Short() {
+		n = 40
+	}
+	scripts := testgen.RandomScripts(2, n, 20)
 	traces, err := Execute(scripts, SpecFS("specfs", DefaultSpec()), 0)
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +78,20 @@ func TestRandomDifferentialHost(t *testing.T) {
 	}
 	if bad > 0 {
 		t.Errorf("%d/%d random host traces rejected", bad, len(results))
+	}
+}
+
+// TestRandomScriptReplayableAlone: any script of a batch regenerates
+// identically on its own from (seed, index) — corpus replay in
+// internal/fuzz depends on this per-script independence.
+func TestRandomScriptReplayableAlone(t *testing.T) {
+	batch := testgen.RandomScripts(21, 10, 12)
+	for i, want := range batch {
+		got := testgen.RandomScript(21, i, 12)
+		if got.Render() != want.Render() {
+			t.Fatalf("script %d regenerated alone differs from batch:\n%s\nvs\n%s",
+				i, got.Render(), want.Render())
+		}
 	}
 }
 
