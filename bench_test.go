@@ -162,6 +162,37 @@ func BenchmarkTable3StateSetCheck(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckConcurrent measures oracle cost on genuinely interleaved
+// multi-process traces — the τ-closure enumerating call-processing orders
+// (§3's concurrency nondeterminism, the load behind §7.1's MaxStates).
+// Complements BenchmarkTable3StateSetCheck, whose nondeterminism is
+// readdir-driven and single-process.
+func BenchmarkCheckConcurrent(b *testing.B) {
+	scripts := GenerateConcurrent()
+	traces, err := ExecuteConcurrent(scripts, MemFS(LinuxProfile("ext4")),
+		ConcurrentOptions{Seeded: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := checker.New(DefaultSpec())
+	peak := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, tr := range traces {
+			r := c.Check(tr)
+			if !r.Accepted {
+				b.Fatalf("concurrent trace %d rejected", j)
+			}
+			if r.MaxStates > peak {
+				peak = r.MaxStates
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(traces))*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+	b.ReportMetric(float64(peak), "peak_states")
+}
+
 // BenchmarkAblationNoDedup shows what fingerprint deduplication of the
 // state set buys on the same trace (the design choice DESIGN.md calls
 // out; without it, equivalent readdir branches multiply).

@@ -45,15 +45,15 @@ func main() {
 	for _, st := range tr.Steps {
 		fmt.Printf("step %d: %s\n", st.Line, st.Label)
 		var next []*osspec.OsState
-		if ret, ok := st.Label.(types.ReturnLabel); ok {
-			for _, s := range states {
-				if p, ok := s.Procs[ret.Pid]; ok && p.Run == osspec.RsCalling {
-					for _, c := range osspec.TauFor(s, ret.Pid) {
-						next = append(next, oracle.Step(c, st.Label)...)
-					}
-				} else {
-					next = append(next, oracle.Step(s, st.Label)...)
-				}
+		if _, ok := st.Label.(types.ReturnLabel); ok {
+			// Close over τ first, as the checker does: pending calls of any
+			// process may have been processed in any order by now.
+			expanded, taus := osspec.TauClosure(states, true, 0)
+			if taus > 0 {
+				fmt.Printf("  τ-closure: %d states (%d expansions)\n", len(expanded), taus)
+			}
+			for _, s := range expanded {
+				next = append(next, oracle.Step(s, st.Label)...)
 			}
 		} else {
 			for _, s := range states {

@@ -41,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "session seed (reproducible with -workers 1)")
 	corpus := flag.String("corpus", "", "corpus directory to persist/resume (also receives findings)")
 	steps := flag.Int("steps", 30, "max steps per candidate script")
+	concurrent := flag.Bool("concurrent", false, "execute candidates with the concurrent executor (seeded scheduler, seed = -seed) and seed the corpus with the multi-process universe")
 	outDir := flag.String("o", "", "directory for report.html and summary.txt (default: -corpus dir, if set)")
 	verbose := flag.Bool("v", false, "log corpus admissions, findings and progress")
 	flag.Parse()
@@ -63,15 +64,19 @@ func main() {
 	}
 
 	cfg := sibylfs.FuzzConfig{
-		Name:      fmt.Sprintf("sfs-fuzz %s vs %s", *fsName, spec.Platform),
-		Factory:   factory,
-		Spec:      spec,
-		Seed:      *seed,
-		Workers:   w,
-		Duration:  *duration,
-		MaxRuns:   *runs,
-		MaxSteps:  *steps,
-		CorpusDir: *corpus,
+		Name:       fmt.Sprintf("sfs-fuzz %s vs %s", *fsName, spec.Platform),
+		Factory:    factory,
+		Spec:       spec,
+		Seed:       *seed,
+		Workers:    w,
+		Duration:   *duration,
+		MaxRuns:    *runs,
+		MaxSteps:   *steps,
+		CorpusDir:  *corpus,
+		Concurrent: *concurrent,
+	}
+	if *concurrent {
+		cfg.Seeds = sibylfs.GenerateConcurrent()
 	}
 	if *verbose {
 		cfg.Log = os.Stderr

@@ -13,14 +13,21 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: sfs-test -fs NAME [-i DIR] [-o DIR] [-w N]
+	fmt.Fprintf(os.Stderr, `usage: sfs-test -fs NAME [-i DIR] [-o DIR] [-w N] [-concurrent [-sched-seed N]]
 
 -fs selects the implementation under test:
   host            the real file system (in a temp-dir jail)
   spec:PLATFORM   the determinized model (posix|linux|mac_os_x|freebsd)
   NAME            a memfs survey profile (ext4, btrfs, posixovl_vfat_1.2, ...)
 
-Without -i, the generated suite is used.
+Without -i, the generated suite is used (with -concurrent: the concurrent
+multi-process universe).
+
+-concurrent runs each script's processes concurrently — one goroutine per
+process, calls genuinely interleaved in the recorded trace. -sched-seed N
+(N ≠ 0) replaces the free-running goroutines with a deterministic seeded
+scheduler, so the interleaving is reproducible: same script and seed,
+byte-identical trace.
 `)
 	os.Exit(2)
 }
@@ -30,13 +37,15 @@ func main() {
 	inDir := flag.String("i", "", "directory of .script files (default: generated suite)")
 	outDir := flag.String("o", "", "directory for .trace files (default: stdout summary only)")
 	workers := flag.Int("w", 0, "parallel workers (0 = GOMAXPROCS)")
+	concurrent := flag.Bool("concurrent", false, "run script processes concurrently (one goroutine per process)")
+	schedSeed := flag.Int64("sched-seed", 0, "with -concurrent: deterministic scheduler seed (0 = free-running)")
 	flag.Parse()
 	if *fsName == "" {
 		usage()
 	}
 
 	factory, serial, hostOnly := pickFS(*fsName)
-	scripts := loadScripts(*inDir)
+	scripts := loadScripts(*inDir, *concurrent)
 	if hostOnly {
 		scripts = sibylfs.FilterHostSafe(scripts)
 	}
@@ -44,7 +53,17 @@ func main() {
 	if serial {
 		w = 1
 	}
-	traces, err := sibylfs.Execute(scripts, factory, w)
+	var traces []*sibylfs.Trace
+	var err error
+	if *concurrent {
+		traces, err = sibylfs.ExecuteConcurrent(scripts, factory, sibylfs.ConcurrentOptions{
+			Seeded:  *schedSeed != 0,
+			Seed:    *schedSeed,
+			Workers: w,
+		})
+	} else {
+		traces, err = sibylfs.Execute(scripts, factory, w)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sfs-test:", err)
 		os.Exit(1)
@@ -99,8 +118,11 @@ func parsePlatform(s string) (sibylfs.Platform, bool) {
 	return 0, false
 }
 
-func loadScripts(dir string) []*sibylfs.Script {
+func loadScripts(dir string, concurrent bool) []*sibylfs.Script {
 	if dir == "" {
+		if concurrent {
+			return sibylfs.GenerateConcurrent()
+		}
 		return sibylfs.Generate()
 	}
 	var out []*sibylfs.Script

@@ -43,6 +43,41 @@ func TestSummarise(t *testing.T) {
 	}
 }
 
+func TestSummariseStateSetStats(t *testing.T) {
+	results := []checker.Result{
+		{Name: "conc___a", Accepted: true, Steps: 10, SumStates: 40, MaxStates: 12, TauExpansions: 30},
+		{Name: "conc___b", Accepted: true, Steps: 10, SumStates: 10, MaxStates: 3, TauExpansions: 5},
+	}
+	s := Summarise("conc", nil, results)
+	if s.PeakStates != 12 {
+		t.Errorf("PeakStates = %d", s.PeakStates)
+	}
+	if s.MeanStates != 2.5 { // (40+10)/(10+10)
+		t.Errorf("MeanStates = %v", s.MeanStates)
+	}
+	if s.TauExpansions != 35 {
+		t.Errorf("TauExpansions = %d", s.TauExpansions)
+	}
+	text := s.String()
+	if !strings.Contains(text, "oracle state-set: peak 12 states, mean 2.50, 35 τ-expansions") {
+		t.Errorf("report text missing state-set line:\n%s", text)
+	}
+	html, err := RenderIndexHTML(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html, "peak 12 states") {
+		t.Errorf("index html missing state-set stats")
+	}
+
+	// A run with no state tracking (e.g. loaded legacy results) stays
+	// silent rather than printing zeros.
+	empty := Summarise("empty", nil, []checker.Result{{Name: "t", Accepted: true}})
+	if strings.Contains(empty.String(), "oracle state-set") {
+		t.Error("state-set line printed for an unmeasured run")
+	}
+}
+
 func TestClassifySeverities(t *testing.T) {
 	cases := []struct {
 		test     string

@@ -26,6 +26,14 @@ type RunSummary struct {
 	// (§7.2); zero CovTotal means coverage was not measured.
 	CovHit   int
 	CovTotal int
+	// State-set statistics — how hard the oracle worked (§7.1's MaxStates
+	// metric, which concurrent traces finally stress). PeakStates is the
+	// largest tracked set across all traces, MeanStates the step-weighted
+	// mean set size, TauExpansions the total number of τ-successors
+	// explored while closing over internal transitions.
+	PeakStates    int
+	MeanStates    float64
+	TauExpansions int
 }
 
 // GroupSummary is the per-command-group breakdown.
@@ -46,11 +54,18 @@ type Deviation struct {
 // Summarise builds a RunSummary from paired traces and results.
 func Summarise(config string, traces []*trace.Trace, results []checker.Result) *RunSummary {
 	s := &RunSummary{Config: config, ByGroup: make(map[string]*GroupSummary)}
+	var sumStates, steps int
 	for i, r := range results {
 		name := r.Name
 		if name == "" && i < len(traces) {
 			name = traces[i].Name
 		}
+		if r.MaxStates > s.PeakStates {
+			s.PeakStates = r.MaxStates
+		}
+		s.TauExpansions += r.TauExpansions
+		sumStates += r.SumStates
+		steps += r.Steps
 		g := testgen.GroupOf(name)
 		gs, ok := s.ByGroup[g]
 		if !ok {
@@ -71,6 +86,9 @@ func Summarise(config string, traces []*trace.Trace, results []checker.Result) *
 			Severity: Classify(name, r),
 			Errors:   r.Errors,
 		})
+	}
+	if steps > 0 {
+		s.MeanStates = float64(sumStates) / float64(steps)
 	}
 	sort.Slice(s.Deviating, func(i, j int) bool {
 		if s.Deviating[i].Severity != s.Deviating[j].Severity {
@@ -113,6 +131,10 @@ func (s *RunSummary) String() string {
 	if s.CovTotal > 0 {
 		fmt.Fprintf(&b, "  model coverage %d/%d points (%.1f%%)\n",
 			s.CovHit, s.CovTotal, 100*float64(s.CovHit)/float64(s.CovTotal))
+	}
+	if s.PeakStates > 0 {
+		fmt.Fprintf(&b, "  oracle state-set: peak %d states, mean %.2f, %d τ-expansions\n",
+			s.PeakStates, s.MeanStates, s.TauExpansions)
 	}
 	return b.String()
 }

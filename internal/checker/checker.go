@@ -43,6 +43,23 @@ type Result struct {
 	Steps       int
 	MaxStates   int // peak size of the tracked state set (§7.1's key metric)
 	UsedSpecial bool
+	// TauExpansions counts the τ-successor states generated while closing
+	// the state set over internal transitions. Sequential traces need one
+	// expansion round per return; concurrent traces with several pending
+	// calls are where the number grows — it measures how much interleaving
+	// nondeterminism the oracle had to absorb.
+	TauExpansions int
+	// SumStates accumulates the state-set size at every step; together with
+	// Steps it yields the mean set size (see MeanStates).
+	SumStates int
+}
+
+// MeanStates is the mean tracked state-set size per step.
+func (r Result) MeanStates() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.SumStates) / float64(r.Steps)
 }
 
 // Checker checks traces against one variant of the model.
@@ -70,6 +87,7 @@ func (c *Checker) Check(t *trace.Trace) Result {
 
 	for _, st := range t.Steps {
 		res.Steps++
+		res.SumStates += len(states)
 		if len(states) > res.MaxStates {
 			res.MaxStates = len(states)
 		}
@@ -77,7 +95,22 @@ func (c *Checker) Check(t *trace.Trace) Result {
 		case types.ReturnLabel:
 			states = c.stepReturn(states, lbl, st, &res)
 		default:
-			next := unionTrans(states, st.Label)
+			src := states
+			if _, isDestroy := st.Label.(types.DestroyLabel); isDestroy {
+				// Close over τ before a destroy so interleavings where a
+				// pending call was processed before the process vanished
+				// stay represented. Today the model's destroy effects are
+				// invisible to other processes (no capacity accounting),
+				// so this only pre-computes work the next return's closure
+				// would do — but it keeps the oracle sound if destroy ever
+				// gains observable effects. Sequential traces have no
+				// pending calls here, so it is a no-op for them.
+				src = c.tauClosure(states, &res)
+				if len(src) > res.MaxStates {
+					res.MaxStates = len(src)
+				}
+			}
+			next := unionTrans(src, st.Label)
 			if len(next) == 0 {
 				res.Accepted = false
 				res.Errors = append(res.Errors, StepError{
@@ -97,19 +130,18 @@ func (c *Checker) Check(t *trace.Trace) Result {
 	return res
 }
 
-// stepReturn matches an observed return value. Processes still in the
-// calling state are advanced by a τ for that pid first (processing at
-// return time is a legal linearisation for harness-produced traces).
+// stepReturn matches an observed return value. The state set is first
+// closed over τ steps — every interleaving in which the pending calls of
+// any processes were processed internally before this return was observed
+// is a legal linearisation. For sequential traces at most one process is
+// mid-call and the closure is a single expansion round; for concurrent
+// traces this closure is where the §3 state-set strategy does its real
+// work, and where MaxStates peaks.
 func (c *Checker) stepReturn(states []*osspec.OsState, lbl types.ReturnLabel, st trace.Step, res *Result) []*osspec.OsState {
-	expanded := make([]*osspec.OsState, 0, len(states))
-	for _, s := range states {
-		if p, ok := s.Procs[lbl.Pid]; ok && p.Run == osspec.RsCalling {
-			expanded = append(expanded, osspec.TauFor(s, lbl.Pid)...)
-		} else {
-			expanded = append(expanded, s)
-		}
+	expanded := c.tauClosure(states, res)
+	if len(expanded) > res.MaxStates {
+		res.MaxStates = len(expanded)
 	}
-	expanded = c.reduce(expanded)
 
 	var next []*osspec.OsState
 	for _, s := range expanded {
@@ -137,6 +169,15 @@ func (c *Checker) stepReturn(states []*osspec.OsState, lbl types.ReturnLabel, st
 		}
 	}
 	return c.reduce(recovered)
+}
+
+// tauClosure closes the state set over internal transitions (see
+// osspec.TauClosure), respecting the checker's dedup ablation and set cap
+// and accounting the expansions in the result's statistics.
+func (c *Checker) tauClosure(states []*osspec.OsState, res *Result) []*osspec.OsState {
+	out, n := osspec.TauClosure(states, !c.DisableDedup, c.MaxStateSet)
+	res.TauExpansions += n
+	return out
 }
 
 func unionTrans(states []*osspec.OsState, lbl types.Label) []*osspec.OsState {

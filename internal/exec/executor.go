@@ -45,7 +45,10 @@ func Run(s *trace.Script, factory fsimpl.Factory) (*trace.Trace, error) {
 		case types.TauLabel:
 			// Scripts don't contain τ; ignore if present.
 		case types.ReturnLabel:
-			return nil, fmt.Errorf("exec: script %q contains a return label", s.Name)
+			// A return in a *script* would otherwise be silently re-emitted
+			// as if the executor had observed it — reject it loudly instead:
+			// returns are executor output, not script input.
+			return nil, fmt.Errorf("exec: script %q line %d contains a return label (%s); returns are executor output, not script input", s.Name, st.Line, lbl)
 		}
 	}
 	return t, nil
@@ -56,11 +59,19 @@ func Run(s *trace.Script, factory fsimpl.Factory) (*trace.Trace, error) {
 // Implementations with process-global state (HostFS's umask) should be run
 // with workers = 1.
 func RunAll(scripts []*trace.Script, factory fsimpl.Factory, workers int) ([]*trace.Trace, error) {
+	return runPool(len(scripts), workers, func(i int) (*trace.Trace, error) {
+		return Run(scripts[i], factory)
+	})
+}
+
+// runPool runs fn for every index on a bounded worker pool (workers ≤ 0
+// selects GOMAXPROCS), preserving order and reporting the first error.
+func runPool(n, workers int, fn func(i int) (*trace.Trace, error)) ([]*trace.Trace, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	traces := make([]*trace.Trace, len(scripts))
-	errs := make([]error, len(scripts))
+	traces := make([]*trace.Trace, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -68,11 +79,11 @@ func RunAll(scripts []*trace.Script, factory fsimpl.Factory, workers int) ([]*tr
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				traces[i], errs[i] = Run(scripts[i], factory)
+				traces[i], errs[i] = fn(i)
 			}
 		}()
 	}
-	for i := range scripts {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)

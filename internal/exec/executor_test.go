@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/fsimpl"
@@ -54,9 +55,16 @@ func TestRunHandlesProcessEvents(t *testing.T) {
 }
 
 func TestRunRejectsReturnLabels(t *testing.T) {
-	s := script("bad", types.ReturnLabel{Pid: 1, Ret: types.RvNone{}})
-	if _, err := Run(s, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4"))); err == nil {
+	s := script("bad",
+		types.CallLabel{Pid: 1, Cmd: types.Mkdir{Path: "/d", Perm: 0o755}},
+		types.ReturnLabel{Pid: 1, Ret: types.RvNone{}},
+	)
+	_, err := Run(s, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")))
+	if err == nil {
 		t.Fatal("script with return label accepted")
+	}
+	if !strings.Contains(err.Error(), "return label") || !strings.Contains(err.Error(), `"bad"`) {
+		t.Errorf("error does not diagnose the return label: %v", err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 
 	"repro/internal/types"
@@ -19,10 +20,15 @@ import (
 // boundary is never escaped.
 //
 // HostFS supports a single test process (the harness process); per-pid
-// working directories are tracked as jail-relative prefixes, and credential
-// switching is not attempted — permission-sensitive scripts are run against
-// memfs instead.
+// working contexts (cwd as a jail-relative prefix, descriptor and
+// directory-handle tables) make each model process independent, and
+// credential switching is not attempted — permission-sensitive scripts are
+// run against memfs instead. Calls from concurrent model processes
+// linearise under mu; note that umask remains process-global in the real
+// kernel, so concurrent scripts mixing umask with creation calls are only
+// meaningful against memfs.
 type HostFS struct {
+	mu   sync.Mutex
 	name string
 	root string
 	pids map[types.Pid]*hproc
@@ -71,6 +77,8 @@ func (fs *HostFS) Name() string { return fs.name }
 
 // Close implements FS, removing the jail.
 func (fs *HostFS) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	for _, p := range fs.pids {
 		for _, hfd := range p.fds {
 			_ = syscall.Close(hfd)
@@ -82,6 +90,8 @@ func (fs *HostFS) Close() error {
 // CreateProcess implements FS. Credentials are ignored: HostFS runs
 // everything as the harness's own user.
 func (fs *HostFS) CreateProcess(pid types.Pid, _ types.Uid, _ types.Gid) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	fs.pids[pid] = &hproc{
 		fds:    make(map[types.FD]int),
 		dhs:    make(map[types.DH]*hostDir),
@@ -92,6 +102,8 @@ func (fs *HostFS) CreateProcess(pid types.Pid, _ types.Uid, _ types.Gid) {
 
 // DestroyProcess implements FS.
 func (fs *HostFS) DestroyProcess(pid types.Pid) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	p := fs.pids[pid]
 	if p == nil {
 		return
@@ -226,6 +238,8 @@ func herr(e error) types.RetValue { return types.RvErr{Err: mapErrno(e)} }
 
 // Apply implements FS by issuing real syscalls inside the jail.
 func (fs *HostFS) Apply(pid types.Pid, cmd types.Command) types.RetValue {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	p := fs.pids[pid]
 	if p == nil {
 		return err(types.EINVAL)

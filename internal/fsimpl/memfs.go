@@ -3,6 +3,7 @@ package fsimpl
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -52,6 +53,10 @@ type mproc struct {
 
 // Memfs is the in-memory file system under test.
 type Memfs struct {
+	// mu makes each call atomic, so memfs can be driven by the concurrent
+	// executor: concurrent calls linearise at their Apply, a legal τ point
+	// between the observed call and return labels.
+	mu         sync.Mutex
 	prof       Profile
 	root       *node
 	procs      map[types.Pid]*mproc
@@ -93,6 +98,8 @@ func (fs *Memfs) Close() error { return nil }
 
 // CreateProcess implements FS.
 func (fs *Memfs) CreateProcess(pid types.Pid, uid types.Uid, gid types.Gid) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	fs.procs[pid] = &mproc{
 		cwd:    fs.root,
 		umask:  0o022,
@@ -107,6 +114,8 @@ func (fs *Memfs) CreateProcess(pid types.Pid, uid types.Uid, gid types.Gid) {
 
 // DestroyProcess implements FS.
 func (fs *Memfs) DestroyProcess(pid types.Pid) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	p := fs.procs[pid]
 	if p == nil {
 		return

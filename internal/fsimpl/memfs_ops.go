@@ -7,7 +7,10 @@ import (
 )
 
 // Apply implements FS: one libc call, deterministic behaviour per profile.
+// The whole call runs under fs.mu, so concurrent callers linearise here.
 func (fs *Memfs) Apply(pid types.Pid, cmd types.Command) types.RetValue {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	p := fs.procs[pid]
 	if p == nil {
 		return err(types.EINVAL)

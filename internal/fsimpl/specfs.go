@@ -2,6 +2,7 @@ package fsimpl
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/osspec"
 	"repro/internal/types"
@@ -15,6 +16,7 @@ import (
 // are by construction inside the model's envelope, which gives the test
 // suite a self-check: the oracle must accept 100% of SpecFS traces.
 type SpecFS struct {
+	mu   sync.Mutex // linearises concurrent calls on the single model state
 	name string
 	st   *osspec.OsState
 }
@@ -37,6 +39,8 @@ func (fs *SpecFS) Close() error { return nil }
 
 // CreateProcess implements FS.
 func (fs *SpecFS) CreateProcess(pid types.Pid, uid types.Uid, gid types.Gid) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	next := osspec.Trans(fs.st, types.CreateLabel{Pid: pid, Uid: uid, Gid: gid})
 	if len(next) > 0 {
 		fs.st = next[0]
@@ -45,6 +49,8 @@ func (fs *SpecFS) CreateProcess(pid types.Pid, uid types.Uid, gid types.Gid) {
 
 // DestroyProcess implements FS.
 func (fs *SpecFS) DestroyProcess(pid types.Pid) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	next := osspec.Trans(fs.st, types.DestroyLabel{Pid: pid})
 	if len(next) > 0 {
 		fs.st = next[0]
@@ -53,6 +59,8 @@ func (fs *SpecFS) DestroyProcess(pid types.Pid) {
 
 // Apply implements FS: call → τ → pick one allowed return.
 func (fs *SpecFS) Apply(pid types.Pid, cmd types.Command) types.RetValue {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	called := osspec.Trans(fs.st, types.CallLabel{Pid: pid, Cmd: cmd})
 	if len(called) == 0 {
 		return types.RvErr{Err: types.EINVAL}
@@ -88,6 +96,11 @@ func (fs *SpecFS) Apply(pid types.Pid, cmd types.Command) types.RetValue {
 		}
 		if iErr {
 			return ie.Err < je.Err
+		}
+		in, iNum := choices[i].rv.(types.RvNum)
+		jn, jNum := choices[j].rv.(types.RvNum)
+		if iNum && jNum && in.N != jn.N {
+			return in.N > jn.N // prefer the complete write over a short one
 		}
 		return choices[i].rv.String() < choices[j].rv.String()
 	})

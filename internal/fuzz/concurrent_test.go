@@ -1,0 +1,114 @@
+package fuzz
+
+// Fuzz integration with the concurrent universe: mutation operators must
+// keep multi-process scripts well-formed (create-before-call,
+// destroy-after-last-use) and renderable, and a concurrent-mode session
+// against a conforming target must come out clean.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/fsimpl"
+	"repro/internal/testgen"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// checkProcessInvariants asserts explicitly what validLifecycle implies:
+// every pid's calls fall between its create (pid 1 is implicitly alive)
+// and its destroy, and no label mentions a destroyed pid again.
+func checkProcessInvariants(t *testing.T, s *trace.Script) {
+	t.Helper()
+	created := map[types.Pid]bool{1: true}
+	destroyed := map[types.Pid]bool{}
+	for i, st := range s.Steps {
+		switch l := st.Label.(type) {
+		case types.CallLabel:
+			if !created[l.Pid] {
+				t.Fatalf("step %d: call from pid %d before create:\n%s", i, l.Pid, s.Render())
+			}
+			if destroyed[l.Pid] {
+				t.Fatalf("step %d: call from pid %d after destroy:\n%s", i, l.Pid, s.Render())
+			}
+		case types.CreateLabel:
+			if created[l.Pid] && !destroyed[l.Pid] {
+				t.Fatalf("step %d: duplicate create of pid %d:\n%s", i, l.Pid, s.Render())
+			}
+			created[l.Pid] = true
+			destroyed[l.Pid] = false
+		case types.DestroyLabel:
+			if !created[l.Pid] || destroyed[l.Pid] {
+				t.Fatalf("step %d: destroy of dead pid %d:\n%s", i, l.Pid, s.Render())
+			}
+			destroyed[l.Pid] = true
+		case types.ReturnLabel, types.TauLabel:
+			t.Fatalf("step %d: mutated script carries a %T:\n%s", i, l, s.Render())
+		}
+	}
+}
+
+func TestMutatorPreservesConcurrentInvariants(t *testing.T) {
+	seeds := testgen.ConcurrentScripts()
+	r := rand.New(rand.NewSource(11))
+	m := &mutator{r: r, maxSteps: 40}
+	parent := seeds[0]
+	for i := 0; i < 600; i++ {
+		donor := seeds[r.Intn(len(seeds))]
+		cand := m.mutate(parent, donor)
+		if len(cand.Steps) == 0 {
+			t.Fatal("empty mutation product")
+		}
+		if !validLifecycle(cand) {
+			t.Fatalf("mutation %d: lifecycle-invalid product:\n%s", i, cand.Render())
+		}
+		checkProcessInvariants(t, cand)
+		// Concrete-syntax round trip: a corpus entry must persist and
+		// reload without loss.
+		rt, err := trace.ParseScript(cand.Render())
+		if err != nil {
+			t.Fatalf("mutation %d: unparseable product: %v\n%s", i, err, cand.Render())
+		}
+		if rt.Render() != cand.Render() {
+			t.Fatalf("mutation %d: render round-trip unstable:\n%s", i, cand.Render())
+		}
+		// Walk the corpus like the scheduler would: mutate the mutant
+		// sometimes, hop to a fresh seed otherwise.
+		if r.Intn(3) == 0 {
+			parent = seeds[r.Intn(len(seeds))]
+		} else {
+			parent = cand
+		}
+	}
+}
+
+// TestConcurrentSessionCleanOnConformingTarget runs a short deterministic
+// concurrent-mode session against the conforming Linux memfs: mutated
+// multi-process scripts interleave under the seeded scheduler, and none
+// may produce a deviation or crash.
+func TestConcurrentSessionCleanOnConformingTarget(t *testing.T) {
+	res, err := Run(Config{
+		Name:       "conc-smoke",
+		Factory:    fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")),
+		Spec:       types.DefaultSpec(),
+		Seed:       5,
+		Workers:    1,
+		MaxRuns:    150,
+		MaxSteps:   25,
+		Concurrent: true,
+		Seeds:      testgen.ConcurrentScripts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes > 0 {
+		t.Fatalf("%d crashes in concurrent session", res.Crashes)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("deviation on conforming target: %s\n%s", f.Name, checker.RenderChecked(f.Trace, f.Result))
+	}
+	if res.Runs < 150 {
+		t.Errorf("only %d runs completed", res.Runs)
+	}
+}

@@ -65,6 +65,13 @@ type Config struct {
 	// CorpusDir persists the corpus (and findings) for resumption; empty
 	// keeps everything in memory.
 	CorpusDir string
+	// Concurrent executes candidates with the concurrent executor instead
+	// of the sequential one: script processes run under the seeded
+	// deterministic scheduler (seed = Seed), so mutated multi-process
+	// scripts genuinely interleave while every candidate's trace stays
+	// reproducible for the session seed. Seed the corpus with multi-process
+	// scripts (e.g. testgen.ConcurrentScripts) to make this bite.
+	Concurrent bool
 	// Seeds are extra initial inputs offered to the corpus at startup.
 	Seeds []*trace.Script
 	// KeepCoverage leaves the process-global coverage counters as they
@@ -200,6 +207,15 @@ func (e *engine) logf(format string, args ...any) {
 	}
 }
 
+// runScript executes one candidate with the configured executor mode.
+func (e *engine) runScript(s *trace.Script) (*trace.Trace, error) {
+	if e.cfg.Concurrent {
+		return exec.RunConcurrent(s, e.cfg.Factory,
+			exec.ConcurrentOptions{Seeded: true, Seed: e.cfg.Seed})
+	}
+	return exec.Run(s, e.cfg.Factory)
+}
+
 // seed loads the persisted corpus (if any) and the configured seed
 // scripts, replaying each through attributed execution so the corpus keys
 // and the global coverage counters reflect the current model.
@@ -288,7 +304,7 @@ func (e *engine) execCheck(s *trace.Script) (tr *trace.Trace, res checker.Result
 		}
 	}()
 	cov.Guard(func() {
-		tr, err = exec.Run(s, e.cfg.Factory)
+		tr, err = e.runScript(s)
 		if err == nil {
 			res = e.check.Check(tr)
 		}
@@ -339,7 +355,7 @@ func (e *engine) offer(s *trace.Script, fromLoop bool) {
 				crash = fmt.Sprintf("%v", p)
 			}
 		}()
-		tr, runErr = exec.Run(s, e.cfg.Factory)
+		tr, runErr = e.runScript(s)
 		if runErr == nil {
 			res = e.check.Check(tr)
 		}

@@ -1,6 +1,10 @@
 package osspec
 
-import "repro/internal/types"
+import (
+	"sort"
+
+	"repro/internal/types"
+)
 
 // TauFor processes the pending call of exactly pid (the checker linearises
 // call processing at return time, which is sound for traces where each
@@ -13,6 +17,67 @@ func TauFor(s *OsState, pid types.Pid) []*OsState {
 		return nil
 	}
 	return processCall(s, pid, p.PendingCmd)
+}
+
+// CallingPids lists the processes of s with an unprocessed pending call,
+// in deterministic order.
+func CallingPids(s *OsState) []types.Pid {
+	var pids []types.Pid
+	for pid, p := range s.Procs {
+		if p.Run == RsCalling {
+			pids = append(pids, pid)
+		}
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	return pids
+}
+
+// TauClosure returns every state reachable from the set by zero or more τ
+// steps: all orders in which the pending calls of the calling processes
+// may have been processed in the kernel. Pre-τ states stay in the set (a
+// τ may not have happened yet from the real system's point of view). With
+// dedup, states are collapsed by fingerprint so equivalent interleavings
+// merge; without it the closure still terminates because every τ step
+// moves one process out of RsCalling, bounding the depth. cap > 0 stops
+// further rounds once the set reaches it, but at least one round always
+// runs and nothing generated is dropped: truncating would preferentially
+// evict the τ-advanced states — the only ones able to match an observed
+// return — since the pre-τ originals sit at the front, and skipping the
+// first round would leave a cap-saturated set with no advanced states at
+// all. expansions counts the τ-successors generated.
+func TauClosure(states []*OsState, dedup bool, cap int) (out []*OsState, expansions int) {
+	out = append(make([]*OsState, 0, len(states)), states...)
+	var seen map[string]bool
+	if dedup {
+		seen = make(map[string]bool, len(out))
+		for _, s := range out {
+			seen[s.Fingerprint()] = true
+		}
+	}
+	for frontier := out; len(frontier) > 0; {
+		var next []*OsState
+		for _, s := range frontier {
+			for _, pid := range CallingPids(s) {
+				for _, ns := range TauFor(s, pid) {
+					expansions++
+					if seen != nil {
+						fp := ns.Fingerprint()
+						if seen[fp] {
+							continue
+						}
+						seen[fp] = true
+					}
+					next = append(next, ns)
+				}
+			}
+		}
+		out = append(out, next...)
+		frontier = next
+		if cap > 0 && len(out) >= cap {
+			break
+		}
+	}
+	return out, expansions
 }
 
 // AllowedReturn describes the return value(s) a state in RsReturning allows

@@ -195,9 +195,29 @@ func writeCall(s *OsState, pid types.Pid, fd types.FD, data []byte, size, at int
 		pos = -1
 	}
 	cov.Hit(covWriteOk)
-	return []*OsState{succPending(s, pid, PendingWriteUpTo{
-		Pid: pid, Fid: fidRef, Data: append([]byte(nil), data...), At: pos, Seq: seq,
-	}, nil)}
+	// The complete write applies its content effect here, at the τ point —
+	// so with concurrent calls the effect order is the τ interleaving the
+	// checker's closure explores, not the order returns happen to be
+	// observed in. (The continuation refinement of §3 applies effects at
+	// return-match time, which pins effect order to return order; for the
+	// overwhelmingly common full-length write that loses legal concurrent
+	// outcomes, e.g. "last writer wins" where the last writer's return is
+	// observed first.)
+	data = append([]byte(nil), data...)
+	full := succExact(s, pid, types.RvNum{N: int64(len(data))}, func(c *OsState) {
+		applyWriteEffect(c, fidRef, data, int64(len(data)), pos, seq)
+	})
+	out := []*OsState{full}
+	if len(data) > 1 {
+		// Short writes (1 ≤ n < len) keep the return-value continuation:
+		// the byte count is unknown until observed, so the effect lands at
+		// return-match time — the paper's refinement, scoped to the loose
+		// short-write path only.
+		out = append(out, succPending(s, pid, PendingWriteUpTo{
+			Pid: pid, Fid: fidRef, Data: data[:len(data)-1], At: pos, Seq: seq,
+		}, nil))
+	}
+	return out
 }
 
 // lseekCall implements lseek(2).

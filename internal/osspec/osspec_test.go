@@ -159,11 +159,21 @@ func TestShortWriteLooseness(t *testing.T) {
 	s, rv := run(t, s, 1, types.Open{Path: "/f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true})
 	fd := rv.(types.RvFD).FD
 	called := Trans(s, types.CallLabel{Pid: 1, Cmd: types.Write{FD: fd, Data: []byte("abcd"), Size: 4}})[0]
-	cand := TauFor(called, 1)[0]
+	// τ branches into the complete write (effect applied at the τ point)
+	// and the short-write continuation (effect at return-match time); the
+	// union of candidates must allow exactly n ∈ 1..4.
+	cands := TauFor(called, 1)
+	trans := func(rv types.RetValue) []*OsState {
+		var after []*OsState
+		for _, cand := range cands {
+			after = append(after, Trans(cand, types.ReturnLabel{Pid: 1, Ret: rv})...)
+		}
+		return after
+	}
 	for n := int64(1); n <= 4; n++ {
-		after := Trans(cand, types.ReturnLabel{Pid: 1, Ret: types.RvNum{N: n}})
+		after := trans(types.RvNum{N: n})
 		if len(after) != 1 {
-			t.Errorf("short write %d rejected", n)
+			t.Errorf("write of %d bytes allowed by %d candidate states, want 1", n, len(after))
 			continue
 		}
 		p := after[0].Procs[1]
@@ -173,10 +183,10 @@ func TestShortWriteLooseness(t *testing.T) {
 			t.Errorf("file length after write(%d) = %d", n, len(f.Bytes))
 		}
 	}
-	if after := Trans(cand, types.ReturnLabel{Pid: 1, Ret: types.RvNum{N: 0}}); len(after) != 0 {
+	if after := trans(types.RvNum{N: 0}); len(after) != 0 {
 		t.Error("zero write of non-empty data accepted")
 	}
-	if after := Trans(cand, types.ReturnLabel{Pid: 1, Ret: types.RvNum{N: 5}}); len(after) != 0 {
+	if after := trans(types.RvNum{N: 5}); len(after) != 0 {
 		t.Error("over-long write accepted")
 	}
 }

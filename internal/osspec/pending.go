@@ -122,11 +122,18 @@ func (p PendingWriteUpTo) Match(_ *OsState, rv types.RetValue) bool {
 
 // Finalize implements Pending.
 func (p PendingWriteUpTo) Finalize(s *OsState, rv types.RetValue) {
-	n := rv.(types.RvNum).N
+	applyWriteEffect(s, p.Fid, p.Data, rv.(types.RvNum).N, p.At, p.Seq)
+}
+
+// applyWriteEffect writes the first n bytes of data at position at (-1 =
+// append to the current EOF) through the open description fid, advancing
+// its offset for sequential writes. Shared by the complete-write τ effect
+// and the short-write return-time continuation.
+func applyWriteEffect(s *OsState, fidRef FidRef, data []byte, n, at int64, seq bool) {
 	if n == 0 {
 		return // a zero-length write has no effect (it does not extend)
 	}
-	fid, ok := s.Fids[p.Fid]
+	fid, ok := s.Fids[fidRef]
 	if !ok {
 		return
 	}
@@ -134,7 +141,6 @@ func (p PendingWriteUpTo) Finalize(s *OsState, rv types.RetValue) {
 	if !ok {
 		return
 	}
-	at := p.At
 	if at < 0 {
 		at = int64(len(f.Bytes))
 	}
@@ -142,8 +148,8 @@ func (p PendingWriteUpTo) Finalize(s *OsState, rv types.RetValue) {
 	if int64(len(f.Bytes)) < end {
 		f.Bytes = append(f.Bytes, make([]byte, end-int64(len(f.Bytes)))...)
 	}
-	copy(f.Bytes[at:end], p.Data[:n])
-	if p.Seq {
+	copy(f.Bytes[at:end], data[:n])
+	if seq {
 		fid.Offset = end
 	}
 }

@@ -1,0 +1,139 @@
+package testgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+func TestConcurrentScriptsWellFormed(t *testing.T) {
+	scripts := ConcurrentScripts()
+	if len(scripts) < 10 {
+		t.Fatalf("only %d concurrent scripts", len(scripts))
+	}
+	multiProc := 0
+	multiUid := 0
+	for _, s := range scripts {
+		if !strings.HasPrefix(s.Name, "conc___") {
+			t.Errorf("%s: not in the conc group", s.Name)
+		}
+		live := map[types.Pid]bool{1: true}
+		uids := map[types.Uid]bool{}
+		procs := map[types.Pid]bool{1: true}
+		for _, st := range s.Steps {
+			switch l := st.Label.(type) {
+			case types.CreateLabel:
+				if live[l.Pid] {
+					t.Fatalf("%s: create of live pid %d", s.Name, l.Pid)
+				}
+				live[l.Pid] = true
+				procs[l.Pid] = true
+				uids[l.Uid] = true
+			case types.DestroyLabel:
+				if !live[l.Pid] {
+					t.Fatalf("%s: destroy of dead pid %d", s.Name, l.Pid)
+				}
+				delete(live, l.Pid)
+			case types.CallLabel:
+				if !live[l.Pid] {
+					t.Fatalf("%s: call from dead pid %d", s.Name, l.Pid)
+				}
+			case types.ReturnLabel, types.TauLabel:
+				t.Fatalf("%s: script carries a %T", s.Name, l)
+			}
+		}
+		if len(procs) > 4 {
+			t.Errorf("%s: %d processes, universe is specified as 2–4", s.Name, len(procs))
+		}
+		if len(procs) >= 2 {
+			multiProc++
+		}
+		if len(uids) >= 2 {
+			multiUid++
+		}
+		// Round-trip through the concrete syntax: the fuzzer mutates these
+		// as parsed scripts, so rendering must be stable.
+		rt, err := trace.ParseScript(s.Render())
+		if err != nil {
+			t.Fatalf("%s: unparseable: %v", s.Name, err)
+		}
+		if rt.Render() != s.Render() {
+			t.Errorf("%s: render round-trip unstable", s.Name)
+		}
+	}
+	if multiProc != len(scripts) {
+		t.Errorf("%d/%d scripts are multi-process; all must be", multiProc, len(scripts))
+	}
+	if multiUid == 0 {
+		t.Error("no script exercises distinct uids (permission races missing)")
+	}
+}
+
+func TestConcurrentScriptsShareContendedPaths(t *testing.T) {
+	// Every script must have at least one path touched by two different
+	// processes — otherwise there is nothing to race on.
+	for _, s := range ConcurrentScripts() {
+		touched := map[string]map[types.Pid]bool{}
+		for _, st := range s.Steps {
+			cl, ok := st.Label.(types.CallLabel)
+			if !ok {
+				continue
+			}
+			for _, p := range cmdPaths(cl.Cmd) {
+				if touched[p] == nil {
+					touched[p] = map[types.Pid]bool{}
+				}
+				touched[p][cl.Pid] = true
+			}
+		}
+		shared := false
+		for _, pids := range touched {
+			if len(pids) >= 2 {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			t.Errorf("%s: no path contended by ≥ 2 processes", s.Name)
+		}
+	}
+}
+
+// cmdPaths extracts the path arguments of a command.
+func cmdPaths(c types.Command) []string {
+	switch v := c.(type) {
+	case types.Mkdir:
+		return []string{v.Path}
+	case types.Rmdir:
+		return []string{v.Path}
+	case types.Unlink:
+		return []string{v.Path}
+	case types.Link:
+		return []string{v.Src, v.Dst}
+	case types.Rename:
+		return []string{v.Src, v.Dst}
+	case types.Symlink:
+		return []string{v.Linkpath}
+	case types.Readlink:
+		return []string{v.Path}
+	case types.Stat:
+		return []string{v.Path}
+	case types.Lstat:
+		return []string{v.Path}
+	case types.Truncate:
+		return []string{v.Path}
+	case types.Chmod:
+		return []string{v.Path}
+	case types.Chown:
+		return []string{v.Path}
+	case types.Chdir:
+		return []string{v.Path}
+	case types.Open:
+		return []string{v.Path}
+	case types.Opendir:
+		return []string{v.Path}
+	}
+	return nil
+}

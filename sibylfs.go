@@ -44,6 +44,9 @@ type (
 	Factory = fsimpl.Factory
 	// Profile configures the in-memory implementation's behaviour.
 	Profile = fsimpl.Profile
+	// ConcurrentOptions configure the concurrent executor (seeded
+	// deterministic scheduler vs free-running goroutines).
+	ConcurrentOptions = exec.ConcurrentOptions
 )
 
 // Platform constants.
@@ -64,6 +67,11 @@ func SpecFor(p Platform) Spec {
 
 // Generate builds the full test suite (§6.1).
 func Generate() []*Script { return testgen.Generate().Scripts }
+
+// GenerateConcurrent builds the multi-process concurrency universe: 2–4
+// processes issuing overlapping calls on shared paths. Run it through
+// ExecuteConcurrent so the calls genuinely interleave.
+func GenerateConcurrent() []*Script { return testgen.ConcurrentScripts() }
 
 // SuiteStats reports the number of scripts per command group.
 func SuiteStats(scripts []*Script) map[string]int {
@@ -86,6 +94,19 @@ func Execute(scripts []*Script, factory Factory, workers int) ([]*Trace, error) 
 // ExecuteOne runs a single script.
 func ExecuteOne(script *Script, factory Factory) (*Trace, error) {
 	return exec.Run(script, factory)
+}
+
+// ExecuteConcurrent runs scripts with one goroutine per script process, so
+// calls from different processes genuinely overlap in the recorded traces.
+// With opts.Seeded a deterministic scheduler replays the interleaving
+// chosen by opts.Seed; opts.Workers bounds script-level parallelism.
+func ExecuteConcurrent(scripts []*Script, factory Factory, opts ConcurrentOptions) ([]*Trace, error) {
+	return exec.RunAllConcurrent(scripts, factory, opts)
+}
+
+// ExecuteOneConcurrent runs a single script concurrently.
+func ExecuteOneConcurrent(script *Script, factory Factory, opts ConcurrentOptions) (*Trace, error) {
+	return exec.RunConcurrent(script, factory, opts)
 }
 
 // Check runs the oracle over traces with the given model variant.
