@@ -235,6 +235,97 @@ func BenchmarkAblationStateClone(b *testing.B) {
 	}
 }
 
+// closureFixture builds a state set with several processes holding
+// conflicting pending calls — the τ-closure's worst case: the closure must
+// enumerate processing orders, and only fingerprint-equal interleavings
+// merge. This is the micro-workload behind BenchmarkCheckConcurrent's
+// per-return closures.
+func closureFixture(b *testing.B) []*osspec.OsState {
+	b.Helper()
+	s := osspec.NewOsState(DefaultSpec())
+	for p := 2; p <= 5; p++ {
+		next := osspec.Trans(s, types.CreateLabel{Pid: types.Pid(p), Uid: 0, Gid: 0})
+		if len(next) != 1 {
+			b.Fatal("create rejected")
+		}
+		s = next[0]
+	}
+	calls := []types.Command{
+		types.Mkdir{Path: "/a", Perm: 0o755},
+		types.Open{Path: "/a/f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true},
+		types.Mkdir{Path: "/b", Perm: 0o755},
+		types.Rename{Src: "/b", Dst: "/c"},
+		types.Unlink{Path: "/a/f"},
+	}
+	for i, cmd := range calls {
+		next := osspec.Trans(s, types.CallLabel{Pid: types.Pid(i + 1), Cmd: cmd})
+		if len(next) != 1 {
+			b.Fatal("call rejected")
+		}
+		s = next[0]
+	}
+	return []*osspec.OsState{s}
+}
+
+// BenchmarkTauClosure measures one full τ-closure over the fixture set:
+// every order in which five conflicting pending calls may be processed,
+// with state-identity deduplication and the checker's default worker
+// fan-out — the hot loop of concurrent checking.
+func BenchmarkTauClosure(b *testing.B) {
+	states := closureFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, _ := osspec.TauClosureWith(states, osspec.ClosureOpts{Dedup: true})
+		if len(out) < 8 {
+			b.Fatalf("closure collapsed to %d states", len(out))
+		}
+	}
+}
+
+// BenchmarkTauClosureSerial is the same closure pinned to one worker,
+// isolating the COW/hash gains from the goroutine fan-out.
+func BenchmarkTauClosureSerial(b *testing.B) {
+	states := closureFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, _ := osspec.TauClosureWith(states, osspec.ClosureOpts{Dedup: true, Workers: 1})
+		if len(out) < 8 {
+			b.Fatalf("closure collapsed to %d states", len(out))
+		}
+	}
+}
+
+// BenchmarkStateClone measures the transition-level clone primitive on a
+// populated state (tree of directories, open descriptors, file contents) —
+// the allocation every os_trans successor pays.
+func BenchmarkStateClone(b *testing.B) {
+	s := osspec.NewOsState(DefaultSpec())
+	grow := func(cmd types.Command) {
+		called := osspec.Trans(s, types.CallLabel{Pid: 1, Cmd: cmd})
+		for _, cand := range osspec.TauFor(called[0], 1) {
+			for _, rv := range osspec.ConcreteReturns(cand, 1) {
+				if after := osspec.Trans(cand, types.ReturnLabel{Pid: 1, Ret: rv}); len(after) > 0 {
+					s = after[0]
+					return
+				}
+			}
+		}
+		b.Fatalf("fixture command %v not applied", cmd)
+	}
+	for _, d := range []string{"/d1", "/d2", "/d1/s1", "/d1/s2", "/d2/s3"} {
+		grow(types.Mkdir{Path: d, Perm: 0o755})
+	}
+	for i, f := range []string{"/d1/a", "/d1/b", "/d1/s1/c", "/d2/s3/e", "/f", "/g"} {
+		grow(types.Open{Path: f, Flags: types.OCreat | types.ORdwr, Perm: 0o644, HasPerm: true})
+		grow(types.Write{FD: types.FD(3 + i), Data: []byte("some file content payload"), Size: 25})
+	}
+	grow(types.Opendir{Path: "/d1"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Clone()
+	}
+}
+
 // BenchmarkFig7ModelSize regenerates the Fig 7 table: non-comment lines of
 // specification per module (the paper's Lem model totals 5 981 lines).
 func BenchmarkFig7ModelSize(b *testing.B) {

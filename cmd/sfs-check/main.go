@@ -77,6 +77,10 @@ func main() {
 	}
 	summary := analysis.Summarise(fmt.Sprintf("%s vs %s", *inDir, *platform), traces, results)
 	fmt.Print(summary)
+	if summary.CapHits > 0 {
+		fmt.Fprintf(os.Stderr, "sfs-check: warning: %d trace(s) hit the oracle's state-set cap; "+
+			"verdicts for them are best-effort\n", summary.CapHits)
+	}
 	if summary.Rejected > 0 {
 		os.Exit(1)
 	}

@@ -47,8 +47,11 @@ func main() {
 		var next []*osspec.OsState
 		if _, ok := st.Label.(types.ReturnLabel); ok {
 			// Close over τ first, as the checker does: pending calls of any
-			// process may have been processed in any order by now.
-			expanded, taus := osspec.TauClosure(states, true, 0)
+			// process may have been processed in any order by now. The
+			// closure fans out across GOMAXPROCS workers exactly like the
+			// checker's, so the dump shows the same states in the same
+			// order the oracle tracks them.
+			expanded, taus, _ := osspec.TauClosureWith(states, osspec.ClosureOpts{Dedup: true})
 			if taus > 0 {
 				fmt.Printf("  τ-closure: %d states (%d expansions)\n", len(expanded), taus)
 			}

@@ -34,6 +34,11 @@ type RunSummary struct {
 	PeakStates    int
 	MeanStates    float64
 	TauExpansions int
+	// CapHits counts traces whose tracked state set hit the checker's
+	// MaxStateSet cap and was truncated: their verdicts are best-effort
+	// (see checker.Result.StateSetCapHit) and deserve a second look with a
+	// larger cap.
+	CapHits int
 }
 
 // GroupSummary is the per-command-group breakdown.
@@ -64,6 +69,9 @@ func Summarise(config string, traces []*trace.Trace, results []checker.Result) *
 			s.PeakStates = r.MaxStates
 		}
 		s.TauExpansions += r.TauExpansions
+		if r.StateSetCapHit {
+			s.CapHits++
+		}
 		sumStates += r.SumStates
 		steps += r.Steps
 		g := testgen.GroupOf(name)
@@ -135,6 +143,10 @@ func (s *RunSummary) String() string {
 	if s.PeakStates > 0 {
 		fmt.Fprintf(&b, "  oracle state-set: peak %d states, mean %.2f, %d τ-expansions\n",
 			s.PeakStates, s.MeanStates, s.TauExpansions)
+	}
+	if s.CapHits > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d trace(s) hit the state-set cap; their verdicts are best-effort\n",
+			s.CapHits)
 	}
 	return b.String()
 }

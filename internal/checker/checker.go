@@ -2,10 +2,19 @@
 // observed trace is allowed by the model by maintaining the finite set of
 // model states the real-world system might be in and stepping it with
 // os_trans — the state-set strategy of §3, with no backtracking search.
+//
+// State identity is hash-consed (osspec.StateSet): candidate states carry a
+// memoised 64-bit digest and deduplication compares digests before
+// confirming structurally, instead of rendering and sorting fingerprint
+// strings. Within one trace the expensive fan-outs — the τ-closure over
+// pending-call interleavings and the per-state transition union — run on a
+// worker pool (TauWorkers), with successors merged in deterministic order
+// so results are byte-identical for every worker count, including one.
 package checker
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -52,6 +61,12 @@ type Result struct {
 	// SumStates accumulates the state-set size at every step; together with
 	// Steps it yields the mean set size (see MeanStates).
 	SumStates int
+	// StateSetCapHit records that the tracked set reached MaxStateSet and
+	// was truncated (or the τ-closure was cut short): states the real
+	// system might be in were dropped, so a rejection afterwards may be a
+	// false alarm and an acceptance may rest on luck. The cap exists only
+	// to bound pathological blowup; a hit is worth surfacing to the user.
+	StateSetCapHit bool
 }
 
 // MeanStates is the mean tracked state-set size per step.
@@ -66,10 +81,15 @@ func (r Result) MeanStates() float64 {
 type Checker struct {
 	Spec types.Spec
 	// MaxStateSet caps the tracked set to guard against pathological
-	// blowup; the paper's engineering keeps real sets tiny.
+	// blowup; the paper's engineering keeps real sets tiny. Truncation is
+	// reported via Result.StateSetCapHit.
 	MaxStateSet int
-	// DisableDedup turns off fingerprint deduplication of the state set —
-	// only for the ablation benchmarks; never set it in real checking.
+	// TauWorkers bounds the goroutines used inside a single trace for the
+	// τ-closure and the transition union (≤ 0 selects GOMAXPROCS, 1 is
+	// fully sequential). Results do not depend on it.
+	TauWorkers int
+	// DisableDedup turns off deduplication of the state set — only for the
+	// ablation benchmarks; never set it in real checking.
 	DisableDedup bool
 }
 
@@ -78,12 +98,21 @@ func New(spec types.Spec) *Checker {
 	return &Checker{Spec: spec, MaxStateSet: 4096}
 }
 
+func (c *Checker) workers() int {
+	if c.TauWorkers > 0 {
+		return c.TauWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Check runs the oracle over a trace: S_{i+1} = ∪_{s∈S_i} os_trans(s, lbl_i),
-// with deduplication by state fingerprint. The trace is accepted iff the
-// final set is non-empty and no step required recovery.
+// with deduplication by hash-consed state identity. The trace is accepted
+// iff the final set is non-empty and no step required recovery.
 func (c *Checker) Check(t *trace.Trace) Result {
 	res := Result{Name: t.Name, Accepted: true}
-	states := []*osspec.OsState{osspec.NewOsState(c.Spec)}
+	initial := osspec.NewOsState(c.Spec)
+	initial.Freeze()
+	states := []*osspec.OsState{initial}
 
 	for _, st := range t.Steps {
 		res.Steps++
@@ -110,7 +139,7 @@ func (c *Checker) Check(t *trace.Trace) Result {
 					res.MaxStates = len(src)
 				}
 			}
-			next := unionTrans(src, st.Label)
+			next := c.unionTrans(src, st.Label)
 			if len(next) == 0 {
 				res.Accepted = false
 				res.Errors = append(res.Errors, StepError{
@@ -121,7 +150,7 @@ func (c *Checker) Check(t *trace.Trace) Result {
 				// Recovery: drop the label entirely.
 				continue
 			}
-			states = c.reduce(next)
+			states = c.reduce(next, &res)
 		}
 	}
 	if len(states) == 0 {
@@ -143,12 +172,9 @@ func (c *Checker) stepReturn(states []*osspec.OsState, lbl types.ReturnLabel, st
 		res.MaxStates = len(expanded)
 	}
 
-	var next []*osspec.OsState
-	for _, s := range expanded {
-		next = append(next, osspec.Trans(s, lbl)...)
-	}
+	next := c.unionTrans(expanded, lbl)
 	if len(next) > 0 {
-		return c.reduce(next)
+		return c.reduce(next, res)
 	}
 
 	// Non-conformant: diagnose and continue with the allowed values (Fig 4).
@@ -168,22 +194,45 @@ func (c *Checker) stepReturn(states []*osspec.OsState, lbl types.ReturnLabel, st
 			recovered = append(recovered, osspec.ResetToRunning(s, lbl.Pid))
 		}
 	}
-	return c.reduce(recovered)
+	return c.reduce(recovered, res)
 }
 
 // tauClosure closes the state set over internal transitions (see
-// osspec.TauClosure), respecting the checker's dedup ablation and set cap
-// and accounting the expansions in the result's statistics.
+// osspec.TauClosureWith), respecting the checker's dedup ablation and set
+// cap and accounting the expansions in the result's statistics.
 func (c *Checker) tauClosure(states []*osspec.OsState, res *Result) []*osspec.OsState {
-	out, n := osspec.TauClosure(states, !c.DisableDedup, c.MaxStateSet)
+	out, n, capHit := osspec.TauClosureWith(states, osspec.ClosureOpts{
+		Dedup:   !c.DisableDedup,
+		Cap:     c.MaxStateSet,
+		Workers: c.workers(),
+	})
 	res.TauExpansions += n
+	if capHit {
+		res.StateSetCapHit = true
+	}
 	return out
 }
 
-func unionTrans(states []*osspec.OsState, lbl types.Label) []*osspec.OsState {
+// unionTrans applies one label to every tracked state, fanning the
+// per-state work across the worker pool (osspec.MapStates). Successors are
+// concatenated in source order, so the result — and every later dedup
+// decision — is byte-identical to the sequential computation. All source
+// states are frozen (Check/reduce/tauClosure guarantee it), which makes
+// the shared reads race-free.
+func (c *Checker) unionTrans(states []*osspec.OsState, lbl types.Label) []*osspec.OsState {
+	prehash := !c.DisableDedup
+	results := osspec.MapStates(states, c.workers(), func(s *osspec.OsState) []*osspec.OsState {
+		succs := osspec.Trans(s, lbl)
+		if prehash {
+			for _, ns := range succs {
+				ns.Hash()
+			}
+		}
+		return succs
+	})
 	var next []*osspec.OsState
-	for _, s := range states {
-		next = append(next, osspec.Trans(s, lbl)...)
+	for _, succs := range results {
+		next = append(next, succs...)
 	}
 	return next
 }
@@ -203,29 +252,39 @@ func allowedSet(states []*osspec.OsState, pid types.Pid) []string {
 	return out
 }
 
-// reduce dedupes the state set by fingerprint (or only caps it, for the
-// ablation benchmark).
-func (c *Checker) reduce(states []*osspec.OsState) []*osspec.OsState {
+// reduce dedupes the state set by hash-consed identity (or only caps it,
+// for the ablation benchmark), records cap truncation, and freezes the
+// survivors so the next fan-out may share them across goroutines.
+func (c *Checker) reduce(states []*osspec.OsState, res *Result) []*osspec.OsState {
 	if c.DisableDedup {
 		if c.MaxStateSet > 0 && len(states) > c.MaxStateSet {
-			return states[:c.MaxStateSet]
+			states = states[:c.MaxStateSet]
+			res.StateSetCapHit = true
+		}
+		for _, s := range states {
+			s.Freeze()
 		}
 		return states
 	}
-	return dedupe(states, c.MaxStateSet)
-}
-
-func dedupe(states []*osspec.OsState, cap int) []*osspec.OsState {
-	seen := make(map[string]bool, len(states))
+	set := osspec.NewStateSet(len(states))
 	out := states[:0]
-	for _, s := range states {
-		fp := s.Fingerprint()
-		if seen[fp] {
+	for i, s := range states {
+		if !set.Add(s) {
 			continue
 		}
-		seen[fp] = true
+		s.Freeze()
 		out = append(out, s)
-		if cap > 0 && len(out) >= cap {
+		if c.MaxStateSet > 0 && len(out) >= c.MaxStateSet {
+			// Only report a truncation if some remaining state is genuinely
+			// distinct: a tail of duplicates would have been merged anyway,
+			// and a false "best-effort verdict" warning sends the user
+			// chasing a larger cap for nothing.
+			for _, rest := range states[i+1:] {
+				if set.Add(rest) {
+					res.StateSetCapHit = true
+					break
+				}
+			}
 			break
 		}
 	}

@@ -97,7 +97,7 @@ func RmdirSpec(c *Ctx, cmd types.Rmdir) Result {
 			cov.Hit(covRmdirDot)
 			return ErrResult(types.EINVAL, types.ENOTEMPTY, types.EBUSY)
 		}
-		dirObj := h.Dirs[r.Dir]
+		dirObj := h.Dir(r.Dir)
 		errs := Par(
 			func() types.ErrnoSet {
 				if !h.IsEmptyDir(r.Dir) {

@@ -68,11 +68,15 @@ func TruncateSpec(c *Ctx, cmd types.Truncate) Result {
 // ResizeFile grows (zero-filling) or shrinks a file to n bytes. Shared with
 // the OS layer's ftruncate-on-open (O_TRUNC) and write paths.
 func ResizeFile(h *state.Heap, f state.FileRef, n int64) {
-	fl, ok := h.Files[f]
-	if !ok {
+	fl := h.File(f)
+	if fl == nil {
 		return
 	}
 	cur := int64(len(fl.Bytes))
+	if n == cur {
+		return
+	}
+	fl = h.MutFile(f)
 	switch {
 	case n < cur:
 		fl.Bytes = fl.Bytes[:n]
@@ -83,7 +87,7 @@ func ResizeFile(h *state.Heap, f state.FileRef, n int64) {
 
 // StatsOfFile builds the Stats observation for a file object.
 func StatsOfFile(h *state.Heap, f state.FileRef) types.Stats {
-	fl := h.Files[f]
+	fl := h.File(f)
 	kind := types.KindFile
 	if fl.IsSymlink {
 		kind = types.KindSymlink
@@ -103,7 +107,7 @@ func StatsOfFile(h *state.Heap, f state.FileRef) types.Stats {
 // st_size to 0 for directories; st_nlink follows the POSIX 2+subdirs
 // convention (which Btrfs famously does not maintain — §7.3.2).
 func StatsOfDir(h *state.Heap, d state.DirRef) types.Stats {
-	dir := h.Dirs[d]
+	dir := h.Dir(d)
 	return types.Stats{
 		Kind:  types.KindDir,
 		Perm:  dir.Perm,
@@ -170,7 +174,7 @@ func ChmodSpec(c *Ctx, cmd types.Chmod) Result {
 		cov.Hit(covChmodErr)
 		return ErrResult(types.ENOENT)
 	case pathres.RNDir:
-		d := c.H.Dirs[r.Dir]
+		d := c.H.Dir(r.Dir)
 		if c.Spec.Permissions && c.Euid != types.RootUid && c.Euid != d.Uid {
 			cov.Hit(covChmodPerm)
 			return ErrResult(types.EPERM)
@@ -178,7 +182,7 @@ func ChmodSpec(c *Ctx, cmd types.Chmod) Result {
 		cov.Hit(covChmodOk)
 		dr, p := r.Dir, cmd.Perm&types.PermMask
 		return OkResult(types.RvNone{}, func(h *state.Heap) {
-			if dd, ok := h.Dirs[dr]; ok {
+			if dd := h.MutDir(dr); dd != nil {
 				dd.Perm = p
 			}
 		})
@@ -187,7 +191,7 @@ func ChmodSpec(c *Ctx, cmd types.Chmod) Result {
 			cov.Hit(covChmodErr)
 			return ErrResult(types.ENOTDIR)
 		}
-		f := c.H.Files[r.File]
+		f := c.H.File(r.File)
 		if c.Spec.Permissions && c.Euid != types.RootUid && c.Euid != f.Uid {
 			cov.Hit(covChmodPerm)
 			return ErrResult(types.EPERM)
@@ -195,7 +199,7 @@ func ChmodSpec(c *Ctx, cmd types.Chmod) Result {
 		cov.Hit(covChmodOk)
 		fr, p := r.File, cmd.Perm&types.PermMask
 		return OkResult(types.RvNone{}, func(h *state.Heap) {
-			if ff, ok := h.Files[fr]; ok {
+			if ff := h.MutFile(fr); ff != nil {
 				ff.Perm = p
 			}
 		})
@@ -216,10 +220,10 @@ func ChownSpec(c *Ctx, cmd types.Chown) Result {
 	case pathres.RNNone:
 		return ErrResult(types.ENOENT)
 	case pathres.RNDir:
-		curUid = c.H.Dirs[r.Dir].Uid
+		curUid = c.H.Dir(r.Dir).Uid
 		dr := r.Dir
 		apply = func(h *state.Heap) {
-			if dd, ok := h.Dirs[dr]; ok {
+			if dd := h.MutDir(dr); dd != nil {
 				dd.Uid, dd.Gid = cmd.Uid, cmd.Gid
 			}
 		}
@@ -227,10 +231,10 @@ func ChownSpec(c *Ctx, cmd types.Chown) Result {
 		if r.TrailingSlash && !r.IsSymlink {
 			return ErrResult(types.ENOTDIR)
 		}
-		curUid = c.H.Files[r.File].Uid
+		curUid = c.H.File(r.File).Uid
 		fr := r.File
 		apply = func(h *state.Heap) {
-			if ff, ok := h.Files[fr]; ok {
+			if ff := h.MutFile(fr); ff != nil {
 				ff.Uid, ff.Gid = cmd.Uid, cmd.Gid
 			}
 		}

@@ -165,7 +165,7 @@ func UnlinkSpec(c *Ctx, cmd types.Unlink) Result {
 		if r.TrailingSlash {
 			errs.Add(types.ENOTDIR)
 		}
-		fileObj := c.H.Files[r.File]
+		fileObj := c.H.File(r.File)
 		pe := Par(
 			when(!c.dirAccess(r.Parent, types.AccessWrite), types.EACCES),
 			when(!c.dirAccess(r.Parent, types.AccessExec), types.EACCES),
@@ -269,7 +269,7 @@ func ReadlinkSpec(c *Ctx, cmd types.Readlink) Result {
 		cov.Hit(covReadlinkKind)
 		return ErrResult(types.EINVAL)
 	case pathres.RNFile:
-		f := c.H.Files[r.File]
+		f := c.H.File(r.File)
 		if r.TrailingSlash && (f == nil || !f.IsSymlink) {
 			cov.Hit(covReadlinkKind)
 			return ErrResult(types.ENOTDIR)

@@ -124,8 +124,8 @@ func (c *Ctx) Resolve(path string, follow pathres.Follow) pathres.ResName {
 type execChecker struct{ c *Ctx }
 
 func (e execChecker) MayExec(h *state.Heap, d state.DirRef) bool {
-	dir, ok := h.Dirs[d]
-	if !ok {
+	dir := h.Dir(d)
+	if dir == nil {
 		return false
 	}
 	return e.c.Access(dir.Uid, dir.Gid, dir.Perm, types.AccessExec)
@@ -153,8 +153,8 @@ func (c *Ctx) Access(uid types.Uid, gid types.Gid, perm types.Perm, req types.Ac
 
 // dirAccess checks an access request against a directory object.
 func (c *Ctx) dirAccess(d state.DirRef, req types.AccessRequest) bool {
-	dir, ok := c.H.Dirs[d]
-	if !ok {
+	dir := c.H.Dir(d)
+	if dir == nil {
 		return false
 	}
 	return c.Access(dir.Uid, dir.Gid, dir.Perm, req)
@@ -162,8 +162,8 @@ func (c *Ctx) dirAccess(d state.DirRef, req types.AccessRequest) bool {
 
 // fileAccess checks an access request against a file object.
 func (c *Ctx) fileAccess(f state.FileRef, req types.AccessRequest) bool {
-	fl, ok := c.H.Files[f]
-	if !ok {
+	fl := c.H.File(f)
+	if fl == nil {
 		return false
 	}
 	return c.Access(fl.Uid, fl.Gid, fl.Perm, req)
@@ -176,8 +176,8 @@ func (c *Ctx) stickyDenies(parent state.DirRef, objUid types.Uid) bool {
 	if !c.Spec.Permissions || c.Euid == types.RootUid {
 		return false
 	}
-	d, ok := c.H.Dirs[parent]
-	if !ok {
+	d := c.H.Dir(parent)
+	if d == nil {
 		return false
 	}
 	if d.Perm&types.PermISVTX == 0 {
@@ -196,8 +196,7 @@ func (c *Ctx) effPerm(p types.Perm) types.Perm {
 // fails ENOENT on all modelled platforms (the conforming behaviour that the
 // Fig 8 OpenZFS defect violates by spinning instead).
 func (c *Ctx) parentGone(d state.DirRef) bool {
-	_, ok := c.H.Dirs[d]
-	if !ok {
+	if c.H.Dir(d) == nil {
 		return true
 	}
 	return !c.H.IsConnected(d)

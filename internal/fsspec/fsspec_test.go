@@ -24,7 +24,7 @@ func ctx(t *testing.T, spec types.Spec) (*Ctx, map[string]interface{}) {
 	h.LinkFile(d, "f", df)
 	refs["d/f"] = df
 	f := h.AllocFile(0o644, 0, 0)
-	h.Files[f].Bytes = []byte("data")
+	h.MutFile(f).Bytes = []byte("data")
 	h.LinkFile(h.Root, "f", f)
 	refs["f"] = f
 	s := h.AllocSymlink("f", 0o777, 0, 0)
@@ -78,8 +78,8 @@ func TestMkdirSpec(t *testing.T) {
 		t.Fatal("mkdir did not create the directory")
 	}
 	// umask 0o022 applied.
-	if c.H.Dirs[e.Dir].Perm != 0o755 {
-		t.Errorf("perm = %o, want 755", c.H.Dirs[e.Dir].Perm)
+	if c.H.Dir(e.Dir).Perm != 0o755 {
+		t.Errorf("perm = %o, want 755", c.H.Dir(e.Dir).Perm)
 	}
 	mustErrs(t, MkdirSpec(c, types.Mkdir{Path: "/d", Perm: 0o777}), types.EEXIST)
 	mustErrs(t, MkdirSpec(c, types.Mkdir{Path: "/f", Perm: 0o777}), types.EEXIST)
@@ -136,8 +136,8 @@ func TestRenameSpecFig6Checks(t *testing.T) {
 	mustErrs(t, RenameSpec(c, types.Rename{Src: "/missing", Dst: "/x"}), types.ENOENT)
 
 	// Renaming a directory into its own subtree: EINVAL.
-	sub := c.H.AllocDir(c.H.Dirs[c.H.Root].Entries["d"].Dir, 0o755, 0, 0)
-	c.H.LinkDir(c.H.Dirs[c.H.Root].Entries["d"].Dir, "sub", sub)
+	sub := c.H.AllocDir(c.H.Dir(c.H.Root).Entries["d"].Dir, 0o755, 0, 0)
+	c.H.LinkDir(c.H.Dir(c.H.Root).Entries["d"].Dir, "sub", sub)
 	mustErrs(t, RenameSpec(c, types.Rename{Src: "/d", Dst: "/d/sub/x"}), types.EINVAL)
 
 	// Renaming the root: EBUSY/EINVAL (POSIX/Linux).
@@ -160,7 +160,7 @@ func TestRenameSpecMove(t *testing.T) {
 	if _, found := c.H.Lookup(c.H.Root, "f"); found {
 		t.Error("source survived rename")
 	}
-	e := c.H.Dirs[c.H.Root].Entries["e"].Dir
+	e := c.H.Dir(c.H.Root).Entries["e"].Dir
 	if _, found := c.H.Lookup(e, "moved"); !found {
 		t.Error("destination missing after rename")
 	}
@@ -169,10 +169,10 @@ func TestRenameSpecMove(t *testing.T) {
 func TestRenameReplacesFile(t *testing.T) {
 	c, refs := ctx(t, types.DefaultSpec())
 	fRef := refs["f"].(state.FileRef)
-	before := c.H.Files[fRef].Nlink
+	before := c.H.File(fRef).Nlink
 	ok := mustOk(t, RenameSpec(c, types.Rename{Src: "/d/f", Dst: "/f"}))
 	ok.Apply(c.H)
-	if got := c.H.Files[fRef].Nlink; got != before-1 {
+	if got := c.H.File(fRef).Nlink; got != before-1 {
 		t.Errorf("replaced file nlink = %d, want %d (the posixovl leak check)", got, before-1)
 	}
 }
@@ -190,8 +190,8 @@ func TestLinkSpec(t *testing.T) {
 	ok := mustOk(t, LinkSpec(c, types.Link{Src: "/f", Dst: "/f2"}))
 	ok.Apply(c.H)
 	e, _ := c.H.Lookup(c.H.Root, "f2")
-	if c.H.Files[e.File].Nlink != 2 {
-		t.Errorf("nlink = %d", c.H.Files[e.File].Nlink)
+	if c.H.File(e.File).Nlink != 2 {
+		t.Errorf("nlink = %d", c.H.File(e.File).Nlink)
 	}
 	mustErrs(t, LinkSpec(c, types.Link{Src: "/d", Dst: "/d2"}), types.EPERM)
 	mustErrs(t, LinkSpec(c, types.Link{Src: "/missing", Dst: "/x"}), types.ENOENT)
@@ -288,20 +288,20 @@ func TestTruncateSpec(t *testing.T) {
 	f := refs["f"].(state.FileRef)
 	ok := mustOk(t, TruncateSpec(c, types.Truncate{Path: "/f", Len: 2}))
 	ok.Apply(c.H)
-	if string(c.H.Files[f].Bytes) != "da" {
-		t.Errorf("shrink = %q", c.H.Files[f].Bytes)
+	if string(c.H.File(f).Bytes) != "da" {
+		t.Errorf("shrink = %q", c.H.File(f).Bytes)
 	}
 	ok = mustOk(t, TruncateSpec(c, types.Truncate{Path: "/f", Len: 5}))
 	ok.Apply(c.H)
-	if string(c.H.Files[f].Bytes) != "da\x00\x00\x00" {
-		t.Errorf("grow = %q", c.H.Files[f].Bytes)
+	if string(c.H.File(f).Bytes) != "da\x00\x00\x00" {
+		t.Errorf("grow = %q", c.H.File(f).Bytes)
 	}
 	mustErrs(t, TruncateSpec(c, types.Truncate{Path: "/f", Len: -1}), types.EINVAL)
 	mustErrs(t, TruncateSpec(c, types.Truncate{Path: "/d", Len: 0}), types.EISDIR)
 	// Through a symlink.
 	ok = mustOk(t, TruncateSpec(c, types.Truncate{Path: "/s", Len: 0}))
 	ok.Apply(c.H)
-	if len(c.H.Files[f].Bytes) != 0 {
+	if len(c.H.File(f).Bytes) != 0 {
 		t.Error("truncate through symlink failed")
 	}
 }
@@ -311,12 +311,12 @@ func TestChmodChownSpec(t *testing.T) {
 	f := refs["f"].(state.FileRef)
 	ok := mustOk(t, ChmodSpec(c, types.Chmod{Path: "/f", Perm: 0o600}))
 	ok.Apply(c.H)
-	if c.H.Files[f].Perm != 0o600 {
+	if c.H.File(f).Perm != 0o600 {
 		t.Error("chmod did not apply")
 	}
 	ok = mustOk(t, ChownSpec(c, types.Chown{Path: "/f", Uid: 5, Gid: 6}))
 	ok.Apply(c.H)
-	if c.H.Files[f].Uid != 5 || c.H.Files[f].Gid != 6 {
+	if c.H.File(f).Uid != 5 || c.H.File(f).Gid != 6 {
 		t.Error("chown did not apply")
 	}
 	// Non-owner, non-root chmod is EPERM.
@@ -412,7 +412,7 @@ func TestErrorsNeverMutate(t *testing.T) {
 		}
 	}
 	// Structural equality via entry listings.
-	if len(fp.Dirs) != len(c.H.Dirs) || len(fp.Files) != len(c.H.Files) {
+	if fp.NumDirs() != c.H.NumDirs() || fp.NumFiles() != c.H.NumFiles() {
 		t.Error("an error path mutated the heap")
 	}
 }

@@ -259,13 +259,13 @@ func fsopRenameChecksSubdir(c *Ctx, src, dst renameEnd) types.ErrnoSet {
 func fsopRenameChecksParentdirs(c *Ctx, src, dst renameEnd) types.ErrnoSet {
 	errs := types.NewErrnoSet()
 	if src.hasPar {
-		if _, ok := c.H.Dirs[src.parent]; !ok {
+		if c.H.Dir(src.parent) == nil {
 			cov.Hit(covRenameParentdirs)
 			errs.Add(types.ENOENT)
 		}
 	}
 	if dst.hasPar || dst.none {
-		if _, ok := c.H.Dirs[dst.parent]; !ok {
+		if c.H.Dir(dst.parent) == nil {
 			cov.Hit(covRenameParentdirs)
 			errs.Add(types.ENOENT)
 		}
@@ -296,8 +296,8 @@ func fsopRenameChecksPerms(c *Ctx, src, dst renameEnd) types.ErrnoSet {
 		}
 		var objUid types.Uid
 		if src.isDir {
-			objUid = c.H.Dirs[src.dir].Uid
-		} else if f, ok := c.H.Files[src.file]; ok {
+			objUid = c.H.Dir(src.dir).Uid
+		} else if f := c.H.File(src.file); f != nil {
 			objUid = f.Uid
 		}
 		if c.stickyDenies(src.parent, objUid) {

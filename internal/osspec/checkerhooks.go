@@ -1,7 +1,9 @@
 package osspec
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -12,7 +14,7 @@ import (
 // and choosing the latest allowed point never excludes behaviour for the
 // sequentially-executed traces the harness produces — §6.3).
 func TauFor(s *OsState, pid types.Pid) []*OsState {
-	p, ok := s.Procs[pid]
+	p, ok := s.procs[pid]
 	if !ok || p.Run != RsCalling {
 		return nil
 	}
@@ -23,7 +25,7 @@ func TauFor(s *OsState, pid types.Pid) []*OsState {
 // in deterministic order.
 func CallingPids(s *OsState) []types.Pid {
 	var pids []types.Pid
-	for pid, p := range s.Procs {
+	for pid, p := range s.procs {
 		if p.Run == RsCalling {
 			pids = append(pids, pid)
 		}
@@ -32,58 +34,167 @@ func CallingPids(s *OsState) []types.Pid {
 	return pids
 }
 
+// ClosureOpts configures TauClosureWith.
+type ClosureOpts struct {
+	// Dedup collapses states by identity (Hash confirmed by StateEqual) so
+	// equivalent interleavings merge. Always on in real checking; off only
+	// for the ablation benchmarks.
+	Dedup bool
+	// Cap > 0 stops further expansion rounds once the closure reaches it.
+	Cap int
+	// Workers bounds the goroutines expanding one frontier (≤ 0 selects
+	// GOMAXPROCS). Results are byte-identical for every worker count: the
+	// per-state transition fan-out runs in parallel, but successors are
+	// merged — and duplicates decided — in the sequential order.
+	Workers int
+}
+
+// tauParallelMin is the frontier size below which fanning out goroutines
+// costs more than it saves; small closures (every sequential trace) stay
+// on the caller's goroutine.
+const tauParallelMin = 16
+
 // TauClosure returns every state reachable from the set by zero or more τ
-// steps: all orders in which the pending calls of the calling processes
-// may have been processed in the kernel. Pre-τ states stay in the set (a
-// τ may not have happened yet from the real system's point of view). With
-// dedup, states are collapsed by fingerprint so equivalent interleavings
-// merge; without it the closure still terminates because every τ step
-// moves one process out of RsCalling, bounding the depth. cap > 0 stops
-// further rounds once the set reaches it, but at least one round always
-// runs and nothing generated is dropped: truncating would preferentially
-// evict the τ-advanced states — the only ones able to match an observed
-// return — since the pre-τ originals sit at the front, and skipping the
-// first round would leave a cap-saturated set with no advanced states at
-// all. expansions counts the τ-successors generated.
+// steps, single-threaded. See TauClosureWith.
 func TauClosure(states []*OsState, dedup bool, cap int) (out []*OsState, expansions int) {
+	out, expansions, _ = TauClosureWith(states, ClosureOpts{Dedup: dedup, Cap: cap, Workers: 1})
+	return out, expansions
+}
+
+// TauClosureWith returns every state reachable from the set by zero or
+// more τ steps: all orders in which the pending calls of the calling
+// processes may have been processed in the kernel. Pre-τ states stay in
+// the set (a τ may not have happened yet from the real system's point of
+// view). With dedup, states are collapsed by hash-consed identity so
+// equivalent interleavings merge; without it the closure still terminates
+// because every τ step moves one process out of RsCalling, bounding the
+// depth. Cap > 0 stops further rounds once the set reaches it (capHit
+// reports a cut-short closure), but at least one round always runs and
+// nothing generated is dropped: truncating would preferentially evict the
+// τ-advanced states — the only ones able to match an observed return —
+// since the pre-τ originals sit at the front, and skipping the first round
+// would leave a cap-saturated set with no advanced states at all.
+// expansions counts the τ-successors generated, before deduplication.
+func TauClosureWith(states []*OsState, o ClosureOpts) (out []*OsState, expansions int, capHit bool) {
 	out = append(make([]*OsState, 0, len(states)), states...)
-	var seen map[string]bool
-	if dedup {
-		seen = make(map[string]bool, len(out))
+	var set *StateSet
+	if o.Dedup {
+		set = NewStateSet(len(out))
 		for _, s := range out {
-			seen[s.Fingerprint()] = true
+			set.Add(s)
 		}
 	}
+	// Freeze the seed states: the parallel rounds clone them from several
+	// goroutines, which is only a pure read once frozen (and hashed, which
+	// Add just did).
+	for _, s := range out {
+		s.Freeze()
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	for frontier := out; len(frontier) > 0; {
+		succs := MapStates(frontier, workers, func(s *OsState) []*OsState {
+			return expandOne(s, o.Dedup)
+		})
 		var next []*OsState
-		for _, s := range frontier {
-			for _, pid := range CallingPids(s) {
-				for _, ns := range TauFor(s, pid) {
-					expansions++
-					if seen != nil {
-						fp := ns.Fingerprint()
-						if seen[fp] {
-							continue
-						}
-						seen[fp] = true
-					}
-					next = append(next, ns)
+		for _, group := range succs {
+			for _, ns := range group {
+				expansions++
+				if set != nil && !set.Add(ns) {
+					continue
 				}
+				ns.Freeze()
+				next = append(next, ns)
 			}
 		}
 		out = append(out, next...)
 		frontier = next
-		if cap > 0 && len(out) >= cap {
+		if o.Cap > 0 && len(out) >= o.Cap {
+			// Only flag a truncation when a further round could actually
+			// have produced states: a frontier with no pending calls left
+			// means the closure is already complete despite the cap.
+			// (Conservative the other way: survivors whose successors
+			// would all have deduplicated away still count as a hit.)
+			for _, s := range next {
+				if hasCallingProc(s) {
+					capHit = true
+					break
+				}
+			}
 			break
 		}
 	}
-	return out, expansions
+	return out, expansions, capHit
+}
+
+// hasCallingProc reports whether any process of s still holds an
+// unprocessed pending call (an allocation-free CallingPids != empty).
+func hasCallingProc(s *OsState) bool {
+	for _, p := range s.procs {
+		if p.Run == RsCalling {
+			return true
+		}
+	}
+	return false
+}
+
+// MapStates applies fn to every state, fanning the calls across workers
+// (≤ 1, or fewer states than tauParallelMin, stays on the caller's
+// goroutine) while keeping the result deterministically ordered: slot i
+// holds exactly fn(states[i]). The states must be frozen — each may be
+// read by any worker. Shared by the τ-closure and the checker's
+// transition union.
+func MapStates(states []*OsState, workers int, fn func(*OsState) []*OsState) [][]*OsState {
+	results := make([][]*OsState, len(states))
+	if workers <= 1 || len(states) < tauParallelMin {
+		for i, s := range states {
+			results[i] = fn(s)
+		}
+		return results
+	}
+	if workers > len(states) {
+		workers = len(states)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int, len(states))
+	for i := range states {
+		idx <- i
+	}
+	close(idx)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = fn(states[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// expandOne generates s's τ-successors and (when deduplicating) pre-hashes
+// them on the worker, so the serial merge only compares digests.
+func expandOne(s *OsState, hash bool) []*OsState {
+	var out []*OsState
+	for _, pid := range CallingPids(s) {
+		out = append(out, TauFor(s, pid)...)
+	}
+	if hash {
+		for _, ns := range out {
+			ns.Hash()
+		}
+	}
+	return out
 }
 
 // AllowedReturn describes the return value(s) a state in RsReturning allows
 // for pid, for diagnostics.
 func AllowedReturn(s *OsState, pid types.Pid) (string, bool) {
-	p, ok := s.Procs[pid]
+	p, ok := s.procs[pid]
 	if !ok || p.Run != RsReturning || p.PendingRet == nil {
 		return "", false
 	}
@@ -97,7 +208,7 @@ func AllowedReturn(s *OsState, pid types.Pid) (string, bool) {
 // had been observed — the Fig 4 behaviour ("continuing with EEXIST,
 // ENOTEMPTY") that lets the checker proceed past a non-conformant step.
 func RecoverReturns(s *OsState, pid types.Pid) []*OsState {
-	p, ok := s.Procs[pid]
+	p, ok := s.procs[pid]
 	if !ok || p.Run != RsReturning || p.PendingRet == nil {
 		return nil
 	}
@@ -139,7 +250,7 @@ func RecoverReturns(s *OsState, pid types.Pid) []*OsState {
 // state can explain an observation at all.
 func ResetToRunning(s *OsState, pid types.Pid) *OsState {
 	c := s.Clone()
-	if p, ok := c.Procs[pid]; ok {
+	if p := c.mutProc(pid); p != nil {
 		p.Run = RsRunning
 		p.PendingCmd = nil
 		p.PendingRet = nil

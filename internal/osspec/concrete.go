@@ -12,7 +12,7 @@ import (
 // (plus end-of-stream when legal) for readdir. Used by the determinized
 // model (fsimpl.SpecFS) and by recovery.
 func ConcreteReturns(s *OsState, pid types.Pid) []types.RetValue {
-	p, ok := s.Procs[pid]
+	p, ok := s.procs[pid]
 	if !ok || p.Run != RsReturning || p.PendingRet == nil {
 		return nil
 	}

@@ -1,0 +1,180 @@
+package osspec
+
+// Copy-on-write plumbing for OsState. The pattern mirrors the heap's: the
+// state owns a table or object exactly when the object's owner token equals
+// the state's current token; Clone/Freeze drop the token, making every
+// surviving reference copy on first write. All transition code mutates
+// through these accessors — writing through a pointer obtained before a
+// Clone would corrupt the structural sharing.
+
+import (
+	"repro/internal/types"
+)
+
+// dirty invalidates the memoised hash; every mutation path lands here.
+func (s *OsState) dirty() { s.hvOK = false }
+
+func (s *OsState) ensureTok() *cowTok {
+	if s.tok == nil {
+		s.tok = &cowTok{}
+		s.frozen = false
+	}
+	return s.tok
+}
+
+// mutProcsMap makes the pid→process table private (shallow copy) for
+// structural changes: process creation and destruction.
+func (s *OsState) mutProcsMap() map[types.Pid]*ProcState {
+	if !s.ownsProcs {
+		m := make(map[types.Pid]*ProcState, len(s.procs)+1)
+		for pid, p := range s.procs {
+			m[pid] = p
+		}
+		s.procs = m
+		s.ownsProcs = true
+		s.frozen = false
+	}
+	return s.procs
+}
+
+// mutFidsMap makes the open-file table private for structural changes:
+// description allocation and release.
+func (s *OsState) mutFidsMap() map[FidRef]*FidState {
+	if !s.ownsFids {
+		m := make(map[FidRef]*FidState, len(s.fids)+1)
+		for r, f := range s.fids {
+			m[r] = f
+		}
+		s.fids = m
+		s.ownsFids = true
+		s.frozen = false
+	}
+	return s.fids
+}
+
+// mutProc returns a ProcState that is safe to mutate, copying it (sharing
+// its fd/handle tables copy-on-write) unless this state already owns it.
+func (s *OsState) mutProc(pid types.Pid) *ProcState {
+	p := s.procs[pid]
+	if p == nil {
+		return nil
+	}
+	s.dirty()
+	if s.tok != nil && p.owner == s.tok {
+		return p
+	}
+	np := &ProcState{
+		Cwd:      p.Cwd,
+		CwdValid: p.CwdValid,
+		Umask:    p.Umask,
+		Euid:     p.Euid,
+		Egid:     p.Egid,
+		Fds:      p.Fds,
+		Dhs:      p.Dhs,
+		NextFD:   p.NextFD,
+		NextDH:   p.NextDH,
+		Run:      p.Run,
+		// Commands and pendings are immutable values; share them.
+		PendingCmd: p.PendingCmd,
+		PendingRet: p.PendingRet,
+		owner:      s.ensureTok(),
+	}
+	s.mutProcsMap()[pid] = np
+	return np
+}
+
+// mutFds returns pid's descriptor table ready for insertion/deletion.
+func (s *OsState) mutFds(pid types.Pid) map[types.FD]FidRef {
+	p := s.mutProc(pid)
+	if !p.ownsFds {
+		m := make(map[types.FD]FidRef, len(p.Fds)+1)
+		for fd, r := range p.Fds {
+			m[fd] = r
+		}
+		p.Fds = m
+		p.ownsFds = true
+	}
+	return p.Fds
+}
+
+// mutDhs returns pid's directory-handle table ready for insertion/deletion.
+func (s *OsState) mutDhs(pid types.Pid) map[types.DH]*DirHandleState {
+	p := s.mutProc(pid)
+	if !p.ownsDhs {
+		m := make(map[types.DH]*DirHandleState, len(p.Dhs)+1)
+		for dh, h := range p.Dhs {
+			m[dh] = h
+		}
+		p.Dhs = m
+		p.ownsDhs = true
+	}
+	return p.Dhs
+}
+
+// mutDh returns a directory-handle state safe to mutate. Must/May/LastSeen
+// are shared (their writers replace them wholesale); Returned is cloned
+// because readdir marks entries returned in place.
+func (s *OsState) mutDh(pid types.Pid, dh types.DH) *DirHandleState {
+	dhs := s.mutDhs(pid)
+	h := dhs[dh]
+	if h == nil {
+		return nil
+	}
+	if h.owner == s.tok {
+		return h
+	}
+	nh := &DirHandleState{
+		Dir:      h.Dir,
+		Must:     h.Must,
+		May:      h.May,
+		Returned: cloneSet(h.Returned),
+		LastSeen: h.LastSeen,
+		owner:    s.tok,
+	}
+	dhs[dh] = nh
+	return nh
+}
+
+// mutFid returns an open-file description safe to mutate.
+func (s *OsState) mutFid(r FidRef) *FidState {
+	f := s.fids[r]
+	if f == nil {
+		return nil
+	}
+	s.dirty()
+	if s.tok != nil && f.owner == s.tok {
+		return f
+	}
+	nf := *f
+	nf.owner = s.ensureTok()
+	s.mutFidsMap()[r] = &nf
+	return &nf
+}
+
+// addGroupMember records uid as a member of gid, copy-on-write on both the
+// outer table and the member set.
+func (s *OsState) addGroupMember(gid types.Gid, uid types.Uid) {
+	if !s.ownsGroups {
+		m := make(map[types.Gid]map[types.Uid]bool, len(s.groups)+1)
+		for g, set := range s.groups {
+			m[g] = set
+		}
+		s.groups = m
+		s.ownsGroups = true
+		s.frozen = false
+	}
+	set := make(map[types.Uid]bool, len(s.groups[gid])+1)
+	for u := range s.groups[gid] {
+		set[u] = true
+	}
+	set[uid] = true
+	s.groups[gid] = set
+}
+
+func cloneSet(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k := range m {
+		c[k] = true
+	}
+	return c
+}

@@ -24,16 +24,17 @@ func opendirCall(s *OsState, pid types.Pid, cmd types.Opendir) []*OsState {
 		return fromResult(s, pid, res)
 	}
 	cov.Hit(covOpendirAlloc)
-	dh := s.Procs[pid].NextDH
+	dh := s.procs[pid].NextDH
 	return []*OsState{succExact(s, pid, types.RvDH{DH: dh}, func(c *OsState) {
-		p := c.Procs[pid]
+		p := c.mutProc(pid)
 		snap := currentEntries(c, dir)
-		p.Dhs[dh] = &DirHandleState{
+		c.mutDhs(pid)[dh] = &DirHandleState{
 			Dir:      dir,
 			Must:     cloneSet(snap),
 			May:      make(map[string]bool),
 			Returned: make(map[string]bool),
 			LastSeen: snap,
+			owner:    c.ensureTok(),
 		}
 		p.NextDH++
 	})}
@@ -43,7 +44,7 @@ func opendirCall(s *OsState, pid types.Pid, cmd types.Opendir) []*OsState {
 // pattern; the concrete entry (or end-of-stream) observed in the trace
 // resolves the nondeterminism at the next step, exactly as described in §3.
 func readdirCall(s *OsState, pid types.Pid, cmd types.Readdir) []*OsState {
-	p := s.Procs[pid]
+	p := s.procs[pid]
 	if _, ok := p.Dhs[cmd.DH]; !ok {
 		cov.Hit(covReaddirBad)
 		return succErrors(s, pid, types.NewErrnoSet(types.EBADF))
@@ -54,28 +55,28 @@ func readdirCall(s *OsState, pid types.Pid, cmd types.Readdir) []*OsState {
 
 // closedirCall implements closedir(3).
 func closedirCall(s *OsState, pid types.Pid, cmd types.Closedir) []*OsState {
-	p := s.Procs[pid]
+	p := s.procs[pid]
 	if _, ok := p.Dhs[cmd.DH]; !ok {
 		cov.Hit(covClosedirBad)
 		return succErrors(s, pid, types.NewErrnoSet(types.EBADF))
 	}
 	cov.Hit(covClosedirOk)
 	return []*OsState{succExact(s, pid, types.RvNone{}, func(c *OsState) {
-		delete(c.Procs[pid].Dhs, cmd.DH)
+		delete(c.mutDhs(pid), cmd.DH)
 	})}
 }
 
 // rewinddirCall implements rewinddir(3): the stream restarts from the
 // directory's current contents; previous bookkeeping is discarded.
 func rewinddirCall(s *OsState, pid types.Pid, cmd types.Rewinddir) []*OsState {
-	p := s.Procs[pid]
+	p := s.procs[pid]
 	if _, ok := p.Dhs[cmd.DH]; !ok {
 		cov.Hit(covRewindBad)
 		return succErrors(s, pid, types.NewErrnoSet(types.EBADF))
 	}
 	cov.Hit(covRewindOk)
 	return []*OsState{succExact(s, pid, types.RvNone{}, func(c *OsState) {
-		h := c.Procs[pid].Dhs[cmd.DH]
+		h := c.mutDh(pid, cmd.DH)
 		snap := currentEntries(c, h.Dir)
 		h.Must = cloneSet(snap)
 		h.May = make(map[string]bool)

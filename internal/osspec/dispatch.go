@@ -10,7 +10,7 @@ import (
 // process: the process's view of the world (cwd, umask, credentials) plus
 // the shared heap and spec.
 func ctxFor(s *OsState, pid types.Pid) *fsspec.Ctx {
-	p := s.Procs[pid]
+	p := s.procs[pid]
 	return &fsspec.Ctx{
 		Spec:     s.Spec,
 		H:        s.H,
@@ -76,26 +76,21 @@ func dispatch(s *OsState, pid types.Pid, cmd types.Command) []*OsState {
 		dir, res := fsspec.ChdirSpec(c, cm)
 		if len(res.Oks) > 0 {
 			return []*OsState{succExact(s, pid, types.RvNone{}, func(cl *OsState) {
-				p := cl.Procs[pid]
+				p := cl.mutProc(pid)
 				p.Cwd = dir
 				p.CwdValid = true
 			})}
 		}
 		return fromResult(s, pid, res)
 	case types.Umask:
-		old := s.Procs[pid].Umask
+		old := s.procs[pid].Umask
 		mask := cm.Mask & types.PermMask
 		return []*OsState{succExact(s, pid, types.RvPerm{Perm: old}, func(cl *OsState) {
-			cl.Procs[pid].Umask = mask
+			cl.mutProc(pid).Umask = mask
 		})}
 	case types.AddUserToGroup:
 		return []*OsState{succExact(s, pid, types.RvNone{}, func(cl *OsState) {
-			m, ok := cl.Groups[cm.Gid]
-			if !ok {
-				m = make(map[types.Uid]bool)
-				cl.Groups[cm.Gid] = m
-			}
-			m[cm.Uid] = true
+			cl.addGroupMember(cm.Gid, cm.Uid)
 		})}
 
 	// Descriptor-based commands.
@@ -132,30 +127,34 @@ func dispatch(s *OsState, pid types.Pid, cmd types.Command) []*OsState {
 // closeFD drops one descriptor, releasing the description and any
 // unreferenced, fully-unlinked file object.
 func (s *OsState) closeFD(pid types.Pid, fd types.FD) {
-	p := s.Procs[pid]
+	p := s.procs[pid]
+	if p == nil {
+		return
+	}
 	fidRef, ok := p.Fds[fd]
 	if !ok {
 		return
 	}
-	delete(p.Fds, fd)
-	fid, ok := s.Fids[fidRef]
-	if !ok {
+	delete(s.mutFds(pid), fd)
+	fid := s.mutFid(fidRef)
+	if fid == nil {
 		return
 	}
 	fid.Refs--
 	if fid.Refs > 0 {
 		return
 	}
-	delete(s.Fids, fidRef)
+	s.dirty()
+	delete(s.mutFidsMap(), fidRef)
 	if !fid.IsDir {
-		if f, ok := s.H.Files[fid.File]; ok && f.Nlink == 0 && !anyFidFor(s, fid.File) {
+		if f := s.H.File(fid.File); f != nil && f.Nlink == 0 && !anyFidFor(s, fid.File) {
 			s.H.FreeFile(fid.File)
 		}
 	}
 }
 
 func anyFidFor(s *OsState, f state.FileRef) bool {
-	for _, fid := range s.Fids {
+	for _, fid := range s.fids {
 		if !fid.IsDir && fid.File == f {
 			return true
 		}

@@ -18,13 +18,13 @@ func (s *OsState) Dump() string {
 	b.WriteString("file system:\n")
 	s.dumpDir(&b, s.H.Root, "/", 1)
 
-	pids := make([]int, 0, len(s.Procs))
-	for pid := range s.Procs {
+	pids := make([]int, 0, len(s.procs))
+	for pid := range s.procs {
 		pids = append(pids, int(pid))
 	}
 	sort.Ints(pids)
 	for _, pid := range pids {
-		p := s.Procs[types.Pid(pid)]
+		p := s.procs[types.Pid(pid)]
 		fmt.Fprintf(&b, "process %d: uid=%d gid=%d umask=%04o cwd=dir#%d", pid, p.Euid, p.Egid, p.Umask, p.Cwd)
 		switch p.Run {
 		case RsRunning:
@@ -41,7 +41,7 @@ func (s *OsState) Dump() string {
 		}
 		sort.Ints(fds)
 		for _, fd := range fds {
-			fid := s.Fids[p.Fds[types.FD(fd)]]
+			fid := s.fids[p.Fds[types.FD(fd)]]
 			if fid.IsDir {
 				fmt.Fprintf(&b, "  fd %d -> dir#%d\n", fd, fid.Dir)
 			} else {
@@ -68,8 +68,8 @@ func (s *OsState) dumpDir(b *strings.Builder, d state.DirRef, path string, depth
 		fmt.Fprintf(b, "%s... (depth limit)\n", strings.Repeat("  ", depth))
 		return
 	}
-	dir, ok := s.H.Dirs[d]
-	if !ok {
+	dir := s.H.Dir(d)
+	if dir == nil {
 		return
 	}
 	fmt.Fprintf(b, "  %-30s dir#%d mode=%04o uid=%d gid=%d\n", path, d, dir.Perm, dir.Uid, dir.Gid)
@@ -80,10 +80,10 @@ func (s *OsState) dumpDir(b *strings.Builder, d state.DirRef, path string, depth
 		case state.EntryDir:
 			s.dumpDir(b, e.Dir, child+"/", depth+1)
 		case state.EntrySymlink:
-			f := s.H.Files[e.File]
+			f := s.H.File(e.File)
 			fmt.Fprintf(b, "  %-30s symlink#%d -> %q\n", child, e.File, string(f.Bytes))
 		case state.EntryFile:
-			f := s.H.Files[e.File]
+			f := s.H.File(e.File)
 			fmt.Fprintf(b, "  %-30s file#%d %d bytes mode=%04o nlink=%d\n",
 				child, e.File, len(f.Bytes), f.Perm, f.Nlink)
 		}

@@ -35,9 +35,9 @@ func openCall(s *OsState, pid types.Pid, cmd types.Open) []*OsState {
 		return succErrors(s, pid, d.Errs)
 	}
 	cov.Hit(covOpenFd)
-	fd := s.Procs[pid].NextFD
+	fd := s.procs[pid].NextFD
 	return []*OsState{succExact(s, pid, types.RvFD{FD: fd}, func(c *OsState) {
-		p := c.Procs[pid]
+		p := c.mutProc(pid)
 		fid := c.NextFid
 		c.NextFid++
 		fs := &FidState{
@@ -45,6 +45,7 @@ func openCall(s *OsState, pid types.Pid, cmd types.Open) []*OsState {
 			Readable: d.Readable,
 			Writable: d.Writable,
 			Refs:     1,
+			owner:    c.ensureTok(),
 		}
 		switch {
 		case d.OpenDir:
@@ -60,8 +61,8 @@ func openCall(s *OsState, pid types.Pid, cmd types.Open) []*OsState {
 			c.H.LinkFile(d.Parent, d.Name, f)
 			fs.File = f
 		}
-		c.Fids[fid] = fs
-		p.Fds[fd] = fid
+		c.mutFidsMap()[fid] = fs
+		c.mutFds(pid)[fd] = fid
 		p.NextFD++
 	})}
 }
@@ -69,7 +70,7 @@ func openCall(s *OsState, pid types.Pid, cmd types.Open) []*OsState {
 // closeCall implements close(2). Close of an unknown descriptor is EBADF;
 // close itself never fails otherwise in the model (EINTR is out of scope).
 func closeCall(s *OsState, pid types.Pid, cmd types.Close) []*OsState {
-	p := s.Procs[pid]
+	p := s.procs[pid]
 	if _, ok := p.Fds[cmd.FD]; !ok {
 		cov.Hit(covCloseBad)
 		return succErrors(s, pid, types.NewErrnoSet(types.EBADF))
@@ -82,13 +83,13 @@ func closeCall(s *OsState, pid types.Pid, cmd types.Close) []*OsState {
 
 // readCall implements read (at = -1, seq) and pread (at ≥ 0 given, !seq).
 func readCall(s *OsState, pid types.Pid, fd types.FD, size, at int64, seq bool) []*OsState {
-	p := s.Procs[pid]
+	p := s.procs[pid]
 	fidRef, ok := p.Fds[fd]
 	if !ok {
 		cov.Hit(covReadBad)
 		return succErrors(s, pid, types.NewErrnoSet(types.EBADF))
 	}
-	fid := s.Fids[fidRef]
+	fid := s.fids[fidRef]
 	// Error conditions combine with the parallel-combinator looseness: the
 	// kernel may report whichever failing check it tests first.
 	errs := types.NewErrnoSet()
@@ -113,7 +114,7 @@ func readCall(s *OsState, pid types.Pid, fd types.FD, size, at int64, seq bool) 
 	if len(errs) > 0 {
 		return succErrors(s, pid, errs)
 	}
-	f := s.H.Files[fid.File]
+	f := s.H.File(fid.File)
 	pos := fid.Offset
 	if !seq {
 		pos = at
@@ -134,7 +135,7 @@ func readCall(s *OsState, pid types.Pid, fd types.FD, size, at int64, seq bool) 
 
 // writeCall implements write (at = -1, seq) and pwrite (at given, !seq).
 func writeCall(s *OsState, pid types.Pid, fd types.FD, data []byte, size, at int64, seq bool) []*OsState {
-	p := s.Procs[pid]
+	p := s.procs[pid]
 	if size >= 0 && size < int64(len(data)) {
 		data = data[:size]
 	}
@@ -143,7 +144,7 @@ func writeCall(s *OsState, pid types.Pid, fd types.FD, data []byte, size, at int
 		cov.Hit(covWriteBad)
 		return succErrors(s, pid, types.NewErrnoSet(types.EBADF))
 	}
-	fid := s.Fids[fidRef]
+	fid := s.fids[fidRef]
 	errs := types.NewErrnoSet()
 	badMode := fid.IsDir || !fid.Writable
 	if badMode {
@@ -222,13 +223,13 @@ func writeCall(s *OsState, pid types.Pid, fd types.FD, data []byte, size, at int
 
 // lseekCall implements lseek(2).
 func lseekCall(s *OsState, pid types.Pid, cmd types.Lseek) []*OsState {
-	p := s.Procs[pid]
+	p := s.procs[pid]
 	fidRef, ok := p.Fds[cmd.FD]
 	if !ok {
 		cov.Hit(covLseekBad)
 		return succErrors(s, pid, types.NewErrnoSet(types.EBADF))
 	}
-	fid := s.Fids[fidRef]
+	fid := s.fids[fidRef]
 	var base int64
 	switch cmd.Whence {
 	case types.SeekSet:
@@ -236,7 +237,7 @@ func lseekCall(s *OsState, pid types.Pid, cmd types.Lseek) []*OsState {
 	case types.SeekCur:
 		base = fid.Offset
 	case types.SeekEnd:
-		if f, ok := s.H.Files[fid.File]; ok {
+		if f := s.H.File(fid.File); f != nil {
 			base = int64(len(f.Bytes))
 		}
 	default:
@@ -250,7 +251,7 @@ func lseekCall(s *OsState, pid types.Pid, cmd types.Lseek) []*OsState {
 	}
 	cov.Hit(covLseekOk)
 	return []*OsState{succExact(s, pid, types.RvNum{N: target}, func(c *OsState) {
-		if f, ok := c.Fids[fidRef]; ok {
+		if f := c.mutFid(fidRef); f != nil {
 			f.Offset = target
 		}
 	})}

@@ -1,0 +1,208 @@
+package osspec
+
+// Hash-consed state identity. Hash is a 64-bit digest of exactly the
+// observational content the legacy Fingerprint string renders — the file
+// system (delegated to the heap's incremental hash), and per process the
+// credentials, cwd, run state, pending-return description, resolved
+// descriptor table and directory-handle sets. Fields Fingerprint omits
+// (group table, allocation counters, descriptor capability flags, pending
+// commands, LastSeen snapshots) are omitted here too: dedup must merge the
+// same states the string dedup merged, or checker statistics drift.
+//
+// Hash is an accelerator, not an identity: StateSet buckets by hash and
+// confirms candidates with StateEqual, so a collision can never merge two
+// distinguishable states.
+
+import (
+	"repro/internal/state"
+)
+
+const (
+	seedProc = 0x8f14e45fceea1681
+	seedPend = 0x3b9d3f2e6c1d82a7
+	seedFd   = 0x517cc1b727220a95
+	seedDh   = 0x2545f4914f6cdd1d
+	seedMust = 0x9561e1f1a2b3c4d5
+	seedMay  = 0x6a09e667f3bcc909
+	seedRet  = 0xbb67ae8584caa73b
+)
+
+// Hash returns the state's 64-bit identity digest. The non-heap part is
+// memoised (mut* accessors invalidate it); the heap part is maintained
+// incrementally by the heap itself, so hashing a freshly cloned-and-
+// mutated state re-hashes only what the transition touched. Computing the
+// hash mutates memoisation fields: hash a state before sharing it across
+// goroutines (the checker's serial merge points do).
+func (s *OsState) Hash() uint64 {
+	if !s.hvOK {
+		s.hv = s.osHash()
+		s.hvOK = true
+	}
+	return state.Mix(s.hv, s.H.Hash())
+}
+
+func (s *OsState) osHash() uint64 {
+	var acc uint64
+	for pid, p := range s.procs {
+		v := state.Mix(seedProc, uint64(pid))
+		v = state.Mix(v, uint64(p.Euid))
+		v = state.Mix(v, uint64(p.Egid))
+		v = state.Mix(v, uint64(p.Umask))
+		v = state.Mix(v, uint64(p.Cwd))
+		v = state.Mix(v, boolU64(p.CwdValid))
+		v = state.Mix(v, uint64(p.Run))
+		if p.Run == RsReturning && p.PendingRet != nil {
+			v = state.Mix(v, state.HashString(seedPend, p.PendingRet.Describe()))
+		}
+		var fdAcc uint64
+		for fd, ref := range p.Fds {
+			fv := state.Mix(seedFd, uint64(fd))
+			if fid := s.fids[ref]; fid != nil {
+				fv = state.Mix(fv, uint64(fid.File))
+				fv = state.Mix(fv, uint64(fid.Dir))
+				fv = state.Mix(fv, uint64(fid.Offset))
+			}
+			fdAcc ^= state.Mix(0, fv)
+		}
+		v = state.Mix(v, fdAcc)
+		var dhAcc uint64
+		for dh, h := range p.Dhs {
+			dv := state.Mix(seedDh, uint64(dh))
+			dv = state.Mix(dv, uint64(h.Dir))
+			dv = state.Mix(dv, setHash(seedMust, h.Must))
+			dv = state.Mix(dv, setHash(seedMay, h.May))
+			dv = state.Mix(dv, setHash(seedRet, h.Returned))
+			dhAcc ^= state.Mix(0, dv)
+		}
+		v = state.Mix(v, dhAcc)
+		acc ^= state.Mix(0, v)
+	}
+	return acc
+}
+
+func setHash(seed uint64, m map[string]bool) uint64 {
+	var acc uint64
+	for k := range m {
+		acc ^= state.HashString(seed, k)
+	}
+	return acc
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// StateEqual reports observational equality per the Fingerprint contract:
+// it distinguishes two states exactly when their Fingerprint strings
+// differ. Structurally shared (pointer-equal) components compare in O(1),
+// which makes confirming a duplicate cheap for copy-on-write siblings.
+func StateEqual(a, b *OsState) bool {
+	if a == b {
+		return true
+	}
+	if len(a.procs) != len(b.procs) {
+		return false
+	}
+	for pid, pa := range a.procs {
+		pb := b.procs[pid]
+		if pb == nil {
+			return false
+		}
+		if pa.Euid != pb.Euid || pa.Egid != pb.Egid || pa.Umask != pb.Umask ||
+			pa.Cwd != pb.Cwd || pa.CwdValid != pb.CwdValid || pa.Run != pb.Run {
+			return false
+		}
+		if pa.Run == RsReturning && !pendingEqual(pa.PendingRet, pb.PendingRet) {
+			return false
+		}
+		if len(pa.Fds) != len(pb.Fds) {
+			return false
+		}
+		for fd, ra := range pa.Fds {
+			rb, ok := pb.Fds[fd]
+			if !ok {
+				return false
+			}
+			fa, fb := a.fids[ra], b.fids[rb]
+			if (fa == nil) != (fb == nil) {
+				return false
+			}
+			if fa != nil && (fa.File != fb.File || fa.Dir != fb.Dir || fa.Offset != fb.Offset) {
+				return false
+			}
+		}
+		if len(pa.Dhs) != len(pb.Dhs) {
+			return false
+		}
+		for dh, ha := range pa.Dhs {
+			hb, ok := pb.Dhs[dh]
+			if !ok {
+				return false
+			}
+			if ha == hb {
+				continue
+			}
+			if ha.Dir != hb.Dir || !setEqual(ha.Must, hb.Must) ||
+				!setEqual(ha.May, hb.May) || !setEqual(ha.Returned, hb.Returned) {
+				return false
+			}
+		}
+	}
+	return state.HeapEqual(a.H, b.H)
+}
+
+// pendingEqual follows the fingerprint contract to the letter: pendings
+// are identified by their rendered description (a nil pending renders as
+// the empty string).
+func pendingEqual(a, b Pending) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Describe() == b.Describe()
+}
+
+func setEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// StateSet is a deduplicating set of states keyed by Hash and confirmed by
+// StateEqual — the replacement for fingerprint-string deduplication.
+// Not safe for concurrent use; the checker's merge points are serial.
+type StateSet struct {
+	buckets map[uint64][]*OsState
+	n       int
+}
+
+// NewStateSet returns an empty set sized for capacity states.
+func NewStateSet(capacity int) *StateSet {
+	return &StateSet{buckets: make(map[uint64][]*OsState, capacity)}
+}
+
+// Add inserts s unless an equal state is already present; it reports
+// whether s was new. Hashing memoises into s (see Hash).
+func (ss *StateSet) Add(s *OsState) bool {
+	h := s.Hash()
+	bucket := ss.buckets[h]
+	for _, t := range bucket {
+		if StateEqual(t, s) {
+			return false
+		}
+	}
+	ss.buckets[h] = append(bucket, s)
+	ss.n++
+	return true
+}
+
+// Len reports the number of distinct states added.
+func (ss *StateSet) Len() int { return ss.n }

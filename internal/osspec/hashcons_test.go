@@ -1,0 +1,196 @@
+package osspec
+
+// Property tests for hash-consed state identity: across randomized
+// clone-and-mutate walks of the transition system,
+//
+//	StateEqual(a, b)  ⇔  a.Fingerprint() == b.Fingerprint()
+//	fingerprints equal ⇒ hashes equal
+//
+// so the hash/equality engine merges exactly the states the legacy
+// fingerprint-string deduplication merged — the invariant the checker's
+// byte-identical-output guarantee rests on.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// randomWalkStates drives one random command walk and returns every state
+// it passed through: pre-τ (calling), candidate (returning, with pending
+// patterns of all kinds) and post-return states, plus multi-process
+// create/destroy branches — a deliberately diverse population.
+func randomWalkStates(rng *rand.Rand, steps int) []*OsState {
+	cmds := func() types.Command {
+		paths := []string{"/a", "/b", "/a/x", "/a/y", "/missing/z", "/s"}
+		p := paths[rng.Intn(len(paths))]
+		switch rng.Intn(12) {
+		case 0:
+			return types.Mkdir{Path: p, Perm: 0o755}
+		case 1:
+			return types.Open{Path: p, Flags: types.OCreat | types.ORdwr, Perm: 0o644, HasPerm: true}
+		case 2:
+			return types.Write{FD: types.FD(3 + rng.Intn(3)), Data: []byte("payload"), Size: 7}
+		case 3:
+			return types.Read{FD: types.FD(3 + rng.Intn(3)), Size: 4}
+		case 4:
+			return types.Unlink{Path: p}
+		case 5:
+			return types.Rename{Src: "/a", Dst: "/b"}
+		case 6:
+			return types.Chmod{Path: p, Perm: 0o700}
+		case 7:
+			return types.Symlink{Target: "/a", Linkpath: p}
+		case 8:
+			return types.Opendir{Path: "/a"}
+		case 9:
+			return types.Readdir{DH: types.DH(1)}
+		case 10:
+			return types.Lseek{FD: types.FD(3 + rng.Intn(3)), Off: int64(rng.Intn(5)), Whence: types.SeekSet}
+		default:
+			return types.Close{FD: types.FD(3 + rng.Intn(4))}
+		}
+	}
+	pool := []*OsState{NewOsState(types.DefaultSpec())}
+	cur := pool[0]
+	nextPid := types.Pid(2)
+	for i := 0; i < steps; i++ {
+		if rng.Intn(8) == 0 {
+			if created := Trans(cur, types.CreateLabel{Pid: nextPid, Uid: 0, Gid: 0}); len(created) > 0 {
+				nextPid++
+				cur = created[0]
+				pool = append(pool, cur)
+				continue
+			}
+		}
+		pid := InitialPid
+		if nextPid > 2 && rng.Intn(3) == 0 {
+			pid = types.Pid(2 + rng.Intn(int(nextPid)-2))
+		}
+		called := Trans(cur, types.CallLabel{Pid: pid, Cmd: cmds()})
+		if len(called) == 0 {
+			continue
+		}
+		pool = append(pool, called...)
+		cands := TauFor(called[0], pid)
+		if len(cands) == 0 {
+			cur = called[0]
+			continue
+		}
+		pool = append(pool, cands...)
+		cand := cands[rng.Intn(len(cands))]
+		rvs := ConcreteReturns(cand, pid)
+		if len(rvs) == 0 {
+			continue
+		}
+		after := Trans(cand, types.ReturnLabel{Pid: pid, Ret: rvs[rng.Intn(len(rvs))]})
+		if len(after) == 0 {
+			continue
+		}
+		cur = after[0]
+		pool = append(pool, cur)
+	}
+	return pool
+}
+
+// TestHashEqualityMatchesFingerprintContract compares every pair in the
+// random pool: equality and hashing must agree with the fingerprint
+// rendering in both directions.
+func TestHashEqualityMatchesFingerprintContract(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pool := randomWalkStates(rng, 25)
+		fps := make([]string, len(pool))
+		for i, s := range pool {
+			fps[i] = s.Fingerprint()
+		}
+		for i := 0; i < len(pool); i++ {
+			for j := i; j < len(pool); j++ {
+				fpEq := fps[i] == fps[j]
+				eq := StateEqual(pool[i], pool[j])
+				if fpEq != eq {
+					t.Fatalf("seed %d: StateEqual=%v but fingerprint-equal=%v\nA: %s\nB: %s",
+						seed, eq, fpEq, fps[i], fps[j])
+				}
+				if fpEq && pool[i].Hash() != pool[j].Hash() {
+					t.Fatalf("seed %d: fingerprint-equal states hash %x vs %x\nfp: %s",
+						seed, pool[i].Hash(), pool[j].Hash(), fps[i])
+				}
+			}
+		}
+	}
+}
+
+// TestHashMemoNeverGoesStale re-derives each pooled state's hash with a
+// cold memo and compares: a mutation path that forgot to invalidate the
+// memoised hash would surface here.
+func TestHashMemoNeverGoesStale(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, s := range randomWalkStates(rng, 40) {
+		memo := s.Hash()
+		s.hvOK = false
+		if cold := s.Hash(); cold != memo {
+			t.Fatalf("stale hash memo: %x vs cold %x\nstate: %s", memo, cold, s.Fingerprint())
+		}
+	}
+}
+
+// TestCloneMutatePairs pins the clone/mutate contract directly: a clone is
+// indistinguishable from its source, and a mutation separates the pair
+// under fingerprint, equality and (with overwhelming probability) hash.
+func TestCloneMutatePairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 10; round++ {
+		pool := randomWalkStates(rng, 15)
+		s := pool[rng.Intn(len(pool))]
+		c := s.Clone()
+		if !StateEqual(s, c) || s.Hash() != c.Hash() || s.Fingerprint() != c.Fingerprint() {
+			t.Fatal("clone distinguishable from source")
+		}
+		// Mutate the clone through a real transition (the only supported
+		// mutation path) and require the pair to separate consistently.
+		called := Trans(c, types.CallLabel{Pid: InitialPid, Cmd: types.Mkdir{Path: "/zz", Perm: 0o700}})
+		if len(called) == 0 {
+			continue
+		}
+		m := called[0]
+		fpSep := m.Fingerprint() != s.Fingerprint()
+		if !fpSep {
+			t.Fatal("call label failed to change the fingerprint")
+		}
+		if StateEqual(m, s) {
+			t.Fatal("mutated clone still StateEqual to source")
+		}
+		if m.Hash() == s.Hash() {
+			t.Fatalf("mutated clone collided with source hash %x", s.Hash())
+		}
+		// And the source must be untouched by the clone's mutation.
+		if s.Fingerprint() != c.Fingerprint() {
+			t.Fatal("mutating a transition successor leaked into the source")
+		}
+	}
+}
+
+// TestStateSetMergesExactlyFingerprintDuplicates checks the set facade:
+// adding the pool twice keeps exactly one representative per fingerprint.
+func TestStateSetMergesExactlyFingerprintDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pool := randomWalkStates(rng, 30)
+	distinct := make(map[string]bool)
+	for _, s := range pool {
+		distinct[s.Fingerprint()] = true
+	}
+	set := NewStateSet(len(pool))
+	for _, s := range pool {
+		set.Add(s)
+	}
+	for _, s := range pool {
+		if set.Add(s.Clone()) {
+			t.Fatal("a clone of a pooled state was not recognised as duplicate")
+		}
+	}
+	if set.Len() != len(distinct) {
+		t.Fatalf("set kept %d states, fingerprint count is %d", set.Len(), len(distinct))
+	}
+}

@@ -136,8 +136,8 @@ func TestShortReadLooseness(t *testing.T) {
 			continue
 		}
 		// The offset advanced by exactly the observed amount.
-		p := after[0].Procs[1]
-		fid := after[0].Fids[p.Fds[fd]]
+		p := after[0].procs[1]
+		fid := after[0].fids[p.Fds[fd]]
 		if fid.Offset != int64(len(data)) {
 			t.Errorf("offset after %q = %d", data, fid.Offset)
 		}
@@ -176,9 +176,9 @@ func TestShortWriteLooseness(t *testing.T) {
 			t.Errorf("write of %d bytes allowed by %d candidate states, want 1", n, len(after))
 			continue
 		}
-		p := after[0].Procs[1]
-		fid := after[0].Fids[p.Fds[fd]]
-		f := after[0].H.Files[fid.File]
+		p := after[0].procs[1]
+		fid := after[0].fids[p.Fds[fd]]
+		f := after[0].H.File(fid.File)
 		if int64(len(f.Bytes)) != n {
 			t.Errorf("file length after write(%d) = %d", n, len(f.Bytes))
 		}
@@ -312,8 +312,8 @@ func TestUmaskAffectsCreation(t *testing.T) {
 	}
 	s, _ = run(t, s, 1, types.Mkdir{Path: "/d", Perm: 0o777})
 	e, _ := s.H.Lookup(s.H.Root, "d")
-	if s.H.Dirs[e.Dir].Perm != 0o700 {
-		t.Errorf("perm = %o, want 700", s.H.Dirs[e.Dir].Perm)
+	if s.H.Dir(e.Dir).Perm != 0o700 {
+		t.Errorf("perm = %o, want 700", s.H.Dir(e.Dir).Perm)
 	}
 }
 
@@ -322,14 +322,14 @@ func TestProcessDestroyClosesFds(t *testing.T) {
 	s = Trans(s, types.CreateLabel{Pid: 2, Uid: 0, Gid: 0})[0]
 	s, rv := run(t, s, 2, types.Open{Path: "/f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true})
 	_ = rv
-	if len(s.Fids) != 1 {
-		t.Fatalf("fids = %d", len(s.Fids))
+	if len(s.fids) != 1 {
+		t.Fatalf("fids = %d", len(s.fids))
 	}
 	s = Trans(s, types.DestroyLabel{Pid: 2})[0]
-	if len(s.Fids) != 0 {
+	if len(s.fids) != 0 {
 		t.Error("descriptors leaked across destroy")
 	}
-	if _, ok := s.Procs[2]; ok {
+	if _, ok := s.procs[2]; ok {
 		t.Error("process survived destroy")
 	}
 }
@@ -339,7 +339,7 @@ func TestPerProcessCwd(t *testing.T) {
 	s = Trans(s, types.CreateLabel{Pid: 2, Uid: 0, Gid: 0})[0]
 	s, _ = run(t, s, 1, types.Mkdir{Path: "/a", Perm: 0o755})
 	s, _ = run(t, s, 1, types.Chdir{Path: "/a"})
-	if s.Procs[1].Cwd == s.Procs[2].Cwd {
+	if s.procs[1].Cwd == s.procs[2].Cwd {
 		t.Error("chdir leaked across processes")
 	}
 	// pid 1 creates relative; pid 2 must not see it relative to its cwd.
@@ -367,17 +367,16 @@ func TestCloneIndependenceOsState(t *testing.T) {
 	s, rv := run(t, s, 1, types.Open{Path: "/f", Flags: types.OCreat | types.ORdwr, Perm: 0o644, HasPerm: true})
 	fd := rv.(types.RvFD).FD
 	c := s.Clone()
-	c.Procs[1].Umask = 0o777
-	c.Fids[c.Procs[1].Fds[fd]].Offset = 99
-	cg := c.Groups
-	cg[5] = map[types.Uid]bool{7: true}
-	if s.Procs[1].Umask == 0o777 {
+	c.mutProc(1).Umask = 0o777
+	c.mutFid(c.procs[1].Fds[fd]).Offset = 99
+	c.addGroupMember(5, 7)
+	if s.procs[1].Umask == 0o777 {
 		t.Error("umask shared")
 	}
-	if s.Fids[s.Procs[1].Fds[fd]].Offset == 99 {
+	if s.fids[s.procs[1].Fds[fd]].Offset == 99 {
 		t.Error("fid shared")
 	}
-	if _, ok := s.Groups[5]; ok {
+	if _, ok := s.groups[5]; ok {
 		t.Error("groups shared")
 	}
 }

@@ -85,7 +85,7 @@ func (p PendingReadPrefix) Match(_ *OsState, rv types.RetValue) bool {
 func (p PendingReadPrefix) Finalize(s *OsState, rv types.RetValue) {
 	b := rv.(types.RvBytes)
 	if p.Seq {
-		if fid, ok := s.Fids[p.Fid]; ok {
+		if fid := s.mutFid(p.Fid); fid != nil {
 			fid.Offset += int64(len(b.Data))
 		}
 	}
@@ -133,12 +133,12 @@ func applyWriteEffect(s *OsState, fidRef FidRef, data []byte, n, at int64, seq b
 	if n == 0 {
 		return // a zero-length write has no effect (it does not extend)
 	}
-	fid, ok := s.Fids[fidRef]
-	if !ok {
+	fid := s.fids[fidRef]
+	if fid == nil {
 		return
 	}
-	f, ok := s.H.Files[fid.File]
-	if !ok {
+	f := s.H.MutFile(fid.File)
+	if f == nil {
 		return
 	}
 	if at < 0 {
@@ -150,7 +150,7 @@ func applyWriteEffect(s *OsState, fidRef FidRef, data []byte, n, at int64, seq b
 	}
 	copy(f.Bytes[at:end], data[:n])
 	if seq {
-		fid.Offset = end
+		s.mutFid(fidRef).Offset = end
 	}
 }
 
@@ -173,7 +173,7 @@ type PendingReaddir struct {
 }
 
 func (p PendingReaddir) handle(s *OsState) *DirHandleState {
-	proc, ok := s.Procs[p.Pid]
+	proc, ok := s.procs[p.Pid]
 	if !ok {
 		return nil
 	}
@@ -199,7 +199,7 @@ func (p PendingReaddir) Match(s *OsState, rv types.RetValue) bool {
 
 // Finalize implements Pending.
 func (p PendingReaddir) Finalize(s *OsState, rv types.RetValue) {
-	h := p.handle(s)
+	h := s.mutDh(p.Pid, p.DH)
 	if h == nil {
 		return
 	}

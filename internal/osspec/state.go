@@ -5,6 +5,14 @@
 // state and a label to a finite set of next states. It glues path
 // resolution and the file-system module together and owns all per-process
 // data structures.
+//
+// States are copy-on-write: Clone is O(1) and a transition copies only the
+// tables and objects it actually writes (via the mut* accessors in cow.go),
+// so the checker can carry hundreds of candidate states through a τ-closure
+// without deep-copying the world per successor. State identity is decided
+// by a memoised 64-bit hash (hashcons.go) confirmed by StateEqual — the
+// same observational contract as the legacy Fingerprint string, which is
+// retained as the executable specification of that contract.
 package osspec
 
 import (
@@ -20,7 +28,13 @@ import (
 // keeps the indirection even though the test harness never shares them.
 type FidRef int
 
-// FidState is the state of an open file description (fid_state).
+// cowTok is the OS layer's ownership token, mirroring the heap's: an
+// object is mutable in place only while its owner equals the state's
+// current token.
+type cowTok struct{ _ byte }
+
+// FidState is the state of an open file description (fid_state). Mutate
+// only through OsState.mutFid.
 type FidState struct {
 	IsDir    bool
 	File     state.FileRef
@@ -30,6 +44,8 @@ type FidState struct {
 	Readable bool
 	Writable bool
 	Refs     int
+
+	owner *cowTok
 }
 
 // DirHandleState models an open directory stream with the paper's must/may
@@ -38,12 +54,19 @@ type FidState struct {
 // entries that may or may not be returned (added or removed since the
 // handle was opened). LastSeen is the directory contents at the previous
 // readdir, used to fold concurrent modifications into Must/May.
+//
+// Mutate only through OsState.mutDh. Must/May/LastSeen are replaced
+// wholesale by their writers (opendir, rewinddir, readdir's Finalize), so a
+// copy-on-write handle shares them; Returned is updated in place and is
+// cloned when the handle is copied.
 type DirHandleState struct {
 	Dir      state.DirRef
 	Must     map[string]bool
 	May      map[string]bool
 	Returned map[string]bool
 	LastSeen map[string]bool
+
+	owner *cowTok
 }
 
 // RunKind is a process's run state.
@@ -58,6 +81,7 @@ const (
 )
 
 // ProcState is per_process_state: everything the OS tracks per process.
+// Mutate only through OsState.mutProc / mutFds / mutDhs / mutDh.
 type ProcState struct {
 	Cwd      state.DirRef
 	CwdValid bool
@@ -72,17 +96,34 @@ type ProcState struct {
 	Run        RunKind
 	PendingCmd types.Command // valid in RsCalling
 	PendingRet Pending       // valid in RsReturning
+
+	owner   *cowTok
+	ownsFds bool
+	ownsDhs bool
 }
 
 // OsState is ty_os_state: one abstract model state of the whole system.
+// The process, open-file and group tables are copy-on-write; read them
+// freely, write through the mut* accessors.
 type OsState struct {
 	H       *state.Heap
-	Fids    map[FidRef]*FidState
+	fids    map[FidRef]*FidState
 	NextFid FidRef
-	Procs   map[types.Pid]*ProcState
-	// Groups maps gid → set of member uids (oss_group_table).
-	Groups map[types.Gid]map[types.Uid]bool
+	procs   map[types.Pid]*ProcState
+	// groups maps gid → set of member uids (oss_group_table).
+	groups map[types.Gid]map[types.Uid]bool
 	Spec   types.Spec
+
+	tok        *cowTok
+	ownsFids   bool
+	ownsProcs  bool
+	ownsGroups bool
+	frozen     bool
+
+	// hv memoises the non-heap part of Hash (procs, fds, dir handles);
+	// every mut* accessor invalidates it.
+	hv   uint64
+	hvOK bool
 }
 
 // InitialPid is the process every script starts with.
@@ -92,12 +133,16 @@ const InitialPid types.Pid = 1
 // single process whose credentials follow the spec's RootUser flag.
 func NewOsState(spec types.Spec) *OsState {
 	s := &OsState{
-		H:       state.NewHeap(),
-		Fids:    make(map[FidRef]*FidState),
-		NextFid: 1,
-		Procs:   make(map[types.Pid]*ProcState),
-		Groups:  make(map[types.Gid]map[types.Uid]bool),
-		Spec:    spec,
+		H:          state.NewHeap(),
+		fids:       make(map[FidRef]*FidState),
+		NextFid:    1,
+		procs:      make(map[types.Pid]*ProcState),
+		groups:     make(map[types.Gid]map[types.Uid]bool),
+		Spec:       spec,
+		tok:        &cowTok{},
+		ownsFids:   true,
+		ownsProcs:  true,
+		ownsGroups: true,
 	}
 	uid, gid := types.RootUid, types.RootGid
 	if !spec.RootUser {
@@ -108,7 +153,8 @@ func NewOsState(spec types.Spec) *OsState {
 }
 
 func (s *OsState) addProcess(pid types.Pid, uid types.Uid, gid types.Gid) {
-	s.Procs[pid] = &ProcState{
+	s.dirty()
+	s.mutProcsMap()[pid] = &ProcState{
 		Cwd:      s.H.Root,
 		CwdValid: true,
 		Umask:    0o022,
@@ -119,96 +165,80 @@ func (s *OsState) addProcess(pid types.Pid, uid types.Uid, gid types.Gid) {
 		NextFD:   3, // 0-2 are the std streams, outside the model's scope
 		NextDH:   1,
 		Run:      RsRunning,
+		owner:    s.ensureTok(),
+		ownsFds:  true,
+		ownsDhs:  true,
 	}
 }
 
-// Clone deep-copies the state; the checker branches the state set on every
-// nondeterministic choice (§3 "Concurrency nondeterminism via state sets").
+// Proc returns the per-process state for pid (nil if absent), read-only.
+func (s *OsState) Proc(pid types.Pid) *ProcState { return s.procs[pid] }
+
+// Fid returns the open-file description for ref (nil if absent), read-only.
+func (s *OsState) Fid(ref FidRef) *FidState { return s.fids[ref] }
+
+// NumFids reports the number of open file descriptions.
+func (s *OsState) NumFids() int { return len(s.fids) }
+
+// Pids returns every live pid in ascending order.
+func (s *OsState) Pids() []types.Pid {
+	out := make([]types.Pid, 0, len(s.procs))
+	for pid := range s.procs {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone shares the state copy-on-write: O(1), no table or object is copied
+// until one side writes. The source is frozen first, so cloning a frozen
+// state is a pure read — which is what lets the checker fan os_trans out
+// across goroutines over one shared frontier state.
 func (s *OsState) Clone() *OsState {
-	c := &OsState{
+	s.Freeze()
+	return &OsState{
 		H:       s.H.Clone(),
-		Fids:    make(map[FidRef]*FidState, len(s.Fids)),
+		fids:    s.fids,
 		NextFid: s.NextFid,
-		Procs:   make(map[types.Pid]*ProcState, len(s.Procs)),
-		Groups:  make(map[types.Gid]map[types.Uid]bool, len(s.Groups)),
+		procs:   s.procs,
+		groups:  s.groups,
 		Spec:    s.Spec,
-	}
-	for r, f := range s.Fids {
-		nf := *f
-		c.Fids[r] = &nf
-	}
-	for pid, p := range s.Procs {
-		np := &ProcState{
-			Cwd:      p.Cwd,
-			CwdValid: p.CwdValid,
-			Umask:    p.Umask,
-			Euid:     p.Euid,
-			Egid:     p.Egid,
-			Fds:      make(map[types.FD]FidRef, len(p.Fds)),
-			Dhs:      make(map[types.DH]*DirHandleState, len(p.Dhs)),
-			NextFD:   p.NextFD,
-			NextDH:   p.NextDH,
-			Run:      p.Run,
-			// Commands and pendings are immutable values; share them.
-			PendingCmd: p.PendingCmd,
-			PendingRet: p.PendingRet,
-		}
-		for fd, fid := range p.Fds {
-			np.Fds[fd] = fid
-		}
-		for dh, h := range p.Dhs {
-			np.Dhs[dh] = h.clone()
-		}
-		c.Procs[pid] = np
-	}
-	for gid, members := range s.Groups {
-		m := make(map[types.Uid]bool, len(members))
-		for u := range members {
-			m[u] = true
-		}
-		c.Groups[gid] = m
-	}
-	return c
-}
-
-func (d *DirHandleState) clone() *DirHandleState {
-	return &DirHandleState{
-		Dir:      d.Dir,
-		Must:     cloneSet(d.Must),
-		May:      cloneSet(d.May),
-		Returned: cloneSet(d.Returned),
-		LastSeen: cloneSet(d.LastSeen),
+		hv:      s.hv,
+		hvOK:    s.hvOK,
 	}
 }
 
-func cloneSet(m map[string]bool) map[string]bool {
-	c := make(map[string]bool, len(m))
-	for k := range m {
-		c[k] = true
+// Freeze relinquishes in-place mutation rights (here and in the heap) so
+// every future write copies. Idempotent; a frozen state tolerates
+// concurrent readers and cloners. It does not compute the hash — call
+// Hash() first (still single-threaded) if concurrent readers will need it.
+func (s *OsState) Freeze() {
+	if s.frozen {
+		return
 	}
-	return c
+	s.H.Freeze()
+	s.tok = nil
+	s.ownsFids, s.ownsProcs, s.ownsGroups = false, false, false
+	s.frozen = true
 }
 
 // InGroup reports whether uid is a member of gid (supplementary groups).
 func (s *OsState) InGroup(uid types.Uid, gid types.Gid) bool {
-	m, ok := s.Groups[gid]
+	m, ok := s.groups[gid]
 	return ok && m[uid]
 }
 
 // Fingerprint summarises the state for deduplication of the checker's state
 // set. Two states with the same fingerprint are behaviourally equivalent
 // for our purposes (the summary covers the tree, file contents, fds and
-// process run states).
+// process run states). The hot path uses Hash + StateEqual instead; this
+// string rendering is the readable specification of the same contract, and
+// the property tests hold the two implementations to it.
 func (s *OsState) Fingerprint() string {
 	var b []byte
 	b = append(b, s.fsFingerprint()...)
-	pids := make([]int, 0, len(s.Procs))
-	for pid := range s.Procs {
-		pids = append(pids, int(pid))
-	}
-	sort.Ints(pids)
-	for _, pid := range pids {
-		p := s.Procs[types.Pid(pid)]
+	for _, pid := range s.Pids() {
+		p := s.procs[pid]
 		b = append(b, fmt.Sprintf("|p%d:%d,%d,%d,cwd%d,%v,run%d", pid, p.Euid, p.Egid, p.Umask, p.Cwd, p.CwdValid, p.Run)...)
 		if p.Run == RsReturning && p.PendingRet != nil {
 			b = append(b, p.PendingRet.Describe()...)
@@ -219,7 +249,7 @@ func (s *OsState) Fingerprint() string {
 		}
 		sort.Ints(fds)
 		for _, fd := range fds {
-			fid := s.Fids[p.Fds[types.FD(fd)]]
+			fid := s.fids[p.Fds[types.FD(fd)]]
 			b = append(b, fmt.Sprintf(";fd%d=f%d,d%d,o%d", fd, fid.File, fid.Dir, fid.Offset)...)
 		}
 		dhs := make([]int, 0, len(p.Dhs))
@@ -237,26 +267,16 @@ func (s *OsState) Fingerprint() string {
 
 func (s *OsState) fsFingerprint() string {
 	var b []byte
-	drs := make([]int, 0, len(s.H.Dirs))
-	for d := range s.H.Dirs {
-		drs = append(drs, int(d))
-	}
-	sort.Ints(drs)
-	for _, dr := range drs {
-		d := s.H.Dirs[state.DirRef(dr)]
+	for _, dr := range s.H.SortedDirRefs() {
+		d := s.H.Dir(dr)
 		b = append(b, fmt.Sprintf("|d%d,p%d,%o,%d,%d:", dr, d.Parent, d.Perm, d.Uid, d.Gid)...)
-		for _, n := range s.H.EntryNames(state.DirRef(dr)) {
+		for _, n := range s.H.EntryNames(dr) {
 			e := d.Entries[n]
 			b = append(b, fmt.Sprintf("%s=%d/%d/%d;", n, e.Kind, e.File, e.Dir)...)
 		}
 	}
-	frs := make([]int, 0, len(s.H.Files))
-	for f := range s.H.Files {
-		frs = append(frs, int(f))
-	}
-	sort.Ints(frs)
-	for _, fr := range frs {
-		f := s.H.Files[state.FileRef(fr)]
+	for _, fr := range s.H.SortedFileRefs() {
+		f := s.H.File(fr)
 		b = append(b, fmt.Sprintf("|f%d,%d,%v,%o,%d,%d:%q", fr, f.Nlink, f.IsSymlink, f.Perm, f.Uid, f.Gid, f.Bytes)...)
 	}
 	return string(b)

@@ -22,7 +22,7 @@ func Trans(s *OsState, lbl types.Label) []*OsState {
 	switch l := lbl.(type) {
 	case types.CallLabel:
 		cov.Hit(covTransCall)
-		p, ok := s.Procs[l.Pid]
+		p, ok := s.procs[l.Pid]
 		if !ok || p.Run != RsRunning {
 			cov.Hit(covTransBadPid)
 			return nil
@@ -30,7 +30,7 @@ func Trans(s *OsState, lbl types.Label) []*OsState {
 		// Receptivity: a running process may always issue a call; the call
 		// blocks the process until its return.
 		c := s.Clone()
-		cp := c.Procs[l.Pid]
+		cp := c.mutProc(l.Pid)
 		cp.Run = RsCalling
 		cp.PendingCmd = l.Cmd
 		return []*OsState{c}
@@ -40,7 +40,7 @@ func Trans(s *OsState, lbl types.Label) []*OsState {
 		// An internal step processes the pending call of any one calling
 		// process — the concurrency nondeterminism of §3.
 		var out []*OsState
-		for pid, p := range s.Procs {
+		for pid, p := range s.procs {
 			if p.Run == RsCalling {
 				out = append(out, processCall(s, pid, p.PendingCmd)...)
 			}
@@ -49,7 +49,7 @@ func Trans(s *OsState, lbl types.Label) []*OsState {
 
 	case types.ReturnLabel:
 		cov.Hit(covTransReturn)
-		p, ok := s.Procs[l.Pid]
+		p, ok := s.procs[l.Pid]
 		if !ok || p.Run != RsReturning || p.PendingRet == nil {
 			cov.Hit(covTransBadPid)
 			return nil
@@ -58,7 +58,7 @@ func Trans(s *OsState, lbl types.Label) []*OsState {
 			return nil
 		}
 		c := s.Clone()
-		cp := c.Procs[l.Pid]
+		cp := c.mutProc(l.Pid)
 		pend := cp.PendingRet
 		cp.Run = RsRunning
 		cp.PendingRet = nil
@@ -68,7 +68,7 @@ func Trans(s *OsState, lbl types.Label) []*OsState {
 
 	case types.CreateLabel:
 		cov.Hit(covTransCreate)
-		if _, exists := s.Procs[l.Pid]; exists {
+		if _, exists := s.procs[l.Pid]; exists {
 			return nil
 		}
 		c := s.Clone()
@@ -77,16 +77,20 @@ func Trans(s *OsState, lbl types.Label) []*OsState {
 
 	case types.DestroyLabel:
 		cov.Hit(covTransDestroy)
-		p, ok := s.Procs[l.Pid]
+		p, ok := s.procs[l.Pid]
 		if !ok || p.Run != RsRunning {
 			return nil
 		}
 		c := s.Clone()
-		cp := c.Procs[l.Pid]
-		for fd := range cp.Fds {
+		fds := make([]types.FD, 0, len(p.Fds))
+		for fd := range p.Fds {
+			fds = append(fds, fd)
+		}
+		for _, fd := range fds {
 			c.closeFD(l.Pid, fd)
 		}
-		delete(c.Procs, l.Pid)
+		c.dirty()
+		delete(c.mutProcsMap(), l.Pid)
 		return []*OsState{c}
 	}
 	return nil
@@ -106,7 +110,7 @@ func succExact(s *OsState, pid types.Pid, rv types.RetValue, apply func(*OsState
 	if apply != nil {
 		apply(c)
 	}
-	p := c.Procs[pid]
+	p := c.mutProc(pid)
 	p.Run = RsReturning
 	p.PendingRet = PendingExact{Rv: rv}
 	return c
@@ -119,7 +123,7 @@ func succPending(s *OsState, pid types.Pid, pend Pending, apply func(*OsState)) 
 	if apply != nil {
 		apply(c)
 	}
-	p := c.Procs[pid]
+	p := c.mutProc(pid)
 	p.Run = RsReturning
 	p.PendingRet = pend
 	return c

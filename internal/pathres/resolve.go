@@ -171,8 +171,8 @@ func (r *resolver) walk(dir state.DirRef, comps []string, trailing bool) ResName
 			}
 			continue
 		case "..":
-			d, ok := h.Dirs[dir]
-			if !ok {
+			d := h.Dir(dir)
+			if d == nil {
 				return RNError{Err: types.ENOENT}
 			}
 			if dir != h.Root && !h.IsConnected(dir) {
@@ -231,8 +231,8 @@ func (r *resolver) expandSymlink(dir state.DirRef, link state.FileRef, rest []st
 		return RNError{Err: types.ELOOP}
 	}
 	h := r.req.Heap
-	f, ok := h.Files[link]
-	if !ok || !f.IsSymlink {
+	f := h.File(link)
+	if f == nil || !f.IsSymlink {
 		return RNError{Err: types.ENOENT}
 	}
 	target := string(f.Bytes)

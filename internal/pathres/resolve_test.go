@@ -242,12 +242,12 @@ func TestSplitPath(t *testing.T) {
 
 func TestResolveIsPure(t *testing.T) {
 	h, _ := fixture()
-	before := len(h.Dirs) + len(h.Files)
+	before := h.NumDirs() + h.NumFiles()
 	for _, p := range []string{"/d/f", "/sb", "/l1", "/missing", "/f/x", "/sd/sub"} {
 		resolve(h, h.Root, p, FollowLast)
 		resolve(h, h.Root, p, NoFollowLast)
 	}
-	if len(h.Dirs)+len(h.Files) != before {
+	if h.NumDirs()+h.NumFiles() != before {
 		t.Error("resolution mutated the heap")
 	}
 }

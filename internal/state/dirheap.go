@@ -4,6 +4,20 @@
 // permits arbitrary linking and unlinking, so it can represent disconnected
 // files and directories (reachable through an open descriptor but absent
 // from the tree), which several survey defects depend on (Fig 8).
+//
+// The heap is copy-on-write with structural sharing: Clone is O(1), both
+// sides share the directory/file objects and the tables that hold them, and
+// a mutation copies only the table (shallowly, on the first write) and the
+// one object it touches. All mutation therefore has to go through the heap:
+// reads use Dir/File/Lookup, writes use MutDir/MutFile or the structural
+// operations (Alloc*/Link*/Unlink*/Free*). Writing through a stale *Dir or
+// *File obtained before a Clone corrupts the sharing — don't hold them
+// across clones.
+//
+// Each object carries a memoised 64-bit content hash, and the heap folds
+// the per-object hashes into one incrementally maintained value (Hash):
+// after a clone, hashing a mutated heap re-hashes only the objects the
+// mutation touched. The checker's state identity test rides on this.
 package state
 
 import (
@@ -37,19 +51,29 @@ type Entry struct {
 	Dir  DirRef  // valid when Kind is EntryDir
 }
 
+// cowTok is an ownership token: an object is mutable in place exactly when
+// its owner pointer equals the heap's current token. Freezing (or cloning)
+// a heap drops its token, so every surviving reference copies on write.
+type cowTok struct{ _ byte }
+
 // Dir is the model of a directory: a finite map from names to entries plus
 // the metadata the permissions and stat traits need. Parent supports ".."
-// resolution; the root's parent is itself.
+// resolution; the root's parent is itself. Mutate only through MutDir.
 type Dir struct {
 	Entries map[string]Entry
 	Parent  DirRef
 	Perm    types.Perm
 	Uid     types.Uid
 	Gid     types.Gid
+
+	owner *cowTok
+	hv    uint64 // memoised heap-hash contribution (valid when hvOK)
+	hvOK  bool
 }
 
 // File is the model of a non-directory file: a byte array plus metadata.
 // Symlink files carry IsSymlink=true and store the target path in Bytes.
+// Mutate only through MutFile.
 type File struct {
 	Bytes     []byte
 	Nlink     int
@@ -57,65 +81,188 @@ type File struct {
 	Perm      types.Perm
 	Uid       types.Uid
 	Gid       types.Gid
+
+	owner *cowTok
+	hv    uint64
+	hvOK  bool
 }
 
 // Heap is dir_heap_state_fs: the finite maps from references to objects,
 // plus the distinguished root.
 type Heap struct {
-	Dirs  map[DirRef]*Dir
-	Files map[FileRef]*File
+	dirs  map[DirRef]*Dir
+	files map[FileRef]*File
 	Root  DirRef
 
 	nextDir  DirRef
 	nextFile FileRef
+
+	tok      *cowTok // nil: this heap owns no objects (fresh clone / frozen)
+	ownsMaps bool
+	frozen   bool
+
+	// hash is the XOR of the contributions of every object NOT in a dirty
+	// set; flushHash folds the dirty objects back in. Incremental: a
+	// mutation XORs the object's old contribution out once and defers the
+	// new contribution to the next flush.
+	hash       uint64
+	dirtyDirs  map[DirRef]struct{}
+	dirtyFiles map[FileRef]struct{}
 }
 
 // NewHeap returns a heap containing only an empty root directory owned by
 // root:root with mode 0o755, matching the paper's empty initial file system.
 func NewHeap() *Heap {
 	h := &Heap{
-		Dirs:     make(map[DirRef]*Dir),
-		Files:    make(map[FileRef]*File),
+		dirs:     make(map[DirRef]*Dir),
+		files:    make(map[FileRef]*File),
 		Root:     1,
 		nextDir:  2,
 		nextFile: 1,
+		tok:      &cowTok{},
+		ownsMaps: true,
 	}
-	h.Dirs[h.Root] = &Dir{
+	h.dirs[h.Root] = &Dir{
 		Entries: make(map[string]Entry),
 		Parent:  h.Root,
 		Perm:    0o755,
 		Uid:     types.RootUid,
 		Gid:     types.RootGid,
+		owner:   h.tok,
 	}
+	h.markDirtyDir(h.Root)
 	return h
 }
 
-// Clone deep-copies the heap. The checker relies on cloning to branch the
-// state set at nondeterministic points (§3); states in the test suite hold
-// a handful of small files, so a straightforward deep copy is cheap (and
-// is benchmarked in bench_test.go).
+// Clone shares the heap copy-on-write: O(1), no object is copied until one
+// side writes. The source is frozen first (it gives up in-place mutation
+// rights), so cloning a frozen heap is a pure read — the checker relies on
+// that to fan Trans out across goroutines over a shared frontier state.
 func (h *Heap) Clone() *Heap {
-	c := &Heap{
-		Dirs:     make(map[DirRef]*Dir, len(h.Dirs)),
-		Files:    make(map[FileRef]*File, len(h.Files)),
+	h.Freeze()
+	return &Heap{
+		dirs:     h.dirs,
+		files:    h.files,
 		Root:     h.Root,
 		nextDir:  h.nextDir,
 		nextFile: h.nextFile,
+		hash:     h.hash,
 	}
-	for r, d := range h.Dirs {
+}
+
+// Freeze flushes the incremental hash and relinquishes object ownership so
+// every future mutation (on this heap or any clone) copies on write.
+// Idempotent; a frozen heap is safe for concurrent readers and cloners.
+func (h *Heap) Freeze() {
+	if h.frozen {
+		return
+	}
+	h.flushHash()
+	h.tok = nil
+	h.ownsMaps = false
+	h.frozen = true
+}
+
+// ensureTok gives the heap an ownership token for newly written objects.
+func (h *Heap) ensureTok() *cowTok {
+	if h.tok == nil {
+		h.tok = &cowTok{}
+	}
+	return h.tok
+}
+
+// ensureMaps makes the ref→object tables private to this heap (a shallow,
+// pointers-only copy) so structural changes don't leak into clones.
+func (h *Heap) ensureMaps() {
+	if h.ownsMaps {
+		return
+	}
+	dirs := make(map[DirRef]*Dir, len(h.dirs))
+	for r, d := range h.dirs {
+		dirs[r] = d
+	}
+	files := make(map[FileRef]*File, len(h.files))
+	for r, f := range h.files {
+		files[r] = f
+	}
+	h.dirs, h.files = dirs, files
+	h.ownsMaps = true
+	h.frozen = false
+}
+
+// Dir returns the directory object for r, or nil. The result is read-only:
+// use MutDir to change it.
+func (h *Heap) Dir(r DirRef) *Dir { return h.dirs[r] }
+
+// File returns the file object for r, or nil. Read-only; use MutFile.
+func (h *Heap) File(r FileRef) *File { return h.files[r] }
+
+// NumDirs reports the number of directory objects (including disconnected
+// ones).
+func (h *Heap) NumDirs() int { return len(h.dirs) }
+
+// NumFiles reports the number of file objects.
+func (h *Heap) NumFiles() int { return len(h.files) }
+
+// SortedDirRefs returns every directory reference in ascending order.
+func (h *Heap) SortedDirRefs() []DirRef {
+	out := make([]DirRef, 0, len(h.dirs))
+	for r := range h.dirs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SortedFileRefs returns every file reference in ascending order.
+func (h *Heap) SortedFileRefs() []FileRef {
+	out := make([]FileRef, 0, len(h.files))
+	for r := range h.files {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MutDir returns a directory object that is safe to mutate: the object is
+// copied first unless this heap exclusively owns it, and its contribution
+// is retired from the incremental hash until the next flush.
+func (h *Heap) MutDir(r DirRef) *Dir {
+	d := h.dirs[r]
+	if d == nil {
+		return nil
+	}
+	h.unhashDir(r, d)
+	if h.tok == nil || d.owner != h.tok {
+		h.ensureMaps()
+		entries := make(map[string]Entry, len(d.Entries))
+		for n, e := range d.Entries {
+			entries[n] = e
+		}
 		nd := &Dir{
-			Entries: make(map[string]Entry, len(d.Entries)),
+			Entries: entries,
 			Parent:  d.Parent,
 			Perm:    d.Perm,
 			Uid:     d.Uid,
 			Gid:     d.Gid,
+			owner:   h.ensureTok(),
 		}
-		for n, e := range d.Entries {
-			nd.Entries[n] = e
-		}
-		c.Dirs[r] = nd
+		h.dirs[r] = nd
+		return nd
 	}
-	for r, f := range h.Files {
+	d.hvOK = false
+	return d
+}
+
+// MutFile is MutDir for file objects.
+func (h *Heap) MutFile(r FileRef) *File {
+	f := h.files[r]
+	if f == nil {
+		return nil
+	}
+	h.unhashFile(r, f)
+	if h.tok == nil || f.owner != h.tok {
+		h.ensureMaps()
 		nf := &File{
 			Bytes:     append([]byte(nil), f.Bytes...),
 			Nlink:     f.Nlink,
@@ -123,32 +270,40 @@ func (h *Heap) Clone() *Heap {
 			Perm:      f.Perm,
 			Uid:       f.Uid,
 			Gid:       f.Gid,
+			owner:     h.ensureTok(),
 		}
-		c.Files[r] = nf
+		h.files[r] = nf
+		return nf
 	}
-	return c
+	f.hvOK = false
+	return f
 }
 
 // AllocDir creates a fresh, empty, unlinked directory and returns its
 // reference. The caller links it into a parent (or leaves it disconnected).
 func (h *Heap) AllocDir(parent DirRef, perm types.Perm, uid types.Uid, gid types.Gid) DirRef {
+	h.ensureMaps()
 	r := h.nextDir
 	h.nextDir++
-	h.Dirs[r] = &Dir{
+	h.dirs[r] = &Dir{
 		Entries: make(map[string]Entry),
 		Parent:  parent,
 		Perm:    perm,
 		Uid:     uid,
 		Gid:     gid,
+		owner:   h.ensureTok(),
 	}
+	h.markDirtyDir(r)
 	return r
 }
 
 // AllocFile creates a fresh empty file with link count zero.
 func (h *Heap) AllocFile(perm types.Perm, uid types.Uid, gid types.Gid) FileRef {
+	h.ensureMaps()
 	r := h.nextFile
 	h.nextFile++
-	h.Files[r] = &File{Nlink: 0, Perm: perm, Uid: uid, Gid: gid}
+	h.files[r] = &File{Nlink: 0, Perm: perm, Uid: uid, Gid: gid, owner: h.ensureTok()}
+	h.markDirtyFile(r)
 	return r
 }
 
@@ -157,7 +312,7 @@ func (h *Heap) AllocFile(perm types.Perm, uid types.Uid, gid types.Gid) FileRef 
 // supplies them.
 func (h *Heap) AllocSymlink(target string, perm types.Perm, uid types.Uid, gid types.Gid) FileRef {
 	r := h.AllocFile(perm, uid, gid)
-	f := h.Files[r]
+	f := h.files[r] // freshly allocated: owned and dirty, mutable in place
 	f.Bytes = []byte(target)
 	f.IsSymlink = true
 	return r
@@ -165,8 +320,8 @@ func (h *Heap) AllocSymlink(target string, perm types.Perm, uid types.Uid, gid t
 
 // Lookup returns the entry bound to name in dir.
 func (h *Heap) Lookup(dir DirRef, name string) (Entry, bool) {
-	d, ok := h.Dirs[dir]
-	if !ok {
+	d := h.dirs[dir]
+	if d == nil {
 		return Entry{}, false
 	}
 	e, ok := d.Entries[name]
@@ -176,49 +331,61 @@ func (h *Heap) Lookup(dir DirRef, name string) (Entry, bool) {
 // LinkFile binds name in dir to the file f and bumps its link count.
 func (h *Heap) LinkFile(dir DirRef, name string, f FileRef) {
 	kind := EntryFile
-	if h.Files[f].IsSymlink {
+	if h.files[f].IsSymlink {
 		kind = EntrySymlink
 	}
-	h.Dirs[dir].Entries[name] = Entry{Kind: kind, File: f}
-	h.Files[f].Nlink++
+	h.MutDir(dir).Entries[name] = Entry{Kind: kind, File: f}
+	h.MutFile(f).Nlink++
 }
 
 // UnlinkFile removes the binding of name in dir and decrements the file's
 // link count. Files with zero links and no open descriptors are garbage
 // collected by the OS layer, not here: the heap permits disconnected files.
 func (h *Heap) UnlinkFile(dir DirRef, name string) {
-	d := h.Dirs[dir]
+	d := h.MutDir(dir)
 	e := d.Entries[name]
 	delete(d.Entries, name)
-	if f, ok := h.Files[e.File]; ok {
+	if f := h.MutFile(e.File); f != nil {
 		f.Nlink--
 	}
 }
 
 // LinkDir binds name in dir to the directory sub and reparents it.
 func (h *Heap) LinkDir(dir DirRef, name string, sub DirRef) {
-	h.Dirs[dir].Entries[name] = Entry{Kind: EntryDir, Dir: sub}
-	h.Dirs[sub].Parent = dir
+	h.MutDir(dir).Entries[name] = Entry{Kind: EntryDir, Dir: sub}
+	h.MutDir(sub).Parent = dir
 }
 
 // UnlinkDir removes the binding of name in dir. The subdirectory object
 // survives, disconnected, which is exactly what the Fig 8 OpenZFS scenario
 // (rmdir of the current working directory) requires.
 func (h *Heap) UnlinkDir(dir DirRef, name string) {
-	delete(h.Dirs[dir].Entries, name)
+	delete(h.MutDir(dir).Entries, name)
 }
 
 // FreeFile removes a file object from the heap. Called by the OS layer
 // when the last link and last open descriptor are gone.
-func (h *Heap) FreeFile(f FileRef) { delete(h.Files, f) }
+func (h *Heap) FreeFile(f FileRef) {
+	fl := h.files[f]
+	if fl == nil {
+		return
+	}
+	if _, dirty := h.dirtyFiles[f]; dirty {
+		delete(h.dirtyFiles, f)
+	} else {
+		h.hash ^= fileContrib(f, fl)
+	}
+	h.ensureMaps()
+	delete(h.files, f)
+}
 
 // EntryNames returns the names in dir in sorted order (sorting only for
 // deterministic iteration in the Go implementation; the model makes no
 // ordering promise — readdir ordering nondeterminism is handled by the
 // must/may machinery in the OS layer).
 func (h *Heap) EntryNames(dir DirRef) []string {
-	d, ok := h.Dirs[dir]
-	if !ok {
+	d := h.dirs[dir]
+	if d == nil {
 		return nil
 	}
 	names := make([]string, 0, len(d.Entries))
@@ -231,8 +398,8 @@ func (h *Heap) EntryNames(dir DirRef) []string {
 
 // IsEmptyDir reports whether dir has no entries.
 func (h *Heap) IsEmptyDir(dir DirRef) bool {
-	d, ok := h.Dirs[dir]
-	return ok && len(d.Entries) == 0
+	d := h.dirs[dir]
+	return d != nil && len(d.Entries) == 0
 }
 
 // IsAncestor reports whether a is a proper ancestor of b in the current
@@ -243,8 +410,8 @@ func (h *Heap) IsAncestor(a, b DirRef) bool {
 	}
 	cur := b
 	for {
-		d, ok := h.Dirs[cur]
-		if !ok {
+		d := h.dirs[cur]
+		if d == nil {
 			return false
 		}
 		if d.Parent == cur {
@@ -271,14 +438,14 @@ func (h *Heap) IsConnected(dir DirRef) bool {
 			return false
 		}
 		seen[cur] = true
-		d, ok := h.Dirs[cur]
-		if !ok || d.Parent == cur {
+		d := h.dirs[cur]
+		if d == nil || d.Parent == cur {
 			return false
 		}
 		// The parent must actually still contain this directory; after
 		// UnlinkDir the child keeps a stale Parent pointer.
-		p, ok := h.Dirs[d.Parent]
-		if !ok {
+		p := h.dirs[d.Parent]
+		if p == nil {
 			return false
 		}
 		found := false
@@ -299,8 +466,8 @@ func (h *Heap) IsConnected(dir DirRef) bool {
 // the parent's entry) plus one per subdirectory ("..") — the convention the
 // paper's "core behaviour" survey checks (Btrfs does not maintain it).
 func (h *Heap) DirLinkCount(dir DirRef) int {
-	d, ok := h.Dirs[dir]
-	if !ok {
+	d := h.dirs[dir]
+	if d == nil {
 		return 0
 	}
 	n := 2
@@ -314,8 +481,8 @@ func (h *Heap) DirLinkCount(dir DirRef) int {
 
 // NameOfDirIn finds the name under which child is linked in parent.
 func (h *Heap) NameOfDirIn(parent, child DirRef) (string, bool) {
-	p, ok := h.Dirs[parent]
-	if !ok {
+	p := h.dirs[parent]
+	if p == nil {
 		return "", false
 	}
 	for n, e := range p.Entries {

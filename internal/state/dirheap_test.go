@@ -7,8 +7,8 @@ import (
 
 func TestNewHeapRoot(t *testing.T) {
 	h := NewHeap()
-	root, ok := h.Dirs[h.Root]
-	if !ok {
+	root := h.Dir(h.Root)
+	if root == nil {
 		t.Fatal("root missing")
 	}
 	if root.Parent != h.Root {
@@ -22,21 +22,21 @@ func TestNewHeapRoot(t *testing.T) {
 func TestLinkUnlinkFile(t *testing.T) {
 	h := NewHeap()
 	f := h.AllocFile(0o644, 0, 0)
-	if h.Files[f].Nlink != 0 {
+	if h.File(f).Nlink != 0 {
 		t.Fatal("fresh file should have nlink 0")
 	}
 	h.LinkFile(h.Root, "a", f)
 	h.LinkFile(h.Root, "b", f)
-	if h.Files[f].Nlink != 2 {
-		t.Fatalf("nlink = %d", h.Files[f].Nlink)
+	if h.File(f).Nlink != 2 {
+		t.Fatalf("nlink = %d", h.File(f).Nlink)
 	}
 	e, ok := h.Lookup(h.Root, "a")
 	if !ok || e.Kind != EntryFile || e.File != f {
 		t.Fatalf("lookup a = %+v %v", e, ok)
 	}
 	h.UnlinkFile(h.Root, "a")
-	if h.Files[f].Nlink != 1 {
-		t.Fatalf("nlink after unlink = %d", h.Files[f].Nlink)
+	if h.File(f).Nlink != 1 {
+		t.Fatalf("nlink after unlink = %d", h.File(f).Nlink)
 	}
 	if _, ok := h.Lookup(h.Root, "a"); ok {
 		t.Error("entry a survived unlink")
@@ -51,8 +51,8 @@ func TestSymlinkEntryKind(t *testing.T) {
 	if e.Kind != EntrySymlink {
 		t.Errorf("kind = %v", e.Kind)
 	}
-	if string(h.Files[s].Bytes) != "target" || !h.Files[s].IsSymlink {
-		t.Errorf("symlink body wrong: %+v", h.Files[s])
+	if string(h.File(s).Bytes) != "target" || !h.File(s).IsSymlink {
+		t.Errorf("symlink body wrong: %+v", h.File(s))
 	}
 }
 
@@ -138,23 +138,23 @@ func TestCloneIndependence(t *testing.T) {
 	d := h.AllocDir(h.Root, 0o755, 0, 0)
 	h.LinkDir(h.Root, "d", d)
 	f := h.AllocFile(0o644, 0, 0)
-	h.Files[f].Bytes = []byte("original")
+	h.MutFile(f).Bytes = []byte("original")
 	h.LinkFile(d, "f", f)
 
 	c := h.Clone()
-	c.Files[f].Bytes[0] = 'X'
+	c.MutFile(f).Bytes[0] = 'X'
 	c.UnlinkFile(d, "f")
-	c.Dirs[d].Perm = 0o000
+	c.MutDir(d).Perm = 0o000
 	nd := c.AllocDir(c.Root, 0o700, 1, 1)
 	c.LinkDir(c.Root, "new", nd)
 
-	if string(h.Files[f].Bytes) != "original" {
+	if string(h.File(f).Bytes) != "original" {
 		t.Error("clone shares file bytes")
 	}
 	if _, ok := h.Lookup(d, "f"); !ok {
 		t.Error("clone unlink affected original")
 	}
-	if h.Dirs[d].Perm != 0o755 {
+	if h.Dir(d).Perm != 0o755 {
 		t.Error("clone shares dir struct")
 	}
 	if _, ok := h.Lookup(h.Root, "new"); ok {
@@ -198,7 +198,7 @@ func TestFreeFile(t *testing.T) {
 	h := NewHeap()
 	f := h.AllocFile(0o644, 0, 0)
 	h.FreeFile(f)
-	if _, ok := h.Files[f]; ok {
+	if h.File(f) != nil {
 		t.Error("file survived FreeFile")
 	}
 }

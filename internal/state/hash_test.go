@@ -1,0 +1,176 @@
+package state
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// recomputeHash folds every object's contribution from scratch — the value
+// the incrementally maintained Heap.Hash must always agree with.
+func recomputeHash(h *Heap) uint64 {
+	var acc uint64
+	for r, d := range h.dirs {
+		acc ^= dirContent(r, d)
+	}
+	for r, f := range h.files {
+		acc ^= fileContent(r, f)
+	}
+	return acc
+}
+
+// TestHeapHashIncrementalMatchesRecompute drives random mutation/clone
+// interleavings and checks after every step that the incrementally
+// maintained hash equals a from-scratch recomputation — the core invariant
+// behind hash-consed state identity.
+func TestHeapHashIncrementalMatchesRecompute(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHeap()
+		dirs := []DirRef{h.Root}
+		var files []FileRef
+		clones := []*Heap{h}
+		cdirs := [][]DirRef{dirs}
+		cfiles := [][]FileRef{files}
+		for step := 0; step < 60; step++ {
+			i := rng.Intn(len(clones))
+			if rng.Intn(5) == 0 && len(clones) < 6 {
+				c := clones[i].Clone()
+				clones = append(clones, c)
+				cdirs = append(cdirs, append([]DirRef(nil), cdirs[i]...))
+				cfiles = append(cfiles, append([]FileRef(nil), cfiles[i]...))
+				continue
+			}
+			randomHeapOp(rng, clones[i], &cdirs[i], &cfiles[i])
+			if got, want := clones[i].Hash(), recomputeHash(clones[i]); got != want {
+				t.Fatalf("seed %d step %d: incremental hash %x, recompute %x", seed, step, got, want)
+			}
+		}
+		// Every clone must also still agree (mutating one side must not
+		// have corrupted another's hash bookkeeping).
+		for j, c := range clones {
+			if got, want := c.Hash(), recomputeHash(c); got != want {
+				t.Fatalf("seed %d clone %d: incremental hash %x, recompute %x", seed, j, got, want)
+			}
+		}
+	}
+}
+
+// randomHeapOp applies one random structural or content mutation.
+func randomHeapOp(rng *rand.Rand, h *Heap, dirs *[]DirRef, files *[]FileRef) {
+	pick := func(n int) int { return rng.Intn(n) }
+	switch rng.Intn(8) {
+	case 0:
+		d := h.AllocDir(h.Root, 0o755, 0, 0)
+		h.LinkDir((*dirs)[pick(len(*dirs))], fmt.Sprintf("d%d", d), d)
+		*dirs = append(*dirs, d)
+	case 1:
+		f := h.AllocFile(0o644, 0, 0)
+		h.LinkFile((*dirs)[pick(len(*dirs))], fmt.Sprintf("f%d", f), f)
+		*files = append(*files, f)
+	case 2:
+		if len(*files) > 0 {
+			f := (*files)[pick(len(*files))]
+			if h.File(f) != nil {
+				h.MutFile(f).Bytes = append(h.MutFile(f).Bytes, byte(rng.Intn(256)))
+			}
+		}
+	case 3:
+		d := (*dirs)[pick(len(*dirs))]
+		h.MutDir(d).Perm = 0o700
+	case 4:
+		if len(*files) > 0 {
+			f := (*files)[pick(len(*files))]
+			if fl := h.File(f); fl != nil {
+				mf := h.MutFile(f)
+				mf.Uid, mf.Gid = 7, 8
+			}
+		}
+	case 5:
+		d := (*dirs)[pick(len(*dirs))]
+		for _, n := range h.EntryNames(d) {
+			if e, _ := h.Lookup(d, n); e.Kind == EntryFile {
+				h.UnlinkFile(d, n)
+				break
+			}
+		}
+	case 6:
+		s := h.AllocSymlink(fmt.Sprintf("t%d", rng.Intn(10)), 0o777, 0, 0)
+		h.LinkFile((*dirs)[pick(len(*dirs))], fmt.Sprintf("s%d", s), s)
+		*files = append(*files, s)
+	case 7:
+		for _, f := range *files {
+			if fl := h.File(f); fl != nil && fl.Nlink == 0 {
+				h.FreeFile(f)
+				break
+			}
+		}
+	}
+}
+
+// TestHeapEqualImpliesHashEqual builds the same content along two different
+// mutation paths and checks HeapEqual ⇒ Hash equal (the property dedup
+// correctness rests on: equal states must land in the same bucket).
+func TestHeapEqualImpliesHashEqual(t *testing.T) {
+	build := func(order []int) *Heap {
+		h := NewHeap()
+		var d DirRef
+		var f FileRef
+		for _, op := range order {
+			switch op {
+			case 0:
+				d = h.AllocDir(h.Root, 0o755, 0, 0)
+				h.LinkDir(h.Root, "d", d)
+			case 1:
+				f = h.AllocFile(0o644, 0, 0)
+				h.LinkFile(h.Root, "f", f)
+			case 2:
+				h.MutFile(f).Bytes = []byte("hello")
+			case 3:
+				h.MutDir(d).Perm = 0o700
+			}
+		}
+		return h
+	}
+	// Same ops, different interleavings of independent mutations; also run
+	// one variant through a clone to mix sharing into the comparison.
+	a := build([]int{0, 1, 2, 3})
+	b := build([]int{0, 1, 3, 2})
+	bc := b.Clone()
+	if !HeapEqual(a, b) || !HeapEqual(a, bc) {
+		t.Fatal("construction orders should yield equal heaps")
+	}
+	if a.Hash() != b.Hash() || a.Hash() != bc.Hash() {
+		t.Errorf("equal heaps hash differently: %x %x %x", a.Hash(), b.Hash(), bc.Hash())
+	}
+	// And a genuinely different heap must not compare equal.
+	c := build([]int{0, 1, 2})
+	if HeapEqual(a, c) {
+		t.Error("different heaps reported equal")
+	}
+}
+
+// TestCloneSharingIsLazy pins the COW contract: a clone shares object
+// pointers until written, and writing copies exactly the touched object.
+func TestCloneSharingIsLazy(t *testing.T) {
+	h := NewHeap()
+	d := h.AllocDir(h.Root, 0o755, 0, 0)
+	h.LinkDir(h.Root, "d", d)
+	f := h.AllocFile(0o644, 0, 0)
+	h.LinkFile(d, "f", f)
+
+	c := h.Clone()
+	if c.Dir(d) != h.Dir(d) || c.File(f) != h.File(f) {
+		t.Fatal("clone did not share objects")
+	}
+	c.MutFile(f).Bytes = []byte("x")
+	if c.File(f) == h.File(f) {
+		t.Error("write did not copy the file object")
+	}
+	if c.Dir(d) != h.Dir(d) {
+		t.Error("writing a file copied an untouched directory")
+	}
+	if string(h.File(f).Bytes) != "" {
+		t.Error("write leaked into the clone's sibling")
+	}
+}

@@ -126,7 +126,7 @@ func concUnlinkCreateRaces() []*trace.Script {
 func concRenameRaces() []*trace.Script {
 	var out []*trace.Script
 	for _, variant := range []struct {
-		tag      string
+		tag        string
 		aSrc, aDst string
 		bSrc, bDst string
 	}{

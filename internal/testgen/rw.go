@@ -1,6 +1,8 @@
 package testgen
 
 import (
+	"sort"
+
 	"repro/internal/trace"
 	"repro/internal/types"
 )
@@ -175,7 +177,17 @@ func rwChains() []*trace.Script {
 		{"append", types.ORdwr | types.OAppend},
 	}
 	var _ stepgen
-	for name, chain := range chains {
+	// Iterate the chain table in sorted order: map range order would
+	// shuffle the suite between runs, and downstream consumers (bench
+	// slicing, golden fixtures, diffing two sfs-test runs) rely on
+	// Generate being deterministic.
+	chainNames := make([]string, 0, len(chains))
+	for name := range chains {
+		chainNames = append(chainNames, name)
+	}
+	sort.Strings(chainNames)
+	for _, name := range chainNames {
+		chain := chains[name]
 		for _, m := range modes {
 			steps := []trace.Step{
 				call(1, types.Open{Path: "/t", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}),
@@ -204,7 +216,13 @@ func fdMisuse() []*trace.Script {
 		"lseek":  types.Lseek{FD: 9, Off: 0, Whence: types.SeekSet},
 		"close":  types.Close{FD: 9},
 	}
-	for name, op := range ops {
+	opNames := make([]string, 0, len(ops))
+	for name := range ops {
+		opNames = append(opNames, name)
+	}
+	sort.Strings(opNames)
+	for _, name := range opNames {
+		op := ops[name]
 		out = append(out, bare(caseName("fdbad", name, "never_opened"), call(1, op)))
 		out = append(out, bare(caseName("fdbad", name, "after_close"),
 			call(1, types.Open{Path: "/t", Flags: types.OCreat | types.ORdwr, Perm: 0o644, HasPerm: true}),
