@@ -376,6 +376,61 @@ func BenchmarkFig7ModelSize(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineCold and BenchmarkPipelineWarm measure the cache-backed
+// pipeline over a fixed 500-script slice: cold executes and checks every
+// script, warm resolves every job from the content-addressed cache. Their
+// ratio is the re-run speedup recorded in BENCH_4.json (the acceptance
+// floor is 5x on the full suite).
+func BenchmarkPipelineCold(b *testing.B) {
+	scripts, _ := benchData(b)
+	sel := scripts[:500]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := RunPipeline(PipelineConfig{
+			Name: "bench-cold", Scripts: sel,
+			Factory: MemFS(LinuxProfile("ext4")), FSName: "ext4",
+			Spec: DefaultSpec(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Executed != len(sel) {
+			b.Fatalf("expected all-cold run, got %s", st)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(sel))*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+}
+
+func BenchmarkPipelineWarm(b *testing.B) {
+	scripts, _ := benchData(b)
+	sel := scripts[:500]
+	cache, err := OpenResultCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := PipelineConfig{
+		Name: "bench-warm", Scripts: sel,
+		Factory: MemFS(LinuxProfile("ext4")), FSName: "ext4",
+		Spec: DefaultSpec(), Cache: cache,
+	}
+	if _, _, err := RunPipeline(cfg); err != nil { // fill the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := RunPipeline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.CacheHits != len(sel) {
+			b.Fatalf("expected all-warm run, got %s", st)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(sel))*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+}
+
 // BenchmarkSpecFSExecute measures the determinized model run as an
 // implementation (the paper mounted SibylFS as a FUSE file system, §8).
 func BenchmarkSpecFSExecute(b *testing.B) {

@@ -25,7 +25,7 @@ func main() {
 		os.Exit(2)
 	}
 	pl, ok := sibylfs.DefaultSpec(), false
-	if p, k := parsePlatform(*platform); k {
+	if p, k := sibylfs.ParsePlatformName(*platform); k {
 		pl, ok = sibylfs.SpecFor(p), true
 	}
 	if !ok {
@@ -84,18 +84,4 @@ func main() {
 	if summary.Rejected > 0 {
 		os.Exit(1)
 	}
-}
-
-func parsePlatform(s string) (sibylfs.Platform, bool) {
-	switch s {
-	case "posix":
-		return sibylfs.POSIX, true
-	case "linux":
-		return sibylfs.Linux, true
-	case "mac_os_x", "osx":
-		return sibylfs.OSX, true
-	case "freebsd":
-		return sibylfs.FreeBSD, true
-	}
-	return 0, false
 }

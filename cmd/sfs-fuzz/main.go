@@ -10,10 +10,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"time"
 
 	sibylfs "repro"
+	"repro/internal/cliutil"
 )
 
 func usage() {
@@ -43,29 +43,39 @@ func main() {
 	steps := flag.Int("steps", 30, "max steps per candidate script")
 	concurrent := flag.Bool("concurrent", false, "execute candidates with the concurrent executor (seeded scheduler, seed = -seed) and seed the corpus with the multi-process universe")
 	outDir := flag.String("o", "", "directory for report.html and summary.txt (default: -corpus dir, if set)")
+	cacheDir := flag.String("cache-dir", "", "pipeline result cache: corpus entries whose clean replay is cached skip re-execution at session start")
 	verbose := flag.Bool("v", false, "log corpus admissions, findings and progress")
 	flag.Parse()
 	if *fsName == "" {
 		usage()
 	}
 
-	factory, platform, serial := pickFS(*fsName)
-	spec := sibylfs.SpecFor(platform)
+	fs, ok := cliutil.PickFS(*fsName)
+	if !ok {
+		usage()
+	}
+	if fs.Fallback {
+		// Say so, or a typo'd defect profile would silently fuzz a
+		// defect-free conforming Linux memfs and report "no deviations
+		// found".
+		fmt.Fprintf(os.Stderr, "sfs-fuzz: note: %q is not a survey profile; fuzzing a conforming Linux memfs under that name\n", *fsName)
+	}
+	spec := sibylfs.SpecFor(fs.Platform)
 	if *specName != "" {
-		pl, ok := parsePlatform(*specName)
+		pl, ok := sibylfs.ParsePlatformName(*specName)
 		if !ok {
 			usage()
 		}
 		spec = sibylfs.SpecFor(pl)
 	}
 	w := *workers
-	if serial {
+	if fs.Serial {
 		w = 1
 	}
 
 	cfg := sibylfs.FuzzConfig{
 		Name:       fmt.Sprintf("sfs-fuzz %s vs %s", *fsName, spec.Platform),
-		Factory:    factory,
+		Factory:    fs.Factory,
 		Spec:       spec,
 		Seed:       *seed,
 		Workers:    w,
@@ -77,6 +87,14 @@ func main() {
 	}
 	if *concurrent {
 		cfg.Seeds = sibylfs.GenerateConcurrent()
+	}
+	if *cacheDir != "" {
+		cache, err := sibylfs.OpenResultCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-fuzz:", err)
+			os.Exit(1)
+		}
+		cfg.ResultCache = cache
 	}
 	if *verbose {
 		cfg.Log = os.Stderr
@@ -91,8 +109,8 @@ func main() {
 	fmt.Printf("%s: %d runs in %v (%.0f/s), %d exec errors\n",
 		cfg.Name, res.Runs, res.Elapsed.Round(time.Millisecond),
 		float64(res.Runs)/res.Elapsed.Seconds(), res.ExecErrors)
-	fmt.Printf("corpus: %d entries (%d new), model coverage %d/%d points (started at %d)\n",
-		res.CorpusSize, res.NewEntries, res.CovHit, res.CovTotal, res.InitialCovHit)
+	fmt.Printf("corpus: %d entries (%d new, %d seeded from cache), model coverage %d/%d points (started at %d)\n",
+		res.CorpusSize, res.NewEntries, res.CachedSeeds, res.CovHit, res.CovTotal, res.InitialCovHit)
 	if len(res.Findings) == 0 && res.Crashes == 0 {
 		fmt.Println("no deviations found")
 	} else {
@@ -124,43 +142,4 @@ func main() {
 	if len(res.Findings) > 0 || res.Crashes > 0 {
 		os.Exit(3) // deviations found: distinct from usage/config errors
 	}
-}
-
-func pickFS(name string) (f sibylfs.Factory, platform sibylfs.Platform, serial bool) {
-	switch {
-	case name == "host":
-		return sibylfs.HostFS("host"), sibylfs.Linux, true
-	case strings.HasPrefix(name, "spec:"):
-		pl, ok := parsePlatform(strings.TrimPrefix(name, "spec:"))
-		if !ok {
-			usage()
-		}
-		return sibylfs.SpecFS(name, sibylfs.SpecFor(pl)), pl, false
-	default:
-		for _, p := range sibylfs.SurveyProfiles() {
-			if p.Name == name {
-				return sibylfs.MemFS(p), p.Platform, false
-			}
-		}
-		// Any other name is a *conforming* Linux memfs configuration (as
-		// ext2/xfs are in the survey matrix). Say so, or a typo'd defect
-		// profile would silently fuzz a defect-free target and report
-		// "no deviations found".
-		fmt.Fprintf(os.Stderr, "sfs-fuzz: note: %q is not a survey profile; fuzzing a conforming Linux memfs under that name\n", name)
-		return sibylfs.MemFS(sibylfs.LinuxProfile(name)), sibylfs.Linux, false
-	}
-}
-
-func parsePlatform(s string) (sibylfs.Platform, bool) {
-	switch s {
-	case "posix":
-		return sibylfs.POSIX, true
-	case "linux":
-		return sibylfs.Linux, true
-	case "mac_os_x", "osx":
-		return sibylfs.OSX, true
-	case "freebsd":
-		return sibylfs.FreeBSD, true
-	}
-	return 0, false
 }

@@ -1,6 +1,10 @@
 // sfs-report runs the full survey (or a sampled slice) across the
 // configuration matrix and renders text and HTML reports — the merged
-// multi-platform comparison of §7.
+// multi-platform comparison of §7. Each configuration streams through the
+// sharded checking pipeline: summaries aggregate from per-trace records
+// (optionally journaled to JSONL sinks with -jsonl-dir), never from a
+// monolithic in-memory run, and -cache-dir lets an unchanged
+// configuration re-summarise without re-executing a single trace.
 package main
 
 import (
@@ -19,6 +23,9 @@ func main() {
 	sample := flag.Int("sample", 13, "use every Nth generated script (1 = full suite)")
 	workers := flag.Int("w", 0, "parallel workers")
 	configFilter := flag.String("config", "", "substring filter on configuration names")
+	cacheDir := flag.String("cache-dir", "", "shared result cache: unchanged configurations skip re-execution")
+	jsonlDir := flag.String("jsonl-dir", "", "write one canonical JSONL record file per configuration")
+	resume := flag.Bool("resume", false, "with -jsonl-dir: recover interrupted sinks and skip completed traces")
 	flag.Parse()
 
 	suite := sibylfs.Generate()
@@ -38,7 +45,11 @@ func main() {
 	}
 	fmt.Printf("running %d scripts on %d configurations\n", len(scripts), len(configs))
 
-	results, err := sibylfs.RunSurvey(scripts, configs, *workers)
+	results, err := sibylfs.RunSurveyWith(scripts, configs, *workers, sibylfs.SurveyOptions{
+		CacheDir: *cacheDir,
+		JSONLDir: *jsonlDir,
+		Resume:   *resume,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sfs-report:", err)
 		os.Exit(1)

@@ -1,0 +1,186 @@
+// sfs-run is the batch orchestrator: it drives the whole Fig 1 flow
+// (generate/load scripts → execute → check) through the sharded,
+// cache-backed pipeline, streaming per-trace records to a JSONL sink that
+// doubles as a crash-safe resume journal. Unchanged traces are skipped on
+// re-runs via the content-addressed result cache; -shards/-shard split one
+// suite across invocations or machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	sibylfs "repro"
+	"repro/internal/analysis"
+	"repro/internal/cliutil"
+	"repro/internal/pipeline"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: sfs-run -fs NAME [flags]
+       sfs-run -merge OUT.jsonl SHARD.jsonl...
+
+-fs selects the implementation under test:
+  host            the real file system (in a temp-dir jail; implies -w 1)
+  spec:PLATFORM   the determinized model (posix|linux|mac_os_x|freebsd)
+  NAME            a memfs survey profile (ext4, btrfs, posixovl_vfat_1.2, ...)
+
+Without -i, the generated suite is used (with -concurrent: the concurrent
+multi-process universe). Results stream to the -jsonl sink as they finish;
+-resume recovers an interrupted run and skips completed traces. With
+-cache-dir, traces whose (script, model version, run config) key is cached
+are never re-executed — edit one script and only it re-runs; bump the
+model version and everything does.
+
+exit status: 0 all traces accepted, 1 error, 2 usage, 3 deviations found.
+
+flags:
+`)
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sfs-run:", err)
+	os.Exit(1)
+}
+
+func main() {
+	fsName := flag.String("fs", "", "implementation under test")
+	specName := flag.String("p", "linux", "model variant: posix|linux|mac_os_x|freebsd")
+	noPerms := flag.Bool("noperms", false, "disable the permissions trait")
+	inDir := flag.String("i", "", "directory of .script files (default: generated suite)")
+	sample := flag.Int("sample", 1, "use every Nth script (1 = all)")
+	workers := flag.Int("w", 0, "cross-trace workers (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "total number of shards the suite is split into")
+	shard := flag.Int("shard", 0, "this invocation's shard index, in [0,shards)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache (skip unchanged traces)")
+	jsonl := flag.String("jsonl", "run.jsonl", "JSONL result sink / resume journal")
+	resume := flag.Bool("resume", false, "recover the sink journal and skip already-completed traces")
+	merge := flag.Bool("merge", false, "merge shard sinks: sfs-run -merge OUT.jsonl IN.jsonl...")
+	concurrent := flag.Bool("concurrent", false, "run script processes concurrently")
+	schedSeed := flag.Int64("sched-seed", 0, "with -concurrent: deterministic scheduler seed (0 = free-running)")
+	outDir := flag.String("o", "", "directory for .checked files (optional)")
+	htmlPath := flag.String("html", "", "write the HTML analysis index here (optional)")
+	verbose := flag.Bool("v", false, "log pipeline progress")
+	flag.Parse()
+
+	if *merge {
+		if flag.NArg() < 2 {
+			usage()
+		}
+		if err := pipeline.MergeRecords(flag.Arg(0), flag.Args()[1:]...); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *fsName == "" || flag.NArg() != 0 {
+		usage()
+	}
+	pl, ok := sibylfs.ParsePlatformName(*specName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sfs-run: unknown platform %q\n", *specName)
+		os.Exit(2)
+	}
+	spec := sibylfs.SpecFor(pl)
+	spec.Permissions = !*noPerms
+
+	fs, ok := cliutil.PickFS(*fsName)
+	if !ok {
+		usage()
+	}
+	scripts, err := cliutil.LoadScripts(*inDir, *concurrent)
+	if err != nil {
+		fatal(err)
+	}
+	if fs.HostOnly {
+		scripts = sibylfs.FilterHostSafe(scripts)
+	}
+	if *sample > 1 {
+		var sel []*sibylfs.Script
+		for i := 0; i < len(scripts); i += *sample {
+			sel = append(sel, scripts[i])
+		}
+		scripts = sel
+	}
+
+	cfg := sibylfs.PipelineConfig{
+		Name:       fmt.Sprintf("%s vs %s", *fsName, pl),
+		Scripts:    scripts,
+		Factory:    fs.Factory,
+		FSName:     *fsName,
+		Spec:       spec,
+		Workers:    *workers,
+		Shards:     *shards,
+		Shard:      *shard,
+		Concurrent: *concurrent,
+		SchedSeed:  *schedSeed,
+	}
+	if fs.Serial {
+		cfg.Workers = 1
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	if *cacheDir != "" {
+		cache, err := sibylfs.OpenResultCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Cache = cache
+	}
+	sink, err := sibylfs.OpenResultSink(*jsonl, *resume)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Sink = sink
+
+	_, stats, err := sibylfs.RunPipeline(cfg)
+	if err != nil {
+		sink.Close()
+		fatal(err)
+	}
+	if err := sink.Finalize(); err != nil {
+		fatal(err)
+	}
+
+	// Report over the whole sink (it may hold other shards' records from
+	// earlier resumed invocations), re-read from the canonical file: the
+	// JSONL on disk is the source of truth, not this process's memory.
+	records, err := pipeline.ReadRecords(*jsonl)
+	if err != nil {
+		fatal(err)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, rec := range records {
+			path := filepath.Join(*outDir, rec.Name+".checked")
+			if err := os.WriteFile(path, []byte(rec.Checked), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	summary := pipeline.Summarise(cfg.Name, records)
+	fmt.Print(summary)
+	fmt.Printf("pipeline: %s (sink %s: %d records)\n", stats, *jsonl, len(records))
+	if *htmlPath != "" {
+		html, err := analysis.RenderIndexHTML(summary)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*htmlPath, []byte(html), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if summary.CapHits > 0 {
+		fmt.Fprintf(os.Stderr, "sfs-run: warning: %d trace(s) hit the oracle's state-set cap; "+
+			"verdicts for them are best-effort\n", summary.CapHits)
+	}
+	if summary.Rejected > 0 {
+		os.Exit(3)
+	}
+}

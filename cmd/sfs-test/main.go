@@ -7,9 +7,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 
 	sibylfs "repro"
+	"repro/internal/cliutil"
 )
 
 func usage() {
@@ -44,25 +44,31 @@ func main() {
 		usage()
 	}
 
-	factory, serial, hostOnly := pickFS(*fsName)
-	scripts := loadScripts(*inDir, *concurrent)
-	if hostOnly {
+	fs, ok := cliutil.PickFS(*fsName)
+	if !ok {
+		usage()
+	}
+	scripts, err := cliutil.LoadScripts(*inDir, *concurrent)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-test:", err)
+		os.Exit(1)
+	}
+	if fs.HostOnly {
 		scripts = sibylfs.FilterHostSafe(scripts)
 	}
 	w := *workers
-	if serial {
+	if fs.Serial {
 		w = 1
 	}
 	var traces []*sibylfs.Trace
-	var err error
 	if *concurrent {
-		traces, err = sibylfs.ExecuteConcurrent(scripts, factory, sibylfs.ConcurrentOptions{
+		traces, err = sibylfs.ExecuteConcurrent(scripts, fs.Factory, sibylfs.ConcurrentOptions{
 			Seeded:  *schedSeed != 0,
 			Seed:    *schedSeed,
 			Workers: w,
 		})
 	} else {
-		traces, err = sibylfs.Execute(scripts, factory, w)
+		traces, err = sibylfs.Execute(scripts, fs.Factory, w)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sfs-test:", err)
@@ -82,73 +88,4 @@ func main() {
 		}
 	}
 	fmt.Printf("executed %d scripts on %s\n", len(traces), *fsName)
-}
-
-func pickFS(name string) (f sibylfs.Factory, serial, hostOnly bool) {
-	switch {
-	case name == "host":
-		return sibylfs.HostFS("host"), true, true
-	case strings.HasPrefix(name, "spec:"):
-		pl, ok := parsePlatform(strings.TrimPrefix(name, "spec:"))
-		if !ok {
-			usage()
-		}
-		return sibylfs.SpecFS(name, sibylfs.SpecFor(pl)), false, false
-	default:
-		for _, p := range sibylfs.SurveyProfiles() {
-			if p.Name == name {
-				return sibylfs.MemFS(p), false, false
-			}
-		}
-		return sibylfs.MemFS(sibylfs.LinuxProfile(name)), false, false
-	}
-}
-
-func parsePlatform(s string) (sibylfs.Platform, bool) {
-	switch s {
-	case "posix":
-		return sibylfs.POSIX, true
-	case "linux":
-		return sibylfs.Linux, true
-	case "mac_os_x", "osx":
-		return sibylfs.OSX, true
-	case "freebsd":
-		return sibylfs.FreeBSD, true
-	}
-	return 0, false
-}
-
-func loadScripts(dir string, concurrent bool) []*sibylfs.Script {
-	if dir == "" {
-		if concurrent {
-			return sibylfs.GenerateConcurrent()
-		}
-		return sibylfs.Generate()
-	}
-	var out []*sibylfs.Script
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sfs-test:", err)
-		os.Exit(1)
-	}
-	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), ".script") {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sfs-test:", err)
-			os.Exit(1)
-		}
-		s, err := sibylfs.ParseScript(string(data))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sfs-test: %s: %v\n", e.Name(), err)
-			os.Exit(1)
-		}
-		if s.Name == "" {
-			s.Name = strings.TrimSuffix(e.Name(), ".script")
-		}
-		out = append(out, s)
-	}
-	return out
 }

@@ -1,0 +1,105 @@
+package sibylfs
+
+// Documentation link check: every relative markdown link in the repo's
+// documents must resolve to an existing file, and every fragment must
+// match a heading anchor in the target document (GitHub slug rules,
+// simplified). Keeping this in the test suite means a renamed file or
+// section breaks the build, not the reader.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var docFiles = []string{
+	"README.md",
+	"ARCHITECTURE.md",
+	"docs/cli.md",
+	"ROADMAP.md",
+	"PAPER.md",
+	"PAPERS.md",
+}
+
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// anchorSlug approximates GitHub's heading-anchor generation.
+func anchorSlug(heading string) string {
+	s := strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	anchors := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		anchors[anchorSlug(strings.TrimLeft(line, "# "))] = true
+	}
+	return anchors
+}
+
+func TestDocLinksResolve(t *testing.T) {
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("missing document %s: %v", doc, err)
+			continue
+		}
+		// Strip fenced code blocks: ASCII diagrams and shell examples are
+		// not links.
+		var kept []string
+		inFence := false
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if !inFence {
+				kept = append(kept, line)
+			}
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(strings.Join(kept, "\n"), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked offline
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := doc // self-link
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(doc), file)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", doc, target, err)
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(resolved, ".md") {
+				if !anchorsOf(t, resolved)[frag] {
+					t.Errorf("%s: link %q: no heading anchor #%s in %s", doc, target, frag, resolved)
+				}
+			}
+		}
+	}
+}

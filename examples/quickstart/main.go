@@ -1,11 +1,16 @@
-// Quickstart: the Fig 1 pipeline end to end on one script — write a test
-// script, execute it against a file system under test, and check the
-// observed trace with the oracle, printing the checked trace (Figs 2–4).
+// Quickstart: the Fig 1 flow end to end, driven the way sfs-run drives it
+// — through the sharded, cache-backed checking pipeline. A small script
+// suite is executed against a file system under test and checked by the
+// oracle twice: the cold run executes everything, the warm run is pure
+// cache hits, and both produce byte-identical records. The Fig 4
+// deviation replay at the end shows what a rejection looks like.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	sibylfs "repro"
 )
@@ -27,18 +32,50 @@ func main() {
 	fmt.Println("=== test script (Fig 2) ===")
 	fmt.Print(s.Render())
 
-	// Execute against a conforming in-memory Linux file system.
-	tr, err := sibylfs.ExecuteOne(s, sibylfs.MemFS(sibylfs.LinuxProfile("ext4")))
+	// Drive the script through the checking pipeline (as `sfs-run` does),
+	// against a conforming in-memory Linux file system, with a result
+	// cache and a JSONL sink.
+	dir, err := os.MkdirTemp("", "sfs-quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\n=== observed trace (Fig 3) ===")
-	fmt.Print(tr.Render())
+	defer os.RemoveAll(dir)
+	cache, err := sibylfs.OpenResultCache(filepath.Join(dir, "cache"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(label string) sibylfs.PipelineRecord {
+		sink, err := sibylfs.OpenResultSink(filepath.Join(dir, label+".jsonl"), false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		records, stats, err := sibylfs.RunPipeline(sibylfs.PipelineConfig{
+			Name:    "quickstart vs linux",
+			Scripts: []*sibylfs.Script{s},
+			Factory: sibylfs.MemFS(sibylfs.LinuxProfile("ext4")),
+			FSName:  "ext4",
+			Spec:    sibylfs.DefaultSpec(),
+			Cache:   cache,
+			Sink:    sink,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sink.Finalize(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%s run] %s\n", label, stats)
+		return records[0]
+	}
 
-	// Check it against the Linux variant of the model.
-	r := sibylfs.CheckOne(sibylfs.DefaultSpec(), tr)
-	fmt.Println("\n=== checked trace ===")
-	fmt.Print(sibylfs.RenderChecked(tr, r))
+	fmt.Println("\n=== checked trace, via the pipeline ===")
+	rec := run("cold") // executes and checks, fills the cache
+	fmt.Print(rec.Checked)
+
+	warm := run("warm") // pure cache hit: same record, no execution
+	if warm.Checked != rec.Checked || !warm.Cached {
+		log.Fatal("warm run should reproduce the cold record from cache")
+	}
 
 	// Now replay the paper's Fig 4: SSHFS/tmpfs returned EPERM for the
 	// rename; the oracle rejects it and names the allowed returns.

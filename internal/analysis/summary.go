@@ -1,7 +1,3 @@
-// Package analysis implements the result-processing side of SibylFS (§2,
-// §7): per-run summaries, multi-configuration merging with differences
-// highlighted, severity classification of deviations following the
-// taxonomy of §7.3, and HTML rendering of checked traces and indexes.
 package analysis
 
 import (

@@ -1,15 +1,3 @@
-// Package checker is the SibylFS test oracle: it decides whether an
-// observed trace is allowed by the model by maintaining the finite set of
-// model states the real-world system might be in and stepping it with
-// os_trans — the state-set strategy of §3, with no backtracking search.
-//
-// State identity is hash-consed (osspec.StateSet): candidate states carry a
-// memoised 64-bit digest and deduplication compares digests before
-// confirming structurally, instead of rendering and sorting fingerprint
-// strings. Within one trace the expensive fan-outs — the τ-closure over
-// pending-call interleavings and the per-state transition union — run on a
-// worker pool (TauWorkers), with successors merged in deterministic order
-// so results are byte-identical for every worker count, including one.
 package checker
 
 import (

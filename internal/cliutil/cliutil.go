@@ -1,0 +1,105 @@
+// Package cliutil holds the helpers the cmd/ tools share: resolving the
+// -fs flag to an implementation under test and loading script
+// directories. Keeping them here means a new profile scheme or script
+// format touches one place, not one copy per tool.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/fsimpl"
+	"repro/internal/testgen"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// FSChoice is a resolved -fs argument.
+type FSChoice struct {
+	Factory fsimpl.Factory
+	// Platform is the implementation's native platform (the default model
+	// variant to check it against).
+	Platform types.Platform
+	// Serial means scripts must execute one at a time (hostfs: the
+	// kernel's umask is process-global).
+	Serial bool
+	// HostOnly restricts the run to host-safe scripts.
+	HostOnly bool
+	// Fallback is true when the name matched no survey profile and a
+	// conforming Linux memfs was substituted under it — worth a warning
+	// when the caller's purpose is finding defects.
+	Fallback bool
+}
+
+// PickFS resolves a -fs argument: "host" (the real kernel in a temp-dir
+// jail), "spec:PLATFORM" (the determinized model), a memfs
+// survey-profile name, or any other name as a conforming Linux memfs
+// configuration (Fallback set). ok is false only for an unparsable
+// "spec:" platform.
+func PickFS(name string) (FSChoice, bool) {
+	switch {
+	case name == "host":
+		return FSChoice{
+			Factory:  fsimpl.HostFactory("host"),
+			Platform: types.PlatformLinux,
+			Serial:   true,
+			HostOnly: true,
+		}, true
+	case strings.HasPrefix(name, "spec:"):
+		pl, k := types.ParsePlatform(strings.TrimPrefix(name, "spec:"))
+		if !k {
+			return FSChoice{}, false
+		}
+		spec := types.Spec{Platform: pl, Permissions: true, RootUser: true}
+		return FSChoice{Factory: fsimpl.SpecFactory(name, spec), Platform: pl}, true
+	default:
+		for _, p := range fsimpl.SurveyProfiles() {
+			if p.Name == name {
+				return FSChoice{Factory: fsimpl.MemFactory(p), Platform: p.Platform}, true
+			}
+		}
+		return FSChoice{
+			Factory:  fsimpl.MemFactory(fsimpl.LinuxProfile(name)),
+			Platform: types.PlatformLinux,
+			Fallback: true,
+		}, true
+	}
+}
+
+// LoadScripts parses every .script file under dir (the file name becomes
+// the script name when the header carries none). An empty dir selects
+// the generated suite — the concurrent multi-process universe when
+// concurrent is set, the full sequential suite otherwise.
+func LoadScripts(dir string, concurrent bool) ([]*trace.Script, error) {
+	if dir == "" {
+		if concurrent {
+			return testgen.ConcurrentScripts(), nil
+		}
+		return testgen.Generate().Scripts, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*trace.Script
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".script") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		s, err := trace.ParseScript(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if s.Name == "" {
+			s.Name = strings.TrimSuffix(e.Name(), ".script")
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

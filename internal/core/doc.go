@@ -1,0 +1,8 @@
+// Package core ties the specification layers into the single artefact the
+// paper calls "SibylFS": the executable model usable as a test oracle. The
+// substance lives in the layered packages — state (directory/file heap),
+// pathres (path resolution), fsspec (per-command semantics), osspec (the
+// labelled transition system) and checker (state-set trace checking) — and
+// core exposes the oracle as one value, which is what the public sibylfs
+// package and the cmd/ tools build on.
+package core

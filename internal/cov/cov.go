@@ -1,16 +1,3 @@
-// Package cov instruments the specification with named coverage points so
-// that test-suite coverage of the *model* can be measured, as §7.2 of the
-// paper does (their suite reaches 98% of the model). Spec code registers
-// points at init time and hits them during evaluation; the report divides
-// hit points by registered points.
-//
-// Beyond the global counters, the package supports per-run attribution for
-// coverage-guided fuzzing (internal/fuzz): a Tracker snapshots the counters
-// around one evaluation and returns exactly the points that run hit.
-// Exactness under concurrency comes from a reader/writer discipline:
-// evaluations that do not need attribution run inside Guard (shared side),
-// attribution windows take the exclusive side, so no foreign hit can land
-// inside an open window.
 package cov
 
 import (
@@ -122,6 +109,26 @@ func (t *Tracker) Attribute(f func()) []string {
 		}
 	}
 	return hit
+}
+
+// ForceHit marks the named registered points as hit without evaluating
+// anything — for callers replaying a *cached* attribution (the fuzzer's
+// corpus seeding skips re-executing entries whose point sets the result
+// cache already holds, but the global counters must still reflect them or
+// the "globally new coverage?" pre-filter would mis-fire all session).
+// Unknown ids are ignored: a cache recorded against an older model may
+// name points that no longer exist. Runs on the shared side of the
+// attribution lock, so hits never land inside an open Attribute window.
+func ForceHit(ids []string) {
+	attrMu.RLock()
+	defer attrMu.RUnlock()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, id := range ids {
+		if c, ok := points[id]; ok {
+			Hit(c)
+		}
+	}
 }
 
 // Snapshot returns hit counts for every registered point, sorted by id.

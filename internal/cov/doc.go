@@ -1,0 +1,14 @@
+// Package cov instruments the specification with named coverage points so
+// that test-suite coverage of the *model* can be measured, as §7.2 of the
+// paper does (their suite reaches 98% of the model). Spec code registers
+// points at init time and hits them during evaluation; the report divides
+// hit points by registered points.
+//
+// Beyond the global counters, the package supports per-run attribution for
+// coverage-guided fuzzing (internal/fuzz): a Tracker snapshots the counters
+// around one evaluation and returns exactly the points that run hit.
+// Exactness under concurrency comes from a reader/writer discipline:
+// evaluations that do not need attribution run inside Guard (shared side),
+// attribution windows take the exclusive side, so no foreign hit can land
+// inside an open window.
+package cov

@@ -1,9 +1,3 @@
-// Package exec is the test executor (§6.2): it drives a file system under
-// test with the commands of a test script and records the observed trace.
-// Where the paper forks interpreter processes into a chroot jail, this
-// harness drives fsimpl.FS values in-process; each script execution gets a
-// fresh, empty file system, and handle numbering is normalised so traces
-// are directly comparable across implementations.
 package exec
 
 import (

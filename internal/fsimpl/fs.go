@@ -1,9 +1,3 @@
-// Package fsimpl contains the file systems under test: an independent
-// in-memory POSIX implementation (memfs) with per-platform behaviour
-// profiles and the injected defects from the paper's survey (§7.3), the
-// real host file system (hostfs), and a determinized form of the model
-// itself (specfs, playing the role of the paper's "SibylFS mounted as a
-// FUSE file system").
 package fsimpl
 
 import "repro/internal/types"

@@ -1,0 +1,6 @@
+// Package fsspec is the paper's "file system module" (§5): the behaviour of
+// each command — its envelope of allowed errors and its effect on the state
+// — expressed over resolved names. Nondeterministic error envelopes are
+// built with the parallel combinator of Fig 6; the permissions trait (§4)
+// is implemented here and can be disabled via the Spec.
+package fsspec

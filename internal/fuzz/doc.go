@@ -1,0 +1,22 @@
+// Package fuzz is a coverage-guided mutation fuzzer over test scripts —
+// the feedback loop the paper leaves as future work (§8 randomised /
+// differential testing, §9 automatic test-case reduction), built from the
+// repo's existing parts: seeded random generation (internal/testgen),
+// model coverage points (internal/cov), the executor (internal/exec), the
+// oracle (internal/checker) and ddmin reduction (internal/reduce).
+//
+// The loop is the classic greybox one: a scheduler picks a corpus entry
+// (weighted towards entries holding rare coverage points), mutation
+// operators derive a candidate script, the executor drives it against the
+// implementation under test, and the oracle checks the observed trace
+// against the model. Candidates that hit model coverage points no corpus
+// entry hits are admitted (the corpus is keyed by coverage-point set);
+// oracle-rejected traces are minimized with delta debugging and recorded
+// as findings, rendered through internal/analysis. The corpus persists to
+// disk so successive runs resume where the last one stopped.
+//
+// Coverage attribution is exact even with parallel workers: the fast path
+// (execute + check, no attribution) runs under cov.Guard, and the rare
+// re-run that attributes a promising candidate's exact point set runs in a
+// cov.Tracker window that excludes all guarded evaluation.
+package fuzz

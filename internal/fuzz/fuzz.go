@@ -1,27 +1,7 @@
-// Package fuzz is a coverage-guided mutation fuzzer over test scripts —
-// the feedback loop the paper leaves as future work (§8 randomised /
-// differential testing, §9 automatic test-case reduction), built from the
-// repo's existing parts: seeded random generation (internal/testgen),
-// model coverage points (internal/cov), the executor (internal/exec), the
-// oracle (internal/checker) and ddmin reduction (internal/reduce).
-//
-// The loop is the classic greybox one: a scheduler picks a corpus entry
-// (weighted towards entries holding rare coverage points), mutation
-// operators derive a candidate script, the executor drives it against the
-// implementation under test, and the oracle checks the observed trace
-// against the model. Candidates that hit model coverage points no corpus
-// entry hits are admitted (the corpus is keyed by coverage-point set);
-// oracle-rejected traces are minimized with delta debugging and recorded
-// as findings, rendered through internal/analysis. The corpus persists to
-// disk so successive runs resume where the last one stopped.
-//
-// Coverage attribution is exact even with parallel workers: the fast path
-// (execute + check, no attribution) runs under cov.Guard, and the rare
-// re-run that attributes a promising candidate's exact point set runs in a
-// cov.Tracker window that excludes all guarded evaluation.
 package fuzz
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -36,6 +16,8 @@ import (
 	"repro/internal/cov"
 	"repro/internal/exec"
 	"repro/internal/fsimpl"
+	"repro/internal/osspec"
+	"repro/internal/pipeline"
 	"repro/internal/reduce"
 	"repro/internal/trace"
 	"repro/internal/types"
@@ -74,6 +56,16 @@ type Config struct {
 	Concurrent bool
 	// Seeds are extra initial inputs offered to the corpus at startup.
 	Seeds []*trace.Script
+	// ResultCache, when non-nil, memoises corpus seeding on the pipeline's
+	// content-addressed store: a reloaded corpus entry whose attributed
+	// replay is cached (keyed by script, osspec.ModelVersion + Spec, and a
+	// fuzz-seed config hash derived from Name and the executor mode) is
+	// admitted with its cached point set instead of being re-executed and
+	// re-checked. Only clean, accepted replays are cached — deviating
+	// entries re-run every session so their findings are re-reported. Name
+	// is the implementation identity in the key: keep it stable across
+	// sessions (sfs-fuzz derives it from -fs/-spec) or hits never occur.
+	ResultCache *pipeline.Cache
 	// KeepCoverage leaves the process-global coverage counters as they
 	// are instead of resetting them at session start.
 	KeepCoverage bool
@@ -94,6 +86,11 @@ type Result struct {
 	// seeding/corpus reload, before any mutation ran — resumed sessions
 	// start strictly ahead of empty ones.
 	InitialCovHit int
+	// CachedSeeds counts seed scripts whose replay was skipped at session
+	// start because the result cache held their attributed point set
+	// (Config.ResultCache); the corpus's usual admission rules still
+	// decide which of them become entries.
+	CachedSeeds int
 	// CovHit/CovTotal are the session-end model coverage figures (§7.2).
 	CovHit   int
 	CovTotal int
@@ -138,7 +135,8 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	initialHit := cov.HitCount()
-	e.logf("fuzz: start corpus=%d coverage=%d points", e.corpus.Len(), initialHit)
+	e.logf("fuzz: start corpus=%d coverage=%d points (%d seeds from cache)",
+		e.corpus.Len(), initialHit, e.cachedSeeds)
 
 	start := time.Now()
 	var deadline time.Time
@@ -162,6 +160,7 @@ func Run(cfg Config) (*Result, error) {
 		ExecErrors:    e.execErrs.Load(),
 		Crashes:       e.crashes.Load(),
 		InitialCovHit: initialHit,
+		CachedSeeds:   e.cachedSeeds,
 		Elapsed:       time.Since(start),
 	}
 	e.mu.Lock()
@@ -193,6 +192,8 @@ type engine struct {
 	bySig      map[string]*Finding
 	rawSeen    map[string]*Finding // pre-minimization dedup (see reportDeviation)
 	newEntries int
+	// cachedSeeds is only written during single-threaded seeding.
+	cachedSeeds int
 
 	tracker  *cov.Tracker // Attribute serializes internally
 	runs     atomic.Int64
@@ -218,7 +219,11 @@ func (e *engine) runScript(s *trace.Script) (*trace.Trace, error) {
 
 // seed loads the persisted corpus (if any) and the configured seed
 // scripts, replaying each through attributed execution so the corpus keys
-// and the global coverage counters reflect the current model.
+// and the global coverage counters reflect the current model. With a
+// ResultCache, entries whose clean attributed replay is already cached
+// skip the replay entirely: the cached point set is admitted directly and
+// force-marked in the global counters (cov.ForceHit), so a warm resumed
+// session starts in seconds regardless of corpus size.
 func (e *engine) seed() error {
 	var scripts []*trace.Script
 	if e.cfg.CorpusDir != "" {
@@ -233,9 +238,81 @@ func (e *engine) seed() error {
 		if !validLifecycle(s) {
 			continue
 		}
+		if points, ok := e.cachedSeed(s); ok {
+			e.admitCached(s, points)
+			e.cachedSeeds++
+			continue
+		}
 		e.offer(s, false)
 	}
 	return nil
+}
+
+// seedRecord is the cached shape of one clean seed replay.
+type seedRecord struct {
+	Points []string `json:"points"`
+}
+
+// seedKey addresses one script's replay under the current session
+// semantics: the model version and variant, and the fuzz-seed config
+// (implementation identity via Config.Name, executor mode). The
+// "fuzz-seed|" tag namespaces these entries away from pipeline records
+// sharing the same cache directory.
+func (e *engine) seedKey(s *trace.Script) string {
+	seed := int64(0)
+	if e.cfg.Concurrent {
+		seed = e.cfg.Seed
+	}
+	cfgHash := pipeline.ConfigHash("fuzz-seed|"+e.cfg.Name, e.cfg.Concurrent, seed, e.check.MaxStateSet)
+	return pipeline.Key(pipeline.ScriptHash(s), pipeline.SpecHash(osspec.ModelVersion, e.cfg.Spec), cfgHash)
+}
+
+// cachedSeed looks up a script's cached clean replay.
+func (e *engine) cachedSeed(s *trace.Script) ([]string, bool) {
+	if e.cfg.ResultCache == nil {
+		return nil, false
+	}
+	data, ok := e.cfg.ResultCache.GetRaw(e.seedKey(s))
+	if !ok {
+		return nil, false
+	}
+	var rec seedRecord
+	if err := json.Unmarshal(data, &rec); err != nil || len(rec.Points) == 0 {
+		return nil, false
+	}
+	return rec.Points, true
+}
+
+// putSeed stores a clean replay's attributed point set.
+func (e *engine) putSeed(s *trace.Script, points []string) {
+	data, err := json.Marshal(seedRecord{Points: points})
+	if err == nil {
+		err = e.cfg.ResultCache.PutRaw(e.seedKey(s), data)
+	}
+	if err != nil {
+		e.logf("fuzz: caching seed replay: %v", err)
+	}
+}
+
+// admitCached admits a seed with its cached point set, mirroring offer's
+// admission and persistence paths but skipping execution, checking and
+// attribution. The points are force-marked in the global counters so the
+// session's coverage view matches what a real replay would have left.
+func (e *engine) admitCached(s *trace.Script, points []string) {
+	cov.ForceHit(points)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, admitted, replaced, evicted := e.corpus.Admit(s, points)
+	if (admitted || replaced) && e.cfg.CorpusDir != "" {
+		if err := SaveScript(e.cfg.CorpusDir, s); err != nil {
+			e.logf("fuzz: persisting corpus entry: %v", err)
+		}
+		if evicted != nil {
+			if err := RemoveScript(e.cfg.CorpusDir, evicted); err != nil {
+				e.logf("fuzz: removing superseded corpus entry: %v", err)
+			}
+		}
+	}
 }
 
 // worker is one fuzzing goroutine: its RNG stream is derived from the
@@ -343,7 +420,9 @@ func (e *engine) pick(r *rand.Rand) (parent, donor *trace.Script) {
 // an exclusive cov.Tracker window) and admits it to the corpus if it hits
 // a point no existing entry hits. Scripts whose attributed re-run deviates
 // are routed to the findings path instead (e.g. loaded corpus entries that
-// deviate under a different profile than they were collected on).
+// deviate under a different profile than they were collected on). Clean
+// replays of scripts that enter the corpus are memoised in the result
+// cache (when configured) so the next session's seeding skips them.
 func (e *engine) offer(s *trace.Script, fromLoop bool) {
 	var tr *trace.Trace
 	var res checker.Result
@@ -379,6 +458,11 @@ func (e *engine) offer(s *trace.Script, fromLoop bool) {
 	entry, admitted, replaced, evicted := e.corpus.Admit(s, points)
 	if admitted && fromLoop {
 		e.newEntries++
+	}
+	if (admitted || replaced) && e.cfg.ResultCache != nil {
+		// Cache the clean attributed replay of everything that enters the
+		// corpus: the next session's seeding admits it without re-running.
+		e.putSeed(s, points)
 	}
 	if (admitted || replaced) && e.cfg.CorpusDir != "" {
 		// Persist while still holding e.mu: a save racing a concurrent

@@ -1,18 +1,3 @@
-// Package osspec is the paper's "POSIX API module" (§5): it defines the
-// labelled transition system whose states model the operating system —
-// processes, file-descriptor tables, open file descriptions, directory
-// handles, users and groups — and whose transition function os_trans maps a
-// state and a label to a finite set of next states. It glues path
-// resolution and the file-system module together and owns all per-process
-// data structures.
-//
-// States are copy-on-write: Clone is O(1) and a transition copies only the
-// tables and objects it actually writes (via the mut* accessors in cow.go),
-// so the checker can carry hundreds of candidate states through a τ-closure
-// without deep-copying the world per successor. State identity is decided
-// by a memoised 64-bit hash (hashcons.go) confirmed by StateEqual — the
-// same observational contract as the legacy Fingerprint string, which is
-// retained as the executable specification of that contract.
 package osspec
 
 import (

@@ -1,0 +1,13 @@
+package osspec
+
+// ModelVersion identifies the semantics of the executable specification for
+// result-caching purposes (internal/pipeline, internal/fuzz). Cached checker
+// verdicts are keyed on it: bump the version whenever a change to the model
+// (osspec, fsspec, pathres, state) or to the checker's verdict semantics can
+// alter any checked-trace output, and every previously cached result is
+// invalidated at once. Pure performance work (hash-consing, parallelism,
+// COW layout) must NOT bump it — the determinism contract says those leave
+// output byte-identical, and the golden fixtures in testdata/ enforce that.
+//
+// The format is "v<N>"; there is no semantic content beyond inequality.
+const ModelVersion = "v1"

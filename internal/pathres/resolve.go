@@ -1,8 +1,3 @@
-// Package pathres implements the paper's path resolution module (§5): it
-// maps a raw path string, a starting directory and a follow-last policy to
-// a resolved name (res_name). All the "tricky details" — trailing slashes,
-// symlink chains, ELOOP limits, permission checks during traversal — are
-// confined here so the file-system module works over clean resolved names.
 package pathres
 
 import (

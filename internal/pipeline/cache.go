@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// Cache is the content-addressed result store: one JSON file per key,
+// fanned into 256 subdirectories by the key's first byte so directory
+// listings stay cheap at suite scale (~21k entries). Writes are atomic
+// (temp file + rename), so a killed run can never leave a torn entry, and
+// concurrent writers of the same key are idempotent — last rename wins
+// with identical content.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key[2:]+".json")
+}
+
+// GetRecord loads the cached record for key; ok is false on a miss.
+// Unreadable or unparsable entries count as misses (the writer will
+// overwrite them), never as errors.
+func (c *Cache) GetRecord(key string) (Record, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return Record{}, false
+	}
+	rec.Key = key
+	return rec, true
+}
+
+// PutRecord stores a record under its key.
+func (c *Cache) PutRecord(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return c.putBytes(c.path(rec.Key), data)
+}
+
+// GetRaw and PutRaw expose the store to sibling subsystems that cache
+// their own record shapes under the same key discipline (internal/fuzz
+// caches attributed coverage-point sets for corpus seeding). Namespacing
+// is the caller's job: fold a distinct tag into the key's config hash.
+func (c *Cache) GetRaw(key string) ([]byte, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// PutRaw stores raw bytes under key (see GetRaw).
+func (c *Cache) PutRaw(key string, data []byte) error {
+	return c.putBytes(c.path(key), data)
+}
+
+func (c *Cache) putBytes(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), path)
+}

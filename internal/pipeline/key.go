@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// SpecHash digests the model identity: the model version (bumped on any
+// semantic change to the specification — see osspec.ModelVersion) and the
+// variant/trait mix the checker is configured with. Two runs share cached
+// results only if their SpecHash agrees.
+func SpecHash(modelVersion string, spec types.Spec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "model=%s\nplatform=%s\npermissions=%t\ntimestamps=%t\nrootuser=%t\n",
+		modelVersion, spec.Platform, spec.Permissions, spec.Timestamps, spec.RootUser)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// ConfigHash digests everything else that can change a verdict: the
+// implementation under test, the executor mode (sequential vs concurrent,
+// and the scheduler seed when seeded), and the checker's state-set cap.
+// Worker counts are deliberately absent — the checker's determinism
+// contract guarantees results do not depend on them.
+func ConfigHash(fsName string, concurrent bool, schedSeed int64, maxStateSet int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "fs=%s\nconcurrent=%t\nseed=%d\ncap=%d\n",
+		fsName, concurrent, schedSeed, maxStateSet)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// ScriptHash digests a script's rendered text (which includes its name, so
+// two identical command sequences under different names cache separately
+// and records keep honest names).
+func ScriptHash(s *trace.Script) string {
+	sum := sha256.Sum256([]byte(s.Render()))
+	return hex.EncodeToString(sum[:])[:24]
+}
+
+// Key combines the three component hashes into the content address of one
+// checked-trace result. The same key always denotes the same verdict
+// bytes; that is the whole cache contract.
+func Key(scriptHash, specHash, configHash string) string {
+	sum := sha256.Sum256([]byte(scriptHash + "\x00" + specHash + "\x00" + configHash))
+	return hex.EncodeToString(sum[:])
+}

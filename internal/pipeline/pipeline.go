@@ -1,0 +1,247 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/exec"
+	"repro/internal/fsimpl"
+	"repro/internal/osspec"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Config parameterises one pipeline run.
+type Config struct {
+	// Name labels the run in summaries ("ext4 vs linux").
+	Name string
+	// Scripts is the full job list. Sharding selects from it by index, so
+	// every shard of a layout must be given the identical list in the
+	// identical order (the generated suite is deterministic; sorted script
+	// directories are too).
+	Scripts []*trace.Script
+	// Factory creates the implementation under test, one instance per
+	// script; FSName is its cache identity and must change whenever the
+	// factory's behaviour does (profile name, "host", "spec:linux", ...).
+	Factory fsimpl.Factory
+	FSName  string
+	// Spec is the model variant checked against.
+	Spec types.Spec
+	// ModelVersion overrides osspec.ModelVersion in the cache key — tests
+	// use it to force invalidation; leave empty otherwise.
+	ModelVersion string
+	// Workers bounds cross-trace parallelism (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// TauWorkers bounds within-trace parallelism (checker.TauWorkers).
+	// The pipeline default is 1: with Workers saturating the cores across
+	// traces, fanning out inside each trace as well only adds scheduling
+	// overhead. Raise it for few-trace, heavily concurrent workloads.
+	TauWorkers int
+	// MaxStateSet caps the checker's tracked state set (0 = the checker
+	// default). Part of the cache key: a different cap can change verdicts.
+	MaxStateSet int
+	// Shards/Shard split the job list across invocations or machines:
+	// shard K of N takes jobs K, K+N, K+2N, ... Shards ≤ 1 means the whole
+	// list; Shard must be in [0, Shards).
+	Shards int
+	Shard  int
+	// Concurrent executes scripts with the concurrent executor;
+	// SchedSeed ≠ 0 selects the seeded deterministic scheduler. Both are
+	// part of the cache key.
+	Concurrent bool
+	SchedSeed  int64
+	// Cache, when non-nil, skips any job whose key it already holds and
+	// stores every fresh result.
+	Cache *Cache
+	// Sink, when non-nil, receives records as jobs finish and acts as the
+	// resume journal: jobs whose key the sink already holds are skipped
+	// (their record is reused). Callers own Finalize/Close.
+	Sink *Sink
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// Stats describes one run's work split.
+type Stats struct {
+	// Jobs is the number of scripts in this shard; Executed + CacheHits +
+	// SinkSkipped = Jobs.
+	Jobs        int
+	Executed    int
+	CacheHits   int
+	SinkSkipped int
+	Rejected    int
+	Elapsed     time.Duration
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("%d jobs: %d executed, %d cache hits, %d resumed, %d rejected in %v",
+		st.Jobs, st.Executed, st.CacheHits, st.SinkSkipped, st.Rejected,
+		st.Elapsed.Round(time.Millisecond))
+}
+
+// Run executes one shard of the suite through the cache-backed pipeline
+// and returns this shard's records in job order. The record content is
+// deterministic: a cache hit, a sink resume and a fresh execution of the
+// same job yield identical records (only Stats and Record.Cached reveal
+// the difference).
+func Run(cfg Config) ([]Record, Stats, error) {
+	var st Stats
+	if cfg.Factory == nil {
+		return nil, st, errors.New("pipeline: Config.Factory is required")
+	}
+	if cfg.Cache != nil && cfg.FSName == "" {
+		return nil, st, errors.New("pipeline: Config.FSName is required when caching")
+	}
+	if cfg.Shards > 1 && (cfg.Shard < 0 || cfg.Shard >= cfg.Shards) {
+		return nil, st, fmt.Errorf("pipeline: shard %d out of range [0,%d)", cfg.Shard, cfg.Shards)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	version := cfg.ModelVersion
+	if version == "" {
+		version = osspec.ModelVersion
+	}
+	chk := checker.New(cfg.Spec)
+	if cfg.MaxStateSet > 0 {
+		chk.MaxStateSet = cfg.MaxStateSet
+	}
+	chk.TauWorkers = cfg.TauWorkers
+	if chk.TauWorkers <= 0 {
+		chk.TauWorkers = 1
+	}
+
+	specHash := SpecHash(version, cfg.Spec)
+	configHash := ConfigHash(cfg.FSName, cfg.Concurrent, cfg.SchedSeed, chk.MaxStateSet)
+
+	// Keys for the FULL suite (not just this shard): jobs need theirs, and
+	// the sink prunes against the complete set so a resumed sink keeps
+	// other shards' records but drops records of edited/removed scripts.
+	keys := make([]string, len(cfg.Scripts))
+	for i, s := range cfg.Scripts {
+		keys[i] = Key(ScriptHash(s), specHash, configHash)
+	}
+	if cfg.Sink != nil {
+		valid := make(map[string]bool, len(keys))
+		for _, k := range keys {
+			valid[k] = true
+		}
+		cfg.Sink.Restrict(valid)
+	}
+
+	// Shard selection: stable indices into the shared job list.
+	var jobs []int
+	for i := range cfg.Scripts {
+		if cfg.Shards <= 1 || i%cfg.Shards == cfg.Shard {
+			jobs = append(jobs, i)
+		}
+	}
+	st.Jobs = len(jobs)
+
+	start := time.Now()
+	records := make([]Record, len(jobs))
+	errs := make([]error, len(jobs))
+	var failed atomic.Bool // first job error stops further work
+	var mu sync.Mutex      // st counters + log
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range idx {
+				if failed.Load() {
+					continue // drain: completed records stay in sink/cache
+				}
+				rec, hit, skipped, err := runJob(cfg, chk, cfg.Scripts[jobs[j]], keys[jobs[j]])
+				records[j], errs[j] = rec, err
+				if err != nil {
+					failed.Store(true)
+					continue
+				}
+				mu.Lock()
+				switch {
+				case skipped:
+					st.SinkSkipped++
+				case hit:
+					st.CacheHits++
+				default:
+					st.Executed++
+				}
+				if !rec.Accepted {
+					st.Rejected++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for j := range jobs {
+		idx <- j
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	st.Elapsed = time.Since(start)
+	if cfg.Log != nil {
+		fmt.Fprintf(cfg.Log, "pipeline: %s: %s\n", cfg.Name, st)
+	}
+	return records, st, nil
+}
+
+// runJob resolves one script to its record: sink journal first, then the
+// result cache, then a real execute-and-check (whose record is written
+// back to both).
+func runJob(cfg Config, chk *checker.Checker, s *trace.Script, key string) (rec Record, hit, skipped bool, err error) {
+	if cfg.Sink != nil {
+		if rec, ok := cfg.Sink.Lookup(key); ok {
+			rec.Cached = true
+			return rec, false, true, nil
+		}
+	}
+	if cfg.Cache != nil {
+		if rec, ok := cfg.Cache.GetRecord(key); ok {
+			rec.Cached = true
+			if cfg.Sink != nil {
+				if err := cfg.Sink.Append(rec); err != nil {
+					return rec, true, false, err
+				}
+			}
+			return rec, true, false, nil
+		}
+	}
+	var t *trace.Trace
+	if cfg.Concurrent {
+		t, err = exec.RunConcurrent(s, cfg.Factory, exec.ConcurrentOptions{
+			Seeded: cfg.SchedSeed != 0,
+			Seed:   cfg.SchedSeed,
+		})
+	} else {
+		t, err = exec.Run(s, cfg.Factory)
+	}
+	if err != nil {
+		return Record{}, false, false, fmt.Errorf("pipeline: %s: %w", s.Name, err)
+	}
+	rec = NewRecord(key, t, chk.Check(t))
+	if cfg.Cache != nil {
+		if err := cfg.Cache.PutRecord(rec); err != nil {
+			return rec, false, false, err
+		}
+	}
+	if cfg.Sink != nil {
+		if err := cfg.Sink.Append(rec); err != nil {
+			return rec, false, false, err
+		}
+	}
+	return rec, false, false, nil
+}

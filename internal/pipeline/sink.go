@@ -1,0 +1,270 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Sink is the streaming JSONL result file and, at the same time, the
+// crash-safe resume journal: records append one line at a time as jobs
+// finish, so a killed run keeps everything completed before the kill. On
+// reopen with resume, a torn trailing line (the only damage an append-mode
+// kill can cause) is truncated away and every intact record is indexed by
+// key, letting the next run skip finished work. Append order is completion
+// order and therefore nondeterministic; Finalize rewrites the file in
+// canonical order before the sink is handed to consumers.
+type Sink struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	byKey   map[string]Record
+	records []Record
+}
+
+// OpenSink opens the JSONL sink at path. With resume true an existing file
+// is recovered (intact lines kept, a torn tail truncated); with resume
+// false any existing file is replaced.
+func OpenSink(path string, resume bool) (*Sink, error) {
+	s := &Sink{path: path, byKey: make(map[string]Record)}
+	if !resume {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		s.f = f
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	valid := 0 // byte offset of the end of the last intact record
+	for len(data[valid:]) > 0 {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break // torn tail: no terminating newline
+		}
+		line := data[valid : valid+nl]
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			break // torn or foreign content; drop it and everything after
+		}
+		if _, dup := s.byKey[rec.Key]; !dup {
+			s.byKey[rec.Key] = rec
+			s.records = append(s.records, rec)
+		}
+		valid += nl + 1
+	}
+	if valid != len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.f = f
+	return s, nil
+}
+
+// Path returns the sink's file path.
+func (s *Sink) Path() string { return s.path }
+
+// Restrict drops journaled records whose key is not in valid — the
+// resume-time defence against stale results. A sink belongs to one
+// (suite, configuration) pair; when a script is edited between runs its
+// key changes, and without pruning the old record (same name, old
+// verdict) would survive every resume and finalize. Run calls this with
+// the key set of the FULL suite (all shards), so records contributed by
+// other shards of the same layout are never touched. The journal file
+// still holds the stale lines until Finalize rewrites it; the in-memory
+// view (Lookup/Records/Finalize) is pruned immediately.
+func (s *Sink) Restrict(valid map[string]bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.records[:0]
+	for _, rec := range s.records {
+		if valid[rec.Key] {
+			kept = append(kept, rec)
+		} else {
+			delete(s.byKey, rec.Key)
+		}
+	}
+	s.records = kept
+}
+
+// Lookup returns the already-journaled record for key, if any.
+func (s *Sink) Lookup(key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.byKey[key]
+	return rec, ok
+}
+
+// Len returns the number of journaled records.
+func (s *Sink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Append journals one record (a single write syscall, so concurrent
+// appends never interleave bytes). Duplicate keys are dropped silently —
+// they can only arise from two shards of the same layout sharing a sink,
+// where both would write identical content anyway.
+func (s *Sink) Append(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byKey[rec.Key]; dup {
+		return nil
+	}
+	if _, err := s.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	s.byKey[rec.Key] = rec
+	s.records = append(s.records, rec)
+	return nil
+}
+
+// Records returns a copy of every journaled record, in journal order.
+func (s *Sink) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.records...)
+}
+
+// Finalize rewrites the sink file in canonical order and closes the sink.
+// After Finalize the file's bytes depend only on the record *set* — not on
+// completion order, shard layout, cache hits or how many interrupted runs
+// contributed — which is the property the shard-invariance and
+// resume-equivalence tests pin.
+func (s *Sink) Finalize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	s.f = nil
+	return WriteRecords(s.path, s.records)
+}
+
+// Close closes the sink without canonicalizing (the journal keeps its
+// append order; a later resume or Finalize can still pick it up).
+func (s *Sink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// sortRecords orders records canonically: by name, key-tiebroken (names
+// are unique across the generated suite, but user script directories make
+// no such promise).
+func sortRecords(records []Record) {
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].Name != records[j].Name {
+			return records[i].Name < records[j].Name
+		}
+		return records[i].Key < records[j].Key
+	})
+}
+
+// WriteRecords writes records to path in canonical order, atomically.
+func WriteRecords(path string, records []Record) error {
+	sorted := append([]Record(nil), records...)
+	sortRecords(sorted)
+	var buf bytes.Buffer
+	for _, rec := range sorted {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".jsonl-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(buf.Bytes())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadRecords loads every record line of a JSONL file, in file order. A
+// torn trailing line — one with no terminating newline, the only shape a
+// killed append can leave — is ignored; any malformed newline-terminated
+// line is corruption and an error (appends write the line and its '\n'
+// in one syscall, so a short write can never produce a terminated
+// partial line).
+func ReadRecords(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail
+		}
+		line := data[off : off+nl]
+		off += nl + 1
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("pipeline: %s: bad record line: %w", path, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// MergeRecords combines shard sinks into one canonical JSONL file,
+// dropping duplicate keys (first occurrence wins; duplicates are
+// byte-identical by the cache-key contract).
+func MergeRecords(out string, ins ...string) error {
+	seen := make(map[string]bool)
+	var all []Record
+	for _, in := range ins {
+		recs, err := ReadRecords(in)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if seen[rec.Key] {
+				continue
+			}
+			seen[rec.Key] = true
+			all = append(all, rec)
+		}
+	}
+	return WriteRecords(out, all)
+}

@@ -1,8 +1,3 @@
-// Package reduce implements automatic test-case reduction, one of the
-// §9 future-work items ("it could support automatic test case
-// reduction"): given a script whose execution on some implementation
-// deviates from the model, shrink the script to a minimal command
-// sequence that still deviates — delta debugging over script steps.
 package reduce
 
 import (

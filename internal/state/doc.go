@@ -1,0 +1,21 @@
+// Package state implements the paper's "state module": a simple model of
+// directory and file contents, expressed over abstract directory and file
+// references rather than blocks or inodes (§5, "State module"). The API
+// permits arbitrary linking and unlinking, so it can represent disconnected
+// files and directories (reachable through an open descriptor but absent
+// from the tree), which several survey defects depend on (Fig 8).
+//
+// The heap is copy-on-write with structural sharing: Clone is O(1), both
+// sides share the directory/file objects and the tables that hold them, and
+// a mutation copies only the table (shallowly, on the first write) and the
+// one object it touches. All mutation therefore has to go through the heap:
+// reads use Dir/File/Lookup, writes use MutDir/MutFile or the structural
+// operations (Alloc*/Link*/Unlink*/Free*). Writing through a stale *Dir or
+// *File obtained before a Clone corrupts the sharing — don't hold them
+// across clones.
+//
+// Each object carries a memoised 64-bit content hash, and the heap folds
+// the per-object hashes into one incrementally maintained value (Hash):
+// after a clone, hashing a mutated heap re-hashes only the objects the
+// mutation touched. The checker's state identity test rides on this.
+package state

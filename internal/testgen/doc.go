@@ -1,0 +1,6 @@
+// Package testgen generates the test suite (§6.1): combinatorial tests
+// built by equivalence partitioning over path properties and flag
+// bitfields, plus hand-written sequence tests for read/write, directory
+// streams, permissions, and the survey scenarios of §7.3. The oracle makes
+// intended outcomes unnecessary: scripts only set up state and issue calls.
+package testgen

@@ -1,0 +1,12 @@
+// Package trace defines the concrete syntax of test scripts and traces
+// (Figs 2–4 of the paper) and their parser and printer.
+//
+// A script is a header line "@type script" followed by commands, one per
+// line. A command line may carry a process prefix ("2: mkdir ..."); without
+// one it belongs to process 1. "create PID UID GID" and "destroy PID"
+// manage processes. Comments start with '#'.
+//
+// A trace is a header line "@type trace" followed by alternating call and
+// return lines; both carry the pid prefix. Return lines hold a return value
+// ("RV_none", "RV_num(3)", ...) or an error name ("ENOENT").
+package trace

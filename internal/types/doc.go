@@ -1,0 +1,6 @@
+// Package types defines the abstract vocabulary of the SibylFS model:
+// error numbers, open flags, file kinds, permissions, libc commands
+// (ty_os_command in the paper), transition labels (os_label) and return
+// values. It corresponds to the "Types" part of the Lem specification
+// (Fig 7 of the paper).
+package types

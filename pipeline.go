@@ -1,0 +1,38 @@
+package sibylfs
+
+import (
+	"repro/internal/pipeline"
+)
+
+// Batch pipeline vocabulary, re-exported (see internal/pipeline and
+// ARCHITECTURE.md). The pipeline is the cross-trace scaling layer: it
+// shards a suite over a worker pool, skips unchanged work through a
+// content-addressed result cache, and journals records to a crash-safe
+// JSONL sink that doubles as the resume log.
+type (
+	// PipelineConfig parameterises one sharded, cache-backed run.
+	PipelineConfig = pipeline.Config
+	// PipelineRecord is one checked trace as the pipeline persists it.
+	PipelineRecord = pipeline.Record
+	// PipelineStats is a run's executed/cached/resumed work split.
+	PipelineStats = pipeline.Stats
+	// ResultCache is the content-addressed (script, spec, config)-keyed store.
+	ResultCache = pipeline.Cache
+	// ResultSink is the streaming JSONL journal with crash-safe resume.
+	ResultSink = pipeline.Sink
+)
+
+// OpenResultCache opens (creating if needed) a result cache rooted at dir.
+func OpenResultCache(dir string) (*ResultCache, error) { return pipeline.OpenCache(dir) }
+
+// OpenResultSink opens the JSONL sink at path; resume recovers an
+// interrupted run's journal instead of replacing it.
+func OpenResultSink(path string, resume bool) (*ResultSink, error) {
+	return pipeline.OpenSink(path, resume)
+}
+
+// RunPipeline executes one shard of a suite through the cache-backed
+// checking pipeline, returning this shard's records in job order.
+func RunPipeline(cfg PipelineConfig) ([]PipelineRecord, PipelineStats, error) {
+	return pipeline.Run(cfg)
+}

@@ -65,6 +65,10 @@ func SpecFor(p Platform) Spec {
 	return Spec{Platform: p, Permissions: true, RootUser: true}
 }
 
+// ParsePlatformName maps a configuration-file or CLI platform name
+// ("posix", "linux", "mac_os_x"/"osx", "freebsd") to a Platform.
+func ParsePlatformName(s string) (Platform, bool) { return types.ParsePlatform(s) }
+
 // Generate builds the full test suite (§6.1).
 func Generate() []*Script { return testgen.Generate().Scripts }
 

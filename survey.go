@@ -2,9 +2,14 @@ package sibylfs
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/fsimpl"
+	"repro/internal/pipeline"
 	"repro/internal/types"
 )
 
@@ -86,9 +91,45 @@ type SurveyResult struct {
 	Summary *analysis.RunSummary
 }
 
+// SurveyOptions wires the survey through the pipeline's persistence: a
+// shared result cache (unchanged configurations re-summarise without
+// re-executing anything) and a JSONL sink per configuration, resumable
+// after a kill.
+type SurveyOptions struct {
+	// CacheDir, when non-empty, backs every configuration with one shared
+	// content-addressed result cache.
+	CacheDir string
+	// JSONLDir, when non-empty, streams each configuration's records to
+	// JSONLDir/<config>.jsonl (finalized in canonical order).
+	JSONLDir string
+	// Resume recovers existing sinks instead of replacing them.
+	Resume bool
+}
+
 // RunSurvey executes scripts on every configuration and summarises the
-// deviations (the §7.3 survey). workers applies per configuration.
+// deviations (the §7.3 survey). workers applies per configuration. Each
+// configuration streams through the checking pipeline: summaries are
+// aggregated from per-trace records, so no configuration ever holds its
+// full ([]Trace, []Result) pair in memory.
 func RunSurvey(scripts []*Script, configs []Config, workers int) ([]SurveyResult, error) {
+	return RunSurveyWith(scripts, configs, workers, SurveyOptions{})
+}
+
+// RunSurveyWith is RunSurvey with the pipeline's cache and JSONL sinks
+// attached (see SurveyOptions).
+func RunSurveyWith(scripts []*Script, configs []Config, workers int, opts SurveyOptions) ([]SurveyResult, error) {
+	var cache *pipeline.Cache
+	if opts.CacheDir != "" {
+		var err error
+		if cache, err = pipeline.OpenCache(opts.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	if opts.JSONLDir != "" {
+		if err := os.MkdirAll(opts.JSONLDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	var out []SurveyResult
 	for _, cfg := range configs {
 		sel := scripts
@@ -99,17 +140,56 @@ func RunSurvey(scripts []*Script, configs []Config, workers int) ([]SurveyResult
 		if cfg.Serial {
 			w = 1
 		}
-		traces, err := Execute(sel, cfg.Factory, w)
+		pcfg := pipeline.Config{
+			Name:    cfg.Name,
+			Scripts: sel,
+			Factory: cfg.Factory,
+			FSName:  cfg.Name,
+			Spec:    cfg.Spec,
+			Workers: w,
+			Cache:   cache,
+		}
+		if cfg.Serial {
+			// Serial configs (hostfs) must execute one script at a time, but
+			// their *checking* needn't be single-threaded too: recover the
+			// caller's parallelism inside each trace's closure. Resolve the
+			// "0 = GOMAXPROCS" convention here — pipeline.Run would clamp a
+			// zero TauWorkers to 1.
+			tw := workers
+			if tw <= 0 {
+				tw = runtime.GOMAXPROCS(0)
+			}
+			pcfg.TauWorkers = tw
+		}
+		if opts.JSONLDir != "" {
+			sink, err := pipeline.OpenSink(filepath.Join(opts.JSONLDir, surveySinkName(cfg.Name)), opts.Resume)
+			if err != nil {
+				return out, err
+			}
+			pcfg.Sink = sink
+		}
+		records, _, err := pipeline.Run(pcfg)
+		if pcfg.Sink != nil {
+			if err == nil {
+				err = pcfg.Sink.Finalize()
+			} else {
+				pcfg.Sink.Close()
+			}
+		}
 		if err != nil {
 			return out, fmt.Errorf("survey %s: %w", cfg.Name, err)
 		}
-		results := Check(cfg.Spec, traces, workers)
 		out = append(out, SurveyResult{
 			Config:  cfg,
-			Summary: analysis.Summarise(cfg.Name, traces, results),
+			Summary: pipeline.Summarise(cfg.Name, records),
 		})
 	}
 	return out, nil
+}
+
+// surveySinkName maps a configuration name to its JSONL file name.
+func surveySinkName(config string) string {
+	return strings.ReplaceAll(config, " ", "_") + ".jsonl"
 }
 
 // FilterHostSafe drops scripts that switch credentials or belong to the
