@@ -1,13 +1,18 @@
 // sfs-check is the trace-checking half of Fig 1: it runs the oracle over
-// trace files and writes checked traces with diagnoses.
+// trace files and writes checked traces with diagnoses. Ctrl-C cancels
+// between traces (exit 4, nothing written).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	sibylfs "repro"
 	"repro/internal/analysis"
@@ -33,6 +38,9 @@ func main() {
 		os.Exit(2)
 	}
 	pl.Permissions = !*noPerms
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var traces []*sibylfs.Trace
 	entries, err := os.ReadDir(*inDir)
@@ -60,7 +68,16 @@ func main() {
 		traces = append(traces, t)
 	}
 
-	results := sibylfs.Check(pl, traces, *workers)
+	session := sibylfs.New(sibylfs.WithSpec(pl), sibylfs.WithWorkers(*workers))
+	results, err := session.Check(ctx, traces)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "sfs-check: cancelled")
+			os.Exit(4)
+		}
+		fmt.Fprintln(os.Stderr, "sfs-check:", err)
+		os.Exit(1)
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "sfs-check:", err)

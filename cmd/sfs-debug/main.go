@@ -1,13 +1,17 @@
 // sfs-debug is the model-debugging tool of §2: it takes a trace and
 // produces a description of the model states that the oracle tracks at
 // every step — "extremely useful for developing the model, but we do not
-// expect end users of SibylFS to need it".
+// expect end users of SibylFS to need it". Ctrl-C cancels between steps
+// (a pathological closure dump can run long).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	sibylfs "repro"
 	"repro/internal/core"
@@ -39,19 +43,27 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	oracle := core.NewOracle(sibylfs.SpecFor(pl))
 	states := []*osspec.OsState{oracle.InitialState()}
 	fmt.Printf("# model-debug of %s (%s variant)\n\n", flag.Arg(0), pl)
 	for _, st := range tr.Steps {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "sfs-debug: cancelled")
+			os.Exit(4)
+		}
 		fmt.Printf("step %d: %s\n", st.Line, st.Label)
 		var next []*osspec.OsState
 		if _, ok := st.Label.(types.ReturnLabel); ok {
 			// Close over τ first, as the checker does: pending calls of any
 			// process may have been processed in any order by now. The
 			// closure fans out across GOMAXPROCS workers exactly like the
-			// checker's, so the dump shows the same states in the same
-			// order the oracle tracks them.
-			expanded, taus, _ := osspec.TauClosureWith(states, osspec.ClosureOpts{Dedup: true})
+			// checker's — and honours the same cancellation points — so the
+			// dump shows the same states in the same order the oracle
+			// tracks them.
+			expanded, taus, _ := osspec.TauClosureWith(states, osspec.ClosureOpts{Dedup: true, Ctx: ctx})
 			if taus > 0 {
 				fmt.Printf("  τ-closure: %d states (%d expansions)\n", len(expanded), taus)
 			}

@@ -2,14 +2,18 @@
 // drives them against an implementation under test, admits inputs that
 // reach new model coverage points to a persistent corpus, and minimizes
 // every spec deviation it finds (§8/§9 future work of the paper, made a
-// feedback loop).
+// feedback loop). Ctrl-C ends the session gracefully: the corpus is
+// already persisted and the findings collected so far are reported.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	sibylfs "repro"
@@ -25,6 +29,10 @@ func usage() {
   NAME            a memfs survey profile (ext4, btrfs, posixovl_vfat_1.2, ...)
 
 The model variant defaults to the profile's platform; override with -spec.
+The session ends at -duration/-timeout (whichever is shorter), after -runs
+candidates, or on Ctrl-C — all graceful: corpus and findings are reported.
+
+exit status: 0 no deviations, 1 error, 2 usage, 3 deviations found.
 
 flags:
 `)
@@ -35,8 +43,9 @@ flags:
 func main() {
 	fsName := flag.String("fs", "", "implementation under test")
 	specName := flag.String("spec", "", "model variant to check against (posix|linux|mac_os_x|freebsd)")
-	duration := flag.Duration("duration", 30*time.Second, "how long to fuzz (0 with -runs for a run-bounded session)")
-	runs := flag.Int64("runs", 0, "stop after this many candidate executions (0 = until -duration)")
+	duration := flag.Duration("duration", 30*time.Second, "wall-clock bound on the session, applied as a context deadline covering corpus seeding and the fuzz loop (0 with -runs for a run-bounded session)")
+	timeout := flag.Duration("timeout", 0, "same deadline mechanism as -duration (0 = none); the shorter of the two bounds the session — use it to cap a -duration 0 -runs N session in CI")
+	runs := flag.Int64("runs", 0, "stop after this many candidate executions (0 = until the time bound)")
 	workers := flag.Int("workers", 4, "parallel fuzzing workers")
 	seed := flag.Int64("seed", 1, "session seed (reproducible with -workers 1)")
 	corpus := flag.String("corpus", "", "corpus directory to persist/resume (also receives findings)")
@@ -73,41 +82,54 @@ func main() {
 		w = 1
 	}
 
-	cfg := sibylfs.FuzzConfig{
+	// Ctrl-C/SIGTERM cancel the session context; the engine treats that as
+	// the end of the session, exactly like the -duration deadline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	opts := []sibylfs.Option{
+		sibylfs.WithSpec(spec),
+		sibylfs.WithWorkers(w),
+	}
+	if *cacheDir != "" {
+		opts = append(opts, sibylfs.WithCacheDir(*cacheDir))
+	}
+	if *verbose {
+		opts = append(opts, sibylfs.WithLog(os.Stderr))
+	}
+	session := sibylfs.New(opts...)
+
+	job := sibylfs.FuzzJob{
 		Name:       fmt.Sprintf("sfs-fuzz %s vs %s", *fsName, spec.Platform),
 		Factory:    fs.Factory,
-		Spec:       spec,
 		Seed:       *seed,
-		Workers:    w,
-		Duration:   *duration,
 		MaxRuns:    *runs,
 		MaxSteps:   *steps,
 		CorpusDir:  *corpus,
 		Concurrent: *concurrent,
 	}
 	if *concurrent {
-		cfg.Seeds = sibylfs.GenerateConcurrent()
-	}
-	if *cacheDir != "" {
-		cache, err := sibylfs.OpenResultCache(*cacheDir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sfs-fuzz:", err)
-			os.Exit(1)
-		}
-		cfg.ResultCache = cache
-	}
-	if *verbose {
-		cfg.Log = os.Stderr
+		job.Seeds, _ = session.GenerateConcurrent(ctx)
 	}
 
-	res, err := sibylfs.Fuzz(cfg)
+	res, err := session.Fuzz(ctx, job)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sfs-fuzz:", err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("%s: %d runs in %v (%.0f/s), %d exec errors\n",
-		cfg.Name, res.Runs, res.Elapsed.Round(time.Millisecond),
+		job.Name, res.Runs, res.Elapsed.Round(time.Millisecond),
 		float64(res.Runs)/res.Elapsed.Seconds(), res.ExecErrors)
 	fmt.Printf("corpus: %d entries (%d new, %d seeded from cache), model coverage %d/%d points (started at %d)\n",
 		res.CorpusSize, res.NewEntries, res.CachedSeeds, res.CovHit, res.CovTotal, res.InitialCovHit)

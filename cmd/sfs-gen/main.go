@@ -1,13 +1,17 @@
 // sfs-gen generates the SibylFS test suite and writes one script file per
 // test into the output directory (or prints statistics with -stats).
+// Ctrl-C cancels between file writes (exit 4).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"syscall"
 
 	sibylfs "repro"
 )
@@ -18,7 +22,15 @@ func main() {
 	group := flag.String("group", "", "only emit scripts of this command group")
 	flag.Parse()
 
-	suite := sibylfs.Generate()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	session := sibylfs.New()
+	suite, err := session.Generate(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-gen:", err)
+		os.Exit(4)
+	}
 	if *group != "" {
 		var sel []*sibylfs.Script
 		for _, s := range suite {
@@ -54,6 +66,10 @@ func main() {
 		os.Exit(1)
 	}
 	for _, s := range suite {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "sfs-gen: cancelled")
+			os.Exit(4)
+		}
 		path := filepath.Join(*outDir, s.Name+".script")
 		if err := os.WriteFile(path, []byte(s.Render()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "sfs-gen:", err)

@@ -5,14 +5,21 @@
 // (optionally journaled to JSONL sinks with -jsonl-dir), never from a
 // monolithic in-memory run, and -cache-dir lets an unchanged
 // configuration re-summarise without re-executing a single trace.
+// Ctrl-C or -timeout cancels between jobs; with -jsonl-dir the sinks stay
+// resumable and a later -resume run completes the matrix.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	sibylfs "repro"
 	"repro/internal/analysis"
@@ -26,9 +33,34 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "shared result cache: unchanged configurations skip re-execution")
 	jsonlDir := flag.String("jsonl-dir", "", "write one canonical JSONL record file per configuration")
 	resume := flag.Bool("resume", false, "with -jsonl-dir: recover interrupted sinks and skip completed traces")
+	timeout := flag.Duration("timeout", 0, "cancel the survey after this long (sinks stay resumable; exit 4)")
 	flag.Parse()
 
-	suite := sibylfs.Generate()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []sibylfs.Option{sibylfs.WithWorkers(*workers)}
+	if *cacheDir != "" {
+		opts = append(opts, sibylfs.WithCacheDir(*cacheDir))
+	}
+	if *jsonlDir != "" {
+		opts = append(opts, sibylfs.WithJournalDir(*jsonlDir))
+	}
+	if *resume {
+		opts = append(opts, sibylfs.WithResume())
+	}
+	session := sibylfs.New(opts...)
+
+	suite, err := session.Generate(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-report:", err)
+		os.Exit(1)
+	}
 	var scripts []*sibylfs.Script
 	for i, s := range suite {
 		// Always include the targeted survey scenarios; sample the rest.
@@ -45,12 +77,19 @@ func main() {
 	}
 	fmt.Printf("running %d scripts on %d configurations\n", len(scripts), len(configs))
 
-	results, err := sibylfs.RunSurveyWith(scripts, configs, *workers, sibylfs.SurveyOptions{
-		CacheDir: *cacheDir,
-		JSONLDir: *jsonlDir,
-		Resume:   *resume,
-	})
+	start := time.Now()
+	results, err := session.Survey(ctx, scripts, configs)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			stop()
+			fmt.Fprintf(os.Stderr, "sfs-report: cancelled after %v with %d/%d configurations done",
+				time.Since(start).Round(time.Millisecond), len(results), len(configs))
+			if *jsonlDir != "" {
+				fmt.Fprintf(os.Stderr, "; rerun with -resume to finish")
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(4)
+		}
 		fmt.Fprintln(os.Stderr, "sfs-report:", err)
 		os.Exit(1)
 	}
@@ -71,7 +110,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	merged := sibylfs.MergeSurvey(results)
+	merged, err := session.MergeSurvey(ctx, results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-report:", err)
+		os.Exit(4)
+	}
 	fmt.Printf("\n%d tests distinguish configurations:\n", len(merged.Distinguishing()))
 	for i, test := range merged.Distinguishing() {
 		if i >= 25 {

@@ -3,14 +3,20 @@
 // cache-backed pipeline, streaming per-trace records to a JSONL sink that
 // doubles as a crash-safe resume journal. Unchanged traces are skipped on
 // re-runs via the content-addressed result cache; -shards/-shard split one
-// suite across invocations or machines.
+// suite across invocations or machines. Ctrl-C (or -timeout) cancels the
+// run cooperatively: completed records stay journaled and a later
+// -resume invocation finishes the suite without re-executing them.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	sibylfs "repro"
 	"repro/internal/analysis"
@@ -34,7 +40,11 @@ multi-process universe). Results stream to the -jsonl sink as they finish;
 are never re-executed — edit one script and only it re-runs; bump the
 model version and everything does.
 
-exit status: 0 all traces accepted, 1 error, 2 usage, 3 deviations found.
+SIGINT/SIGTERM and -timeout cancel cooperatively: the journal keeps every
+completed record and -resume finishes the run later.
+
+exit status: 0 all traces accepted, 1 error, 2 usage, 3 deviations found,
+4 cancelled (interrupt or timeout; journal resumable).
 
 flags:
 `)
@@ -62,6 +72,7 @@ func main() {
 	merge := flag.Bool("merge", false, "merge shard sinks: sfs-run -merge OUT.jsonl IN.jsonl...")
 	concurrent := flag.Bool("concurrent", false, "run script processes concurrently")
 	schedSeed := flag.Int64("sched-seed", 0, "with -concurrent: deterministic scheduler seed (0 = free-running)")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this long (journal stays resumable; exit 4)")
 	outDir := flag.String("o", "", "directory for .checked files (optional)")
 	htmlPath := flag.String("html", "", "write the HTML analysis index here (optional)")
 	verbose := flag.Bool("v", false, "log pipeline progress")
@@ -87,6 +98,14 @@ func main() {
 	spec := sibylfs.SpecFor(pl)
 	spec.Permissions = !*noPerms
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	fs, ok := cliutil.PickFS(*fsName)
 	if !ok {
 		usage()
@@ -106,43 +125,43 @@ func main() {
 		scripts = sel
 	}
 
-	cfg := sibylfs.PipelineConfig{
+	w := *workers
+	if fs.Serial {
+		w = 1
+	}
+	opts := []sibylfs.Option{
+		sibylfs.WithSpec(spec),
+		sibylfs.WithWorkers(w),
+		sibylfs.WithJournal(*jsonl),
+	}
+	if *cacheDir != "" {
+		opts = append(opts, sibylfs.WithCacheDir(*cacheDir))
+	}
+	if *resume {
+		opts = append(opts, sibylfs.WithResume())
+	}
+	if *verbose {
+		opts = append(opts, sibylfs.WithLog(os.Stderr))
+	}
+	session := sibylfs.New(opts...)
+
+	_, stats, err := session.Run(ctx, sibylfs.RunJob{
 		Name:       fmt.Sprintf("%s vs %s", *fsName, pl),
 		Scripts:    scripts,
 		Factory:    fs.Factory,
 		FSName:     *fsName,
-		Spec:       spec,
-		Workers:    *workers,
 		Shards:     *shards,
 		Shard:      *shard,
 		Concurrent: *concurrent,
 		SchedSeed:  *schedSeed,
-	}
-	if fs.Serial {
-		cfg.Workers = 1
-	}
-	if *verbose {
-		cfg.Log = os.Stderr
-	}
-	if *cacheDir != "" {
-		cache, err := sibylfs.OpenResultCache(*cacheDir)
-		if err != nil {
-			fatal(err)
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			stop() // restore default signal handling: a second Ctrl-C kills
+			fmt.Fprintf(os.Stderr, "sfs-run: cancelled (%v); journal %s keeps %s — rerun with -resume to finish\n",
+				err, *jsonl, stats)
+			os.Exit(4)
 		}
-		cfg.Cache = cache
-	}
-	sink, err := sibylfs.OpenResultSink(*jsonl, *resume)
-	if err != nil {
-		fatal(err)
-	}
-	cfg.Sink = sink
-
-	_, stats, err := sibylfs.RunPipeline(cfg)
-	if err != nil {
-		sink.Close()
-		fatal(err)
-	}
-	if err := sink.Finalize(); err != nil {
 		fatal(err)
 	}
 
@@ -164,7 +183,8 @@ func main() {
 			}
 		}
 	}
-	summary := pipeline.Summarise(cfg.Name, records)
+	name := fmt.Sprintf("%s vs %s", *fsName, pl)
+	summary := pipeline.Summarise(name, records)
 	fmt.Print(summary)
 	fmt.Printf("pipeline: %s (sink %s: %d records)\n", stats, *jsonl, len(records))
 	if *htmlPath != "" {

@@ -1,12 +1,17 @@
 // sfs-test executes test scripts against a file system under test and
-// writes the observed traces — the test-executor half of Fig 1.
+// writes the observed traces — the test-executor half of Fig 1. Ctrl-C
+// cancels between scripts (exit 4, nothing written).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	sibylfs "repro"
 	"repro/internal/cliutil"
@@ -44,6 +49,9 @@ func main() {
 		usage()
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fs, ok := cliutil.PickFS(*fsName)
 	if !ok {
 		usage()
@@ -60,17 +68,21 @@ func main() {
 	if fs.Serial {
 		w = 1
 	}
+	session := sibylfs.New(sibylfs.WithWorkers(w))
 	var traces []*sibylfs.Trace
 	if *concurrent {
-		traces, err = sibylfs.ExecuteConcurrent(scripts, fs.Factory, sibylfs.ConcurrentOptions{
-			Seeded:  *schedSeed != 0,
-			Seed:    *schedSeed,
-			Workers: w,
+		traces, err = session.ExecuteConcurrent(ctx, scripts, fs.Factory, sibylfs.ConcurrentOptions{
+			Seeded: *schedSeed != 0,
+			Seed:   *schedSeed,
 		})
 	} else {
-		traces, err = sibylfs.Execute(scripts, fs.Factory, w)
+		traces, err = session.Execute(ctx, scripts, fs.Factory)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "sfs-test: cancelled")
+			os.Exit(4)
+		}
 		fmt.Fprintln(os.Stderr, "sfs-test:", err)
 		os.Exit(1)
 	}

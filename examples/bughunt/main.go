@@ -6,17 +6,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	sibylfs "repro"
 	"repro/internal/analysis"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	session := sibylfs.New()
+
 	// The targeted survey scripts from the generated suite.
+	suite, err := session.Generate(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var surveys []*sibylfs.Script
-	for _, s := range sibylfs.Generate() {
+	for _, s := range suite {
 		if sibylfs.GroupOfName(s.Name) == "survey" {
 			surveys = append(surveys, s)
 		}
@@ -39,11 +51,15 @@ func main() {
 			continue
 		}
 		spec := sibylfs.SpecFor(p.Platform)
-		traces, err := sibylfs.Execute(surveys, sibylfs.MemFS(p), 0)
+		run := sibylfs.New(sibylfs.WithSpec(spec))
+		traces, err := run.Execute(ctx, surveys, sibylfs.MemFS(p))
 		if err != nil {
 			log.Fatal(err)
 		}
-		results := sibylfs.Check(spec, traces, 0)
+		results, err := run.Check(ctx, traces)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sum := analysis.Summarise(p.Name, traces, results)
 		fmt.Printf("--- %s (checked against the %s model) ---\n", p.Name, spec.Platform)
 		if sum.Rejected == 0 {

@@ -6,17 +6,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	sibylfs "repro"
 	"repro/internal/analysis"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	session := sibylfs.New()
+
 	// The command groups where the port's behaviour differs.
+	suite, err := session.Generate(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var scripts []*sibylfs.Script
-	for _, s := range sibylfs.Generate() {
+	for _, s := range suite {
 		switch sibylfs.GroupOfName(s.Name) {
 		case "survey", "chmod", "link":
 			scripts = append(scripts, s)
@@ -40,7 +52,7 @@ func main() {
 		{Name: "hfsplus_linux vs linux", Factory: sibylfs.MemFS(hfsLinux), Spec: sibylfs.SpecFor(sibylfs.Linux)},
 		{Name: "hfsplus_linux vs posix", Factory: sibylfs.MemFS(hfsLinux), Spec: sibylfs.SpecFor(sibylfs.POSIX)},
 	}
-	results, err := sibylfs.RunSurvey(scripts, configs, 0)
+	results, err := session.Survey(ctx, scripts, configs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +61,10 @@ func main() {
 		fmt.Println()
 	}
 
-	merged := sibylfs.MergeSurvey(results)
+	merged, err := session.MergeSurvey(ctx, results)
+	if err != nil {
+		log.Fatal(err)
+	}
 	diffs := merged.Distinguishing()
 	fmt.Printf("%d tests behave differently across the four configurations, e.g.:\n", len(diffs))
 	for i, test := range diffs {

@@ -6,9 +6,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	sibylfs "repro"
@@ -19,7 +22,19 @@ func main() {
 	sample := flag.Int("sample", 5, "run every Nth host-safe script (1 = all)")
 	flag.Parse()
 
-	all := sibylfs.FilterHostSafe(sibylfs.Generate())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Host execution is serial (the kernel's umask is process-global);
+	// checking recovers the parallelism per trace via the τ-closure pool.
+	executor := sibylfs.New(sibylfs.WithWorkers(1))
+	checker := sibylfs.New(sibylfs.WithSpec(sibylfs.DefaultSpec()))
+
+	suite, err := executor.Generate(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	all := sibylfs.FilterHostSafe(suite)
 	var scripts []*sibylfs.Script
 	for i, s := range all {
 		if i%*sample == 0 {
@@ -29,14 +44,17 @@ func main() {
 	fmt.Printf("running %d scripts against the host kernel...\n", len(scripts))
 
 	t0 := time.Now()
-	traces, err := sibylfs.Execute(scripts, sibylfs.HostFS("host"), 1)
+	traces, err := executor.Execute(ctx, scripts, sibylfs.HostFS("host"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	execTime := time.Since(t0)
 
 	t0 = time.Now()
-	results := sibylfs.Check(sibylfs.DefaultSpec(), traces, 0)
+	results, err := checker.Check(ctx, traces)
+	if err != nil {
+		log.Fatal(err)
+	}
 	checkTime := time.Since(t0)
 
 	sum := analysis.Summarise("host vs linux", traces, results)

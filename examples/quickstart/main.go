@@ -1,15 +1,19 @@
 // Quickstart: the Fig 1 flow end to end, driven the way sfs-run drives it
-// — through the sharded, cache-backed checking pipeline. A small script
-// suite is executed against a file system under test and checked by the
-// oracle twice: the cold run executes everything, the warm run is pure
-// cache hits, and both produce byte-identical records. The Fig 4
-// deviation replay at the end shows what a rejection looks like.
+// — through the Session facade and its sharded, cache-backed checking
+// pipeline. A small script suite is executed against a file system under
+// test and checked by the oracle twice: the cold run executes everything,
+// the warm run is pure cache hits, and both produce byte-identical
+// records. Every call takes the context, so Ctrl-C (or a deadline) would
+// stop the pipeline between jobs and leave the journal resumable. The
+// Fig 4 deviation replay at the end shows what a rejection looks like.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	sibylfs "repro"
@@ -24,6 +28,9 @@ rename "emptydir" "nonemptydir"
 `
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	s, err := sibylfs.ParseScript(script)
 	if err != nil {
 		log.Fatal(err)
@@ -34,34 +41,26 @@ func main() {
 
 	// Drive the script through the checking pipeline (as `sfs-run` does),
 	// against a conforming in-memory Linux file system, with a result
-	// cache and a JSONL sink.
+	// cache and a JSONL journal. The session carries the whole
+	// configuration; each run only names its work.
 	dir, err := os.MkdirTemp("", "sfs-quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	cache, err := sibylfs.OpenResultCache(filepath.Join(dir, "cache"))
-	if err != nil {
-		log.Fatal(err)
-	}
 	run := func(label string) sibylfs.PipelineRecord {
-		sink, err := sibylfs.OpenResultSink(filepath.Join(dir, label+".jsonl"), false)
-		if err != nil {
-			log.Fatal(err)
-		}
-		records, stats, err := sibylfs.RunPipeline(sibylfs.PipelineConfig{
+		session := sibylfs.New(
+			sibylfs.WithSpec(sibylfs.DefaultSpec()),
+			sibylfs.WithCacheDir(filepath.Join(dir, "cache")),
+			sibylfs.WithJournal(filepath.Join(dir, label+".jsonl")),
+		)
+		records, stats, err := session.Run(ctx, sibylfs.RunJob{
 			Name:    "quickstart vs linux",
 			Scripts: []*sibylfs.Script{s},
 			Factory: sibylfs.MemFS(sibylfs.LinuxProfile("ext4")),
 			FSName:  "ext4",
-			Spec:    sibylfs.DefaultSpec(),
-			Cache:   cache,
-			Sink:    sink,
 		})
 		if err != nil {
-			log.Fatal(err)
-		}
-		if err := sink.Finalize(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("[%s run] %s\n", label, stats)
@@ -94,7 +93,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	br := sibylfs.CheckOne(sibylfs.DefaultSpec(), bt)
+	session := sibylfs.New(sibylfs.WithSpec(sibylfs.DefaultSpec()))
+	br, err := session.CheckOne(ctx, bt)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\n=== checked trace of the SSHFS deviation (Fig 4) ===")
 	fmt.Print(sibylfs.RenderChecked(bt, br))
 }

@@ -7,16 +7,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	sibylfs "repro"
 	"repro/internal/analysis"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	session := sibylfs.New(sibylfs.WithSpec(sibylfs.DefaultSpec()))
+
+	suite, err := session.Generate(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var scripts []*sibylfs.Script
-	for i, s := range sibylfs.Generate() {
+	for i, s := range suite {
 		switch sibylfs.GroupOfName(s.Name) {
 		case "umask":
 			scripts = append(scripts, s)
@@ -40,11 +52,14 @@ func main() {
 
 	var runs []sibylfs.SurveyResult
 	for _, p := range candidates {
-		traces, err := sibylfs.Execute(scripts, sibylfs.MemFS(p), 0)
+		traces, err := session.Execute(ctx, scripts, sibylfs.MemFS(p))
 		if err != nil {
 			log.Fatal(err)
 		}
-		results := sibylfs.Check(sibylfs.DefaultSpec(), traces, 0)
+		results, err := session.Check(ctx, traces)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sum := analysis.Summarise(p.Name, traces, results)
 		runs = append(runs, sibylfs.SurveyResult{Summary: sum})
 		fmt.Print(sum)
@@ -70,7 +85,10 @@ func main() {
 		}
 	}
 
-	merged := sibylfs.MergeSurvey(runs)
+	merged, err := session.MergeSurvey(ctx, runs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%d tests distinguish the candidate configurations.\n", len(merged.Distinguishing()))
 	fmt.Println("Conclusion (as in the paper): reject SSHFS/tmpfs for this deployment.")
 }

@@ -1,6 +1,10 @@
 package sibylfs
 
-import "repro/internal/fuzz"
+import (
+	"context"
+
+	"repro/internal/fuzz"
+)
 
 // Fuzzing vocabulary, re-exported: a coverage-guided mutation fuzzer over
 // test scripts (the feedback loop of §8/§9's future work; see
@@ -26,4 +30,8 @@ type (
 //	    Workers:  4,
 //	}
 //	res, err := sibylfs.Fuzz(cfg)
-func Fuzz(cfg FuzzConfig) (*FuzzResult, error) { return fuzz.Run(cfg) }
+//
+// Deprecated: use Session.Fuzz — the session supplies spec, workers,
+// result cache and coverage registry, and the wall-clock bound is the
+// context deadline instead of Config.Duration.
+func Fuzz(cfg FuzzConfig) (*FuzzResult, error) { return fuzz.Run(context.Background(), cfg) }

@@ -2,4 +2,6 @@
 // §7): per-run summaries, multi-configuration merging with differences
 // highlighted, severity classification of deviations following the
 // taxonomy of §7.3, and HTML rendering of checked traces and indexes.
+// MergeCtx is the cancellable form of the survey merge, for callers whose
+// deadline may expire mid-aggregation.
 package analysis

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -158,8 +159,22 @@ type Merged struct {
 
 // Merge combines run summaries.
 func Merge(runs []*RunSummary) *Merged {
+	m, _ := MergeCtx(context.Background(), runs)
+	return m
+}
+
+// MergeCtx is Merge with cooperative cancellation, consulted between
+// runs: merging a full >40-configuration survey walks every deviating
+// test of every run, which is worth interrupting when the caller's
+// deadline has already passed. On cancellation the partial merge is
+// returned with ctx.Err().
+func MergeCtx(ctx context.Context, runs []*RunSummary) (*Merged, error) {
 	m := &Merged{PerTest: make(map[string]map[string]bool)}
 	for _, r := range runs {
+		if err := ctx.Err(); err != nil {
+			sort.Strings(m.Configs)
+			return m, err
+		}
 		m.Configs = append(m.Configs, r.Config)
 		for _, d := range r.Deviating {
 			set, ok := m.PerTest[d.Test]
@@ -171,7 +186,7 @@ func Merge(runs []*RunSummary) *Merged {
 		}
 	}
 	sort.Strings(m.Configs)
-	return m
+	return m, nil
 }
 
 // Distinguishing returns tests that deviate on at least one but not all

@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -97,12 +98,24 @@ func (c *Checker) workers() int {
 // with deduplication by hash-consed state identity. The trace is accepted
 // iff the final set is non-empty and no step required recovery.
 func (c *Checker) Check(t *trace.Trace) Result {
+	res, _ := c.CheckCtx(context.Background(), t)
+	return res
+}
+
+// CheckCtx is Check with cooperative cancellation: ctx is consulted
+// between trace steps and between τ-closure expansion rounds inside each
+// step's worker fan-out. On cancellation the partial Result (inspected so
+// far, verdict meaningless) is returned with ctx.Err().
+func (c *Checker) CheckCtx(ctx context.Context, t *trace.Trace) (Result, error) {
 	res := Result{Name: t.Name, Accepted: true}
 	initial := osspec.NewOsState(c.Spec)
 	initial.Freeze()
 	states := []*osspec.OsState{initial}
 
 	for _, st := range t.Steps {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		res.Steps++
 		res.SumStates += len(states)
 		if len(states) > res.MaxStates {
@@ -110,7 +123,7 @@ func (c *Checker) Check(t *trace.Trace) Result {
 		}
 		switch lbl := st.Label.(type) {
 		case types.ReturnLabel:
-			states = c.stepReturn(states, lbl, st, &res)
+			states = c.stepReturn(ctx, states, lbl, st, &res)
 		default:
 			src := states
 			if _, isDestroy := st.Label.(types.DestroyLabel); isDestroy {
@@ -122,7 +135,7 @@ func (c *Checker) Check(t *trace.Trace) Result {
 				// would do — but it keeps the oracle sound if destroy ever
 				// gains observable effects. Sequential traces have no
 				// pending calls here, so it is a no-op for them.
-				src = c.tauClosure(states, &res)
+				src = c.tauClosure(ctx, states, &res)
 				if len(src) > res.MaxStates {
 					res.MaxStates = len(src)
 				}
@@ -144,7 +157,7 @@ func (c *Checker) Check(t *trace.Trace) Result {
 	if len(states) == 0 {
 		res.Accepted = false
 	}
-	return res
+	return res, ctx.Err()
 }
 
 // stepReturn matches an observed return value. The state set is first
@@ -154,8 +167,8 @@ func (c *Checker) Check(t *trace.Trace) Result {
 // mid-call and the closure is a single expansion round; for concurrent
 // traces this closure is where the §3 state-set strategy does its real
 // work, and where MaxStates peaks.
-func (c *Checker) stepReturn(states []*osspec.OsState, lbl types.ReturnLabel, st trace.Step, res *Result) []*osspec.OsState {
-	expanded := c.tauClosure(states, res)
+func (c *Checker) stepReturn(ctx context.Context, states []*osspec.OsState, lbl types.ReturnLabel, st trace.Step, res *Result) []*osspec.OsState {
+	expanded := c.tauClosure(ctx, states, res)
 	if len(expanded) > res.MaxStates {
 		res.MaxStates = len(expanded)
 	}
@@ -187,12 +200,16 @@ func (c *Checker) stepReturn(states []*osspec.OsState, lbl types.ReturnLabel, st
 
 // tauClosure closes the state set over internal transitions (see
 // osspec.TauClosureWith), respecting the checker's dedup ablation and set
-// cap and accounting the expansions in the result's statistics.
-func (c *Checker) tauClosure(states []*osspec.OsState, res *Result) []*osspec.OsState {
+// cap and accounting the expansions in the result's statistics. A
+// cancelled ctx cuts the closure short; CheckCtx notices at the next step
+// boundary and abandons the trace, so the truncated set is never used for
+// a verdict.
+func (c *Checker) tauClosure(ctx context.Context, states []*osspec.OsState, res *Result) []*osspec.OsState {
 	out, n, capHit := osspec.TauClosureWith(states, osspec.ClosureOpts{
 		Dedup:   !c.DisableDedup,
 		Cap:     c.MaxStateSet,
 		Workers: c.workers(),
+		Ctx:     ctx,
 	})
 	res.TauExpansions += n
 	if capHit {

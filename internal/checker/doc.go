@@ -10,4 +10,10 @@
 // pending-call interleavings and the per-state transition union — run on a
 // worker pool (TauWorkers), with successors merged in deterministic order
 // so results are byte-identical for every worker count, including one.
+//
+// CheckCtx/CheckAllCtx add cooperative cancellation: the context is
+// consulted between traces, between trace steps, and between τ-closure
+// expansion rounds inside one step's fan-out; on cancellation the partial
+// Result is returned with ctx.Err() and must not be read as a verdict.
+// Check/CheckAll remain as Background-context conveniences.
 package checker

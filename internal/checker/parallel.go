@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -13,6 +14,15 @@ import (
 // (workers ≤ 0 selects GOMAXPROCS), preserving input order in the results.
 // Trace independence gives the parallel speedup §7.1 relies on.
 func (c *Checker) CheckAll(traces []*trace.Trace, workers int) []Result {
+	results, _ := c.CheckAllCtx(context.Background(), traces, workers)
+	return results
+}
+
+// CheckAllCtx is CheckAll with cooperative cancellation: ctx is consulted
+// between traces (and, via CheckCtx, inside each trace). On cancellation
+// the results completed so far stay in place (unchecked slots zero) and
+// ctx.Err() is returned.
+func (c *Checker) CheckAllCtx(ctx context.Context, traces []*trace.Trace, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -24,16 +34,24 @@ func (c *Checker) CheckAll(traces []*trace.Trace, workers int) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = c.Check(traces[i])
+				if ctx.Err() != nil {
+					continue // drain
+				}
+				results[i], _ = c.CheckCtx(ctx, traces[i])
 			}
 		}()
 	}
+feed:
 	for i := range traces {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return results
+	return results, ctx.Err()
 }
 
 // RenderChecked interleaves the original trace with the checker's

@@ -6,53 +6,167 @@ import (
 	"sync/atomic"
 )
 
-var (
+// The point *universe* is process-global: model packages register their
+// coverage points at package init (var hit = cov.Point("fsspec/rename/
+// subdir")), and those registrations — and the counters behind them — live
+// in the Default registry. Hit sites compiled into the model always feed
+// Default. A Registry is an isolated *view*: its counters accumulate only
+// what is explicitly attributed to it (Collect windows, AddHits merges),
+// so two concurrent sessions each owning a registry read disjoint figures
+// even though the raw hits share the Default counters.
+type Registry struct {
 	mu     sync.Mutex
-	points = make(map[string]*uint64)
+	points map[string]*uint64
 	// numHit counts points whose counter went 0→1 since the last Reset,
 	// so HitCount is O(1) — the fuzzer polls it once per run.
 	numHit atomic.Int64
+}
 
-	// attrMu coordinates exact attribution: Tracker.Attribute holds the
-	// write side, Guard the read side.
-	attrMu sync.RWMutex
-)
+// NewRegistry returns an empty isolated registry. Its point universe is
+// the Default registry's (Stats/Unhit denominators match process-wide
+// figures); its counters start at zero and only move via Collect,
+// AddHits and ForceHit.
+func NewRegistry() *Registry {
+	return &Registry{points: make(map[string]*uint64)}
+}
 
-// Point registers a coverage point and returns its counter. Call at package
-// init (var hit = cov.Point("fsspec/rename/subdir")) so the denominator is
-// complete even before any checking runs.
+// Default is the process-wide live registry: Point registers here, and
+// every cov.Hit site in the model increments one of its counters. The
+// package-level functions (Stats, Unhit, Reset, ...) are its methods —
+// kept for the model packages and for callers content with shared,
+// process-global coverage.
+var Default = NewRegistry()
+
+// attrMu coordinates exact attribution over the Default counters:
+// Tracker.Attribute and Registry.Collect hold the write side, Guard the
+// read side. It is process-global because the raw counters are — a
+// window is only exact if no unwindowed model evaluation runs inside it.
+var attrMu sync.RWMutex
+
+// Point registers a coverage point in the Default registry and returns its
+// counter. Call at package init (var hit = cov.Point("fsspec/rename/subdir"))
+// so the denominator is complete even before any checking runs.
 func Point(id string) *uint64 {
-	mu.Lock()
-	defer mu.Unlock()
-	if c, ok := points[id]; ok {
+	d := Default
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.points[id]; ok {
 		return c
 	}
 	c := new(uint64)
-	points[id] = c
+	d.points[id] = c
 	return c
 }
 
-// Hit increments a counter. Safe for concurrent use.
+// Hit increments a Default-registry counter. Safe for concurrent use.
 func Hit(c *uint64) {
 	if atomic.AddUint64(c, 1) == 1 {
-		numHit.Add(1)
+		Default.numHit.Add(1)
 	}
 }
 
 // HitCount returns the number of distinct points hit since the last Reset,
 // in O(1). It is monotone between Resets, which is what the fuzzer's
 // cheap "did this run reach anything new globally?" pre-filter relies on.
-func HitCount() int { return int(numHit.Load()) }
+func (r *Registry) HitCount() int { return int(r.numHit.Load()) }
+
+// HitCount is Default.HitCount.
+func HitCount() int { return Default.HitCount() }
 
 // Guard runs f on the shared side of the attribution lock: f's coverage
-// hits can never land inside a concurrently open Tracker.Attribute window.
-// Multiple Guard calls proceed in parallel with each other. Evaluations
-// whose hits need no attribution (the fuzzer's fast path, minimization
-// probes) run under Guard so concurrent attribution stays exact.
+// hits can never land inside a concurrently open Tracker.Attribute or
+// Registry.Collect window. Multiple Guard calls proceed in parallel with
+// each other. Evaluations whose hits need no attribution (the fuzzer's
+// fast path, minimization probes) run under Guard so concurrent
+// attribution stays exact.
 func Guard(f func()) {
 	attrMu.RLock()
 	defer attrMu.RUnlock()
 	f()
+}
+
+// universe snapshots the Default registry's point table: sorted ids with
+// their live counters.
+func universe() (ids []string, ctrs []*uint64) {
+	d := Default
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids = make([]string, 0, len(d.points))
+	for id := range d.points {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	ctrs = make([]*uint64, len(ids))
+	for i, id := range ids {
+		ctrs[i] = d.points[id]
+	}
+	return ids, ctrs
+}
+
+// Collect runs f inside an exclusive attribution window and merges the
+// per-point hit deltas of the Default counters during f into r, returning
+// the sorted ids of the points f hit. This is how a session-owned registry
+// accumulates coverage even though the model's hit sites are bound to
+// Default at init: the window excludes every other Collect/Attribute
+// window and all Guard'ed evaluation, so the delta belongs to f alone.
+// Windows serialize process-wide — isolation trades attribution-side
+// parallelism for exactness. On the Default registry itself Collect only
+// reports the hit set (the hits already landed in its counters).
+func (r *Registry) Collect(f func()) []string {
+	attrMu.Lock()
+	defer attrMu.Unlock()
+	ids, ctrs := universe()
+	base := make([]uint64, len(ctrs))
+	for i, c := range ctrs {
+		base[i] = atomic.LoadUint64(c)
+	}
+	f()
+	var hit []string
+	for i, c := range ctrs {
+		// Compare before subtracting: a Reset racing the window could make
+		// the counter smaller than its base, and an unsigned delta would
+		// wrap to ~2^64 false hits.
+		if cur := atomic.LoadUint64(c); cur > base[i] {
+			hit = append(hit, ids[i])
+			if r != Default {
+				r.add(ids[i], cur-base[i])
+			}
+		}
+	}
+	return hit
+}
+
+// add merges delta hits of one point into r's own counter.
+func (r *Registry) add(id string, delta uint64) {
+	r.mu.Lock()
+	c, ok := r.points[id]
+	if !ok {
+		c = new(uint64)
+		r.points[id] = c
+	}
+	r.mu.Unlock()
+	if atomic.AddUint64(c, delta) == delta {
+		r.numHit.Add(1)
+	}
+}
+
+// AddHits marks each id as hit once in r — merging an attributed point
+// set (a Tracker.Attribute result, a cached seed replay) into an isolated
+// registry. Ids outside the registered universe are ignored, as in
+// ForceHit.
+func (r *Registry) AddHits(ids []string) {
+	d := Default
+	d.mu.Lock()
+	known := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if _, ok := d.points[id]; ok {
+			known = append(known, id)
+		}
+	}
+	d.mu.Unlock()
+	for _, id := range known {
+		r.add(id, 1)
+	}
 }
 
 // Tracker attributes coverage to individual runs: Attribute(f) returns
@@ -75,20 +189,14 @@ func NewTracker() *Tracker { return &Tracker{} }
 // refresh (re)builds the point table; points register at package init, but
 // a Tracker built before an import completes would otherwise miss some.
 func (t *Tracker) refresh() {
-	mu.Lock()
-	defer mu.Unlock()
-	if len(t.ids) == len(points) {
+	d := Default
+	d.mu.Lock()
+	n := len(d.points)
+	d.mu.Unlock()
+	if len(t.ids) == n {
 		return
 	}
-	t.ids = t.ids[:0]
-	for id := range points {
-		t.ids = append(t.ids, id)
-	}
-	sort.Strings(t.ids)
-	t.ctrs = make([]*uint64, len(t.ids))
-	for i, id := range t.ids {
-		t.ctrs[i] = points[id]
-	}
+	t.ids, t.ctrs = universe()
 	t.base = make([]uint64, len(t.ids))
 }
 
@@ -111,45 +219,59 @@ func (t *Tracker) Attribute(f func()) []string {
 	return hit
 }
 
-// ForceHit marks the named registered points as hit without evaluating
-// anything — for callers replaying a *cached* attribution (the fuzzer's
-// corpus seeding skips re-executing entries whose point sets the result
-// cache already holds, but the global counters must still reflect them or
-// the "globally new coverage?" pre-filter would mis-fire all session).
-// Unknown ids are ignored: a cache recorded against an older model may
-// name points that no longer exist. Runs on the shared side of the
-// attribution lock, so hits never land inside an open Attribute window.
+// ForceHit marks the named registered points as hit in the Default
+// registry without evaluating anything — for callers replaying a *cached*
+// attribution (the fuzzer's corpus seeding skips re-executing entries
+// whose point sets the result cache already holds, but the global counters
+// must still reflect them or the "globally new coverage?" pre-filter would
+// mis-fire all session). Unknown ids are ignored: a cache recorded against
+// an older model may name points that no longer exist. Runs on the shared
+// side of the attribution lock, so hits never land inside an open
+// Attribute window.
 func ForceHit(ids []string) {
 	attrMu.RLock()
 	defer attrMu.RUnlock()
-	mu.Lock()
-	defer mu.Unlock()
+	d := Default
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, id := range ids {
-		if c, ok := points[id]; ok {
+		if c, ok := d.points[id]; ok {
 			Hit(c)
 		}
 	}
 }
 
-// Snapshot returns hit counts for every registered point, sorted by id.
-func Snapshot() (ids []string, counts []uint64) {
-	mu.Lock()
-	defer mu.Unlock()
-	ids = make([]string, 0, len(points))
-	for id := range points {
-		ids = append(ids, id)
+// ForceHit on an isolated registry is AddHits; on Default it is the
+// package-level ForceHit.
+func (r *Registry) ForceHit(ids []string) {
+	if r == Default {
+		ForceHit(ids)
+		return
 	}
-	sort.Strings(ids)
+	r.AddHits(ids)
+}
+
+// Snapshot returns r's hit counts for every point of the registered
+// universe, sorted by id. Points r never saw report zero.
+func (r *Registry) Snapshot() (ids []string, counts []uint64) {
+	ids, _ = universe()
 	counts = make([]uint64, len(ids))
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for i, id := range ids {
-		counts[i] = atomic.LoadUint64(points[id])
+		if c, ok := r.points[id]; ok {
+			counts[i] = atomic.LoadUint64(c)
+		}
 	}
 	return ids, counts
 }
 
+// Snapshot is Default.Snapshot.
+func Snapshot() (ids []string, counts []uint64) { return Default.Snapshot() }
+
 // Stats returns (hit, total) point counts.
-func Stats() (hit, total int) {
-	ids, counts := Snapshot()
+func (r *Registry) Stats() (hit, total int) {
+	ids, counts := r.Snapshot()
 	for i := range ids {
 		total++
 		if counts[i] > 0 {
@@ -159,19 +281,27 @@ func Stats() (hit, total int) {
 	return hit, total
 }
 
-// Reset zeroes all counters (between experiment runs).
-func Reset() {
-	mu.Lock()
-	defer mu.Unlock()
-	for _, c := range points {
+// Stats is Default.Stats.
+func Stats() (hit, total int) { return Default.Stats() }
+
+// Reset zeroes r's counters (between experiment runs). Resetting an
+// isolated registry never touches the Default counters — the footgun the
+// old package-global Reset was for concurrent sessions.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.points {
 		atomic.StoreUint64(c, 0)
 	}
-	numHit.Store(0)
+	r.numHit.Store(0)
 }
 
-// Unhit returns the ids of registered points that have never been hit.
-func Unhit() []string {
-	ids, counts := Snapshot()
+// Reset is Default.Reset — it zeroes the process-global counters.
+func Reset() { Default.Reset() }
+
+// Unhit returns the ids of registered points r has never seen hit.
+func (r *Registry) Unhit() []string {
+	ids, counts := r.Snapshot()
 	var out []string
 	for i, id := range ids {
 		if counts[i] == 0 {
@@ -180,3 +310,6 @@ func Unhit() []string {
 	}
 	return out
 }
+
+// Unhit is Default.Unhit.
+func Unhit() []string { return Default.Unhit() }

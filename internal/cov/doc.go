@@ -4,11 +4,20 @@
 // points at init time and hits them during evaluation; the report divides
 // hit points by registered points.
 //
-// Beyond the global counters, the package supports per-run attribution for
-// coverage-guided fuzzing (internal/fuzz): a Tracker snapshots the counters
-// around one evaluation and returns exactly the points that run hit.
-// Exactness under concurrency comes from a reader/writer discipline:
-// evaluations that do not need attribution run inside Guard (shared side),
-// attribution windows take the exclusive side, so no foreign hit can land
-// inside an open window.
+// Counters are instance-based: the Default Registry holds the live
+// counters every compiled-in hit site feeds (Point registers there at
+// init), and the package-level functions are its methods. Additional
+// Registry instances are isolated per-session views — sibylfs.Session
+// owns or shares one — whose counts accumulate only through explicit
+// attribution (Collect windows, AddHits merges), so two concurrent
+// sessions never see each other's coverage and resetting one cannot
+// disturb another.
+//
+// Per-run attribution for coverage-guided fuzzing (internal/fuzz) uses
+// the same mechanism: a Tracker snapshots the Default counters around one
+// evaluation and returns exactly the points that run hit. Exactness under
+// concurrency comes from a reader/writer discipline: evaluations that do
+// not need attribution run inside Guard (shared side); Tracker.Attribute
+// and Registry.Collect windows take the exclusive side, so no foreign hit
+// can land inside an open window.
 package cov

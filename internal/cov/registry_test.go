@@ -1,0 +1,113 @@
+package cov
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// regPoints registers test-only points once (the universe is process
+// global and append-only).
+var (
+	regA = Point("covtest/registry/a")
+	regB = Point("covtest/registry/b")
+)
+
+func TestRegistryCollectDelta(t *testing.T) {
+	r := NewRegistry()
+	hit := r.Collect(func() {
+		Hit(regA)
+		Hit(regA)
+		Hit(regB)
+	})
+	if len(hit) != 2 {
+		t.Fatalf("Collect reported %v, want the two test points", hit)
+	}
+	ids, counts := r.Snapshot()
+	byID := make(map[string]uint64, len(ids))
+	for i, id := range ids {
+		byID[id] = counts[i]
+	}
+	if byID["covtest/registry/a"] != 2 || byID["covtest/registry/b"] != 1 {
+		t.Fatalf("registry holds a=%d b=%d, want 2/1", byID["covtest/registry/a"], byID["covtest/registry/b"])
+	}
+	if got := r.HitCount(); got != 2 {
+		t.Fatalf("HitCount = %d, want 2", got)
+	}
+}
+
+func TestRegistryResetIsolation(t *testing.T) {
+	r := NewRegistry()
+	r.Collect(func() { Hit(regA) })
+	before := atomic.LoadUint64(regA)
+	r.Reset()
+	if hit, _ := r.Stats(); hit != 0 {
+		t.Fatalf("registry hit count %d after Reset", hit)
+	}
+	if after := atomic.LoadUint64(regA); after != before {
+		t.Fatalf("isolated Reset changed the Default counter: %d -> %d", before, after)
+	}
+}
+
+// TestRegistryConcurrentCollect: concurrent Collect windows on distinct
+// registries never bleed into each other — each window's delta lands only
+// in its own registry, exactly.
+func TestRegistryConcurrentCollect(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	const iters = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			r1.Collect(func() { Hit(regA) })
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			r2.Collect(func() { Hit(regB) })
+		}
+	}()
+	wg.Wait()
+	count := func(r *Registry, want string) uint64 {
+		ids, counts := r.Snapshot()
+		for i, id := range ids {
+			if id == want {
+				return counts[i]
+			}
+		}
+		return 0
+	}
+	if got := count(r1, "covtest/registry/a"); got != iters {
+		t.Errorf("r1 a = %d, want %d", got, iters)
+	}
+	if got := count(r1, "covtest/registry/b"); got != 0 {
+		t.Errorf("r1 bled %d hits of b", got)
+	}
+	if got := count(r2, "covtest/registry/b"); got != iters {
+		t.Errorf("r2 b = %d, want %d", got, iters)
+	}
+	if got := count(r2, "covtest/registry/a"); got != 0 {
+		t.Errorf("r2 bled %d hits of a", got)
+	}
+}
+
+func TestRegistryAddHits(t *testing.T) {
+	r := NewRegistry()
+	r.AddHits([]string{"covtest/registry/a", "covtest/registry/a", "no/such/point"})
+	ids, counts := r.Snapshot()
+	for i, id := range ids {
+		switch id {
+		case "covtest/registry/a":
+			if counts[i] != 2 {
+				t.Fatalf("a = %d, want 2", counts[i])
+			}
+		case "no/such/point":
+			t.Fatal("unknown id entered the registry")
+		}
+	}
+	if got := r.HitCount(); got != 1 {
+		t.Fatalf("HitCount = %d, want 1", got)
+	}
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -100,7 +101,9 @@ func splitPrograms(s *trace.Script) ([]*procProgram, error) {
 // concurrently against a fresh instance from factory, recording call and
 // return events in observed order — so calls from different processes
 // genuinely overlap in the trace and the oracle's τ-closure is exercised.
-func RunConcurrent(s *trace.Script, factory fsimpl.Factory, opts ConcurrentOptions) (*trace.Trace, error) {
+// Cancellation is checked between events (seeded mode: between
+// micro-steps); a cancelled script returns ctx.Err() and no trace.
+func RunConcurrent(ctx context.Context, s *trace.Script, factory fsimpl.Factory, opts ConcurrentOptions) (*trace.Trace, error) {
 	progs, err := splitPrograms(s)
 	if err != nil {
 		return nil, err
@@ -110,10 +113,16 @@ func RunConcurrent(s *trace.Script, factory fsimpl.Factory, opts ConcurrentOptio
 		return nil, fmt.Errorf("exec: creating file system: %w", err)
 	}
 	defer fs.Close()
+	var t *trace.Trace
 	if opts.Seeded {
-		return runSeeded(s.Name, progs, fs, opts.Seed), nil
+		t = runSeeded(ctx, s.Name, progs, fs, opts.Seed)
+	} else {
+		t = runFree(ctx, s.Name, progs, fs)
 	}
-	return runFree(s.Name, progs, fs), nil
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // runFree is the racy mode: one goroutine per process, trace appends
@@ -129,7 +138,7 @@ func RunConcurrent(s *trace.Script, factory fsimpl.Factory, opts ConcurrentOptio
 // another process's call before the label lands in the trace. Calls need
 // no such atomicity — their effect may occur anywhere between their call
 // and return labels, which is exactly the τ window the oracle explores.
-func runFree(name string, progs []*procProgram, fs fsimpl.FS) *trace.Trace {
+func runFree(ctx context.Context, name string, progs []*procProgram, fs fsimpl.FS) *trace.Trace {
 	t := &trace.Trace{Name: name}
 	var mu sync.Mutex
 	appendStep := func(lbl types.Label) {
@@ -146,6 +155,9 @@ func runFree(name string, progs []*procProgram, fs fsimpl.FS) *trace.Trace {
 		go func(p *procProgram) {
 			defer wg.Done()
 			for _, ev := range p.events {
+				if ctx.Err() != nil {
+					return // the caller discards the partial trace
+				}
 				switch {
 				case ev.create != nil:
 					mu.Lock()
@@ -190,7 +202,7 @@ type seededRunner struct {
 // runSeeded simulates the concurrent run on a single goroutine: a PRNG
 // repeatedly picks one unfinished process and advances it by one
 // micro-step.
-func runSeeded(name string, progs []*procProgram, fs fsimpl.FS, seed int64) *trace.Trace {
+func runSeeded(ctx context.Context, name string, progs []*procProgram, fs fsimpl.FS, seed int64) *trace.Trace {
 	r := rand.New(rand.NewSource(seed))
 	t := &trace.Trace{Name: name}
 	emit := func(lbl types.Label) {
@@ -203,6 +215,9 @@ func runSeeded(name string, progs []*procProgram, fs fsimpl.FS, seed int64) *tra
 		}
 	}
 	for len(live) > 0 {
+		if ctx.Err() != nil {
+			return t // abandoned; RunConcurrent reports ctx.Err()
+		}
 		i := r.Intn(len(live))
 		ru := live[i]
 		ev := ru.prog.events[ru.idx]
@@ -240,9 +255,9 @@ func runSeeded(name string, progs []*procProgram, fs fsimpl.FS, seed int64) *tra
 // opts.Workers scripts in flight at once (≤ 0 selects GOMAXPROCS),
 // preserving order. In seeded mode every script uses the same scheduler
 // seed, so each trace is reproducible from (script, seed) independent of
-// its position in the suite.
-func RunAllConcurrent(scripts []*trace.Script, factory fsimpl.Factory, opts ConcurrentOptions) ([]*trace.Trace, error) {
-	return runPool(len(scripts), opts.Workers, func(i int) (*trace.Trace, error) {
-		return RunConcurrent(scripts[i], factory, opts)
+// its position in the suite. Cancellation behaves as in RunAll.
+func RunAllConcurrent(ctx context.Context, scripts []*trace.Script, factory fsimpl.Factory, opts ConcurrentOptions) ([]*trace.Trace, error) {
+	return runPool(ctx, len(scripts), opts.Workers, func(i int) (*trace.Trace, error) {
+		return RunConcurrent(ctx, scripts[i], factory, opts)
 	})
 }

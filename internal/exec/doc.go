@@ -4,4 +4,10 @@
 // harness drives fsimpl.FS values in-process; each script execution gets a
 // fresh, empty file system, and handle numbering is normalised so traces
 // are directly comparable across implementations.
+//
+// Execution is cancellable: every entry point takes a context.Context and
+// checks it between steps (sequential), between per-process events or
+// scheduler micro-steps (concurrent), and between scripts (the pools). A
+// cancelled run returns ctx.Err() and no trace — a call already handed to
+// the implementation completes first, since calls are not interruptible.
 package exec

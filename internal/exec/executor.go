@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,8 +12,10 @@ import (
 )
 
 // Run executes one script against a fresh instance from factory and
-// records the trace.
-func Run(s *trace.Script, factory fsimpl.Factory) (*trace.Trace, error) {
+// records the trace. Cancellation is checked between steps: a cancelled
+// ctx abandons the script and returns ctx.Err() (a call already handed to
+// the implementation still completes — calls are not interruptible).
+func Run(ctx context.Context, s *trace.Script, factory fsimpl.Factory) (*trace.Trace, error) {
 	fs, err := factory()
 	if err != nil {
 		return nil, fmt.Errorf("exec: creating file system: %w", err)
@@ -25,6 +28,9 @@ func Run(s *trace.Script, factory fsimpl.Factory) (*trace.Trace, error) {
 		t.Steps = append(t.Steps, trace.Step{Label: lbl, Line: line})
 	}
 	for _, st := range s.Steps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		switch lbl := st.Label.(type) {
 		case types.CallLabel:
 			emit(lbl)
@@ -51,16 +57,20 @@ func Run(s *trace.Script, factory fsimpl.Factory) (*trace.Trace, error) {
 // RunAll executes many scripts concurrently (workers ≤ 0 selects
 // GOMAXPROCS), one fresh file system per script, preserving order.
 // Implementations with process-global state (HostFS's umask) should be run
-// with workers = 1.
-func RunAll(scripts []*trace.Script, factory fsimpl.Factory, workers int) ([]*trace.Trace, error) {
-	return runPool(len(scripts), workers, func(i int) (*trace.Trace, error) {
-		return Run(scripts[i], factory)
+// with workers = 1. A cancelled ctx stops dispatching further scripts,
+// waits for in-flight ones to notice, and returns ctx.Err() with the
+// traces completed so far in place (unstarted slots nil).
+func RunAll(ctx context.Context, scripts []*trace.Script, factory fsimpl.Factory, workers int) ([]*trace.Trace, error) {
+	return runPool(ctx, len(scripts), workers, func(i int) (*trace.Trace, error) {
+		return Run(ctx, scripts[i], factory)
 	})
 }
 
 // runPool runs fn for every index on a bounded worker pool (workers ≤ 0
 // selects GOMAXPROCS), preserving order and reporting the first error.
-func runPool(n, workers int, fn func(i int) (*trace.Trace, error)) ([]*trace.Trace, error) {
+// Cancellation stops dispatch; already-running fn calls are expected to
+// observe ctx themselves.
+func runPool(ctx context.Context, n, workers int, fn func(i int) (*trace.Trace, error)) ([]*trace.Trace, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -73,15 +83,26 @@ func runPool(n, workers int, fn func(i int) (*trace.Trace, error)) ([]*trace.Tra
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain
+				}
 				traces[i], errs[i] = fn(i)
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return traces, err
+	}
 	for _, e := range errs {
 		if e != nil {
 			return traces, e

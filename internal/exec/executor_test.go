@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -22,7 +24,7 @@ func TestRunRecordsCallReturnPairs(t *testing.T) {
 		types.CallLabel{Pid: 1, Cmd: types.Mkdir{Path: "/d", Perm: 0o755}},
 		types.CallLabel{Pid: 1, Cmd: types.Stat{Path: "/d"}},
 	)
-	tr, err := Run(s, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")))
+	tr, err := Run(context.Background(), s, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func TestRunHandlesProcessEvents(t *testing.T) {
 		types.CallLabel{Pid: 2, Cmd: types.Umask{Mask: 0o077}},
 		types.DestroyLabel{Pid: 2},
 	)
-	tr, err := Run(s, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")))
+	tr, err := Run(context.Background(), s, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func TestRunRejectsReturnLabels(t *testing.T) {
 		types.CallLabel{Pid: 1, Cmd: types.Mkdir{Path: "/d", Perm: 0o755}},
 		types.ReturnLabel{Pid: 1, Ret: types.RvNone{}},
 	)
-	_, err := Run(s, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")))
+	_, err := Run(context.Background(), s, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")))
 	if err == nil {
 		t.Fatal("script with return label accepted")
 	}
@@ -74,7 +76,7 @@ func TestRunAllFreshInstancePerScript(t *testing.T) {
 	mk := func(n string) *trace.Script {
 		return script(n, types.CallLabel{Pid: 1, Cmd: types.Mkdir{Path: "/same", Perm: 0o755}})
 	}
-	traces, err := RunAll([]*trace.Script{mk("a"), mk("b")}, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")), 2)
+	traces, err := RunAll(context.Background(), []*trace.Script{mk("a"), mk("b")}, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +94,7 @@ func TestRunAllPreservesOrder(t *testing.T) {
 		scripts = append(scripts, script(string(rune('a'+i%26))+itoa(i),
 			types.CallLabel{Pid: 1, Cmd: types.Stat{Path: "/"}}))
 	}
-	traces, err := RunAll(scripts, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")), 8)
+	traces, err := RunAll(context.Background(), scripts, fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")), 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package fuzz
 
 import (
+	"context"
+
 	"os"
 	"path/filepath"
 	"testing"
@@ -43,7 +45,7 @@ func TestSeedCacheEquivalence(t *testing.T) {
 	}
 
 	// Session 1: grow a corpus, populating the cache as seeds are offered.
-	res1, err := Run(cacheTestConfig(t, corpusA, cache))
+	res1, err := Run(context.Background(), cacheTestConfig(t, corpusA, cache))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func TestSeedCacheEquivalence(t *testing.T) {
 	// Session 2a: resume WITH the cache; MaxRuns=1 keeps mutation noise out.
 	cfgA := cacheTestConfig(t, corpusA, cache)
 	cfgA.MaxRuns = 1
-	resA, err := Run(cfgA)
+	resA, err := Run(context.Background(), cfgA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestSeedCacheEquivalence(t *testing.T) {
 	// Session 2b: resume WITHOUT the cache (full replay).
 	cfgB := cacheTestConfig(t, corpusB, nil)
 	cfgB.MaxRuns = 1
-	resB, err := Run(cfgB)
+	resB, err := Run(context.Background(), cfgB)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,8 @@ package fuzz
 // against a conforming target must come out clean.
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -88,7 +90,7 @@ func TestMutatorPreservesConcurrentInvariants(t *testing.T) {
 // multi-process scripts interleave under the seeded scheduler, and none
 // may produce a deviation or crash.
 func TestConcurrentSessionCleanOnConformingTarget(t *testing.T) {
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Name:       "conc-smoke",
 		Factory:    fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")),
 		Spec:       types.DefaultSpec(),

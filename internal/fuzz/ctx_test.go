@@ -1,0 +1,59 @@
+package fuzz
+
+// Cancellation contract of the fuzzer: context cancellation is the normal
+// end of a session — results collected so far are reported, never an
+// error.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cov"
+	"repro/internal/fsimpl"
+	"repro/internal/types"
+)
+
+func TestRunCancelledContextEndsGracefully(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, Config{
+		Factory: fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")),
+		Spec:    types.DefaultSpec(),
+		MaxRuns: 1000,
+		Workers: 2,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatalf("cancelled session errored: %v", err)
+	}
+	if res.Runs != 0 {
+		t.Fatalf("pre-cancelled session still ran %d candidates", res.Runs)
+	}
+}
+
+// TestRunRegistryIsolation: a session with a private registry leaves
+// another registry's counters untouched and records its own coverage.
+func TestRunRegistryIsolation(t *testing.T) {
+	regA := cov.NewRegistry()
+	regB := cov.NewRegistry()
+	res, err := Run(context.Background(), Config{
+		Factory:  fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")),
+		Spec:     types.DefaultSpec(),
+		MaxRuns:  300,
+		Workers:  2,
+		Seed:     1,
+		Registry: regA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CovHit == 0 {
+		t.Fatal("isolated session attributed no coverage")
+	}
+	if hitA, _ := regA.Stats(); hitA != res.CovHit {
+		t.Fatalf("result CovHit %d != registry hits %d", res.CovHit, hitA)
+	}
+	if hitB, _ := regB.Stats(); hitB != 0 {
+		t.Fatalf("bystander registry saw %d hits", hitB)
+	}
+}

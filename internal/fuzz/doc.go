@@ -18,5 +18,13 @@
 // Coverage attribution is exact even with parallel workers: the fast path
 // (execute + check, no attribution) runs under cov.Guard, and the rare
 // re-run that attributes a promising candidate's exact point set runs in a
-// cov.Tracker window that excludes all guarded evaluation.
+// cov.Tracker window that excludes all guarded evaluation. With
+// Config.Registry the session instead attributes every candidate and
+// merges the point sets into that isolated registry — several sessions
+// can then fuzz in one process without polluting each other's counters,
+// at the cost of serializing candidate evaluation.
+//
+// A session ends when its context is done (Config.Duration is sugar for a
+// deadline) or MaxRuns is reached; cancellation is the normal end of a
+// time-bounded session, reported over whatever was found, never an error.
 package fuzz

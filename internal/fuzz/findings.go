@@ -104,10 +104,18 @@ func findingName(kind FindingKind, sig string) string {
 }
 
 // Report renders findings through the analysis pipeline: a RunSummary with
-// severity classification (§7.3's taxonomy) and model-coverage figures,
-// plus the HTML index. Crashes carry no checkable trace and are appended
-// as synthetic critical deviations.
+// severity classification (§7.3's taxonomy) and process-global
+// model-coverage figures, plus the HTML index. Sessions with an isolated
+// coverage registry use ReportWith instead, stamping the registry's
+// figures. Crashes carry no checkable trace and are appended as synthetic
+// critical deviations.
 func Report(config string, findings []*Finding) (*analysis.RunSummary, string, error) {
+	hit, total := cov.Stats()
+	return ReportWith(config, findings, hit, total)
+}
+
+// ReportWith is Report with explicit model-coverage figures.
+func ReportWith(config string, findings []*Finding, covHit, covTotal int) (*analysis.RunSummary, string, error) {
 	var traces []*trace.Trace
 	var results []checker.Result
 	for _, f := range findings {
@@ -129,7 +137,7 @@ func Report(config string, findings []*Finding) (*analysis.RunSummary, string, e
 		results = append(results, f.Result)
 	}
 	sum := analysis.Summarise(config, traces, results)
-	sum.CovHit, sum.CovTotal = cov.Stats()
+	sum.CovHit, sum.CovTotal = covHit, covTotal
 	html, err := analysis.RenderIndexHTML(sum)
 	if err != nil {
 		return sum, "", err

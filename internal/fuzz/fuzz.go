@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,10 +38,16 @@ type Config struct {
 	// Workers is the number of parallel fuzzing goroutines
 	// (≤ 0 selects GOMAXPROCS).
 	Workers int
-	// Duration bounds wall-clock time; zero means no time bound.
+	// Duration bounds wall-clock time; zero means no time bound. It is
+	// sugar for a context deadline: Run derives a sub-context with this
+	// timeout, so the bound covers the whole session — corpus seeding
+	// included, unlike the pre-context engine, whose clock started after
+	// seeding. Callers that already deadline or cancel their ctx can
+	// leave it zero.
 	Duration time.Duration
 	// MaxRuns bounds the number of candidate executions; zero means no
-	// bound. At least one of Duration and MaxRuns must be set.
+	// bound. At least one of Duration, MaxRuns, or a ctx deadline must be
+	// set, or the session would never end.
 	MaxRuns int64
 	// MaxSteps caps candidate script length (default 30).
 	MaxSteps int
@@ -66,9 +73,18 @@ type Config struct {
 	// is the implementation identity in the key: keep it stable across
 	// sessions (sfs-fuzz derives it from -fs/-spec) or hits never occur.
 	ResultCache *pipeline.Cache
-	// KeepCoverage leaves the process-global coverage counters as they
-	// are instead of resetting them at session start.
+	// KeepCoverage leaves the session's coverage counters as they are
+	// instead of resetting them at session start.
 	KeepCoverage bool
+	// Registry, when non-nil, is an isolated coverage registry: every
+	// candidate evaluation is attributed (exclusive cov windows) and
+	// merged into it, the corpus guidance polls it instead of the
+	// process-global counters, and Reset/KeepCoverage never touch the
+	// global state. Isolation serializes candidate evaluation across
+	// workers — prefer nil (the process-global registry) for raw
+	// throughput, a private registry when several sessions share one
+	// process.
+	Registry *cov.Registry
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -101,13 +117,22 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Run executes one fuzzing session.
-func Run(cfg Config) (*Result, error) {
+// Run executes one fuzzing session. The session ends when ctx is
+// cancelled or deadlined, or when MaxRuns candidates have executed —
+// cancellation is the normal way a time-bounded session stops, not an
+// error: the corpus and findings collected so far are reported as usual.
+// Config.Duration, when set, is applied as a deadline on a sub-context.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Factory == nil {
 		return nil, errors.New("fuzz: Config.Factory is required")
 	}
-	if cfg.Duration <= 0 && cfg.MaxRuns <= 0 {
-		return nil, errors.New("fuzz: set Config.Duration or Config.MaxRuns")
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+	if _, bounded := ctx.Deadline(); !bounded && cfg.MaxRuns <= 0 {
+		return nil, errors.New("fuzz: set Config.Duration, Config.MaxRuns, or a context deadline")
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -124,31 +149,32 @@ func Run(cfg Config) (*Result, error) {
 		check:   checker.New(cfg.Spec),
 		corpus:  NewCorpus(),
 		tracker: cov.NewTracker(),
+		reg:     cfg.Registry,
 		bySig:   make(map[string]*Finding),
 		rawSeen: make(map[string]*Finding),
 	}
 	if !cfg.KeepCoverage {
-		cov.Reset()
+		if e.reg != nil {
+			e.reg.Reset()
+		} else {
+			cov.Reset()
+		}
 	}
 
-	if err := e.seed(); err != nil {
+	if err := e.seed(ctx); err != nil {
 		return nil, err
 	}
-	initialHit := cov.HitCount()
+	initialHit := e.covHitCount()
 	e.logf("fuzz: start corpus=%d coverage=%d points (%d seeds from cache)",
 		e.corpus.Len(), initialHit, e.cachedSeeds)
 
 	start := time.Now()
-	var deadline time.Time
-	if cfg.Duration > 0 {
-		deadline = start.Add(cfg.Duration)
-	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			e.worker(id, deadline)
+			e.worker(ctx, id)
 		}(w)
 	}
 	done := make(chan struct{})
@@ -168,9 +194,9 @@ func Run(cfg Config) (*Result, error) {
 	res.NewEntries = e.newEntries
 	res.Findings = append(res.Findings, e.findings...)
 	e.mu.Unlock()
-	res.CovHit, res.CovTotal = cov.Stats()
+	res.CovHit, res.CovTotal = e.covStats()
 
-	sum, html, err := Report(cfg.Name, res.Findings)
+	sum, html, err := ReportWith(cfg.Name, res.Findings, res.CovHit, res.CovTotal)
 	if err != nil {
 		return nil, err
 	}
@@ -195,11 +221,31 @@ type engine struct {
 	// cachedSeeds is only written during single-threaded seeding.
 	cachedSeeds int
 
-	tracker  *cov.Tracker // Attribute serializes internally
+	tracker *cov.Tracker // Attribute serializes internally
+	// reg is the isolated coverage registry, nil for the process-global
+	// counters (Config.Registry).
+	reg      *cov.Registry
 	runs     atomic.Int64
 	seq      atomic.Int64
 	execErrs atomic.Int64
 	crashes  atomic.Int64
+}
+
+// covHitCount is the corpus guidance's "anything new?" figure: the
+// session registry's in isolated mode, the process-global one otherwise.
+func (e *engine) covHitCount() int {
+	if e.reg != nil {
+		return e.reg.HitCount()
+	}
+	return cov.HitCount()
+}
+
+// covStats reports the session's (hit, total) coverage figures.
+func (e *engine) covStats() (int, int) {
+	if e.reg != nil {
+		return e.reg.Stats()
+	}
+	return cov.Stats()
 }
 
 func (e *engine) logf(format string, args ...any) {
@@ -209,22 +255,26 @@ func (e *engine) logf(format string, args ...any) {
 }
 
 // runScript executes one candidate with the configured executor mode.
+// Candidates run to completion even when the session context is cancelled
+// (they are short); the worker loop is where cancellation is observed.
 func (e *engine) runScript(s *trace.Script) (*trace.Trace, error) {
 	if e.cfg.Concurrent {
-		return exec.RunConcurrent(s, e.cfg.Factory,
+		return exec.RunConcurrent(context.Background(), s, e.cfg.Factory,
 			exec.ConcurrentOptions{Seeded: true, Seed: e.cfg.Seed})
 	}
-	return exec.Run(s, e.cfg.Factory)
+	return exec.Run(context.Background(), s, e.cfg.Factory)
 }
 
 // seed loads the persisted corpus (if any) and the configured seed
 // scripts, replaying each through attributed execution so the corpus keys
-// and the global coverage counters reflect the current model. With a
+// and the session's coverage counters reflect the current model. With a
 // ResultCache, entries whose clean attributed replay is already cached
 // skip the replay entirely: the cached point set is admitted directly and
-// force-marked in the global counters (cov.ForceHit), so a warm resumed
-// session starts in seconds regardless of corpus size.
-func (e *engine) seed() error {
+// force-marked in the counters, so a warm resumed session starts in
+// seconds regardless of corpus size. A cancelled ctx stops seeding early
+// (graceful shutdown, as in the worker loop) — the session then reports
+// over whatever was admitted.
+func (e *engine) seed(ctx context.Context) error {
 	var scripts []*trace.Script
 	if e.cfg.CorpusDir != "" {
 		loaded, err := LoadScripts(e.cfg.CorpusDir)
@@ -235,6 +285,9 @@ func (e *engine) seed() error {
 	}
 	scripts = append(scripts, e.cfg.Seeds...)
 	for _, s := range scripts {
+		if ctx.Err() != nil {
+			return nil
+		}
 		if !validLifecycle(s) {
 			continue
 		}
@@ -296,10 +349,14 @@ func (e *engine) putSeed(s *trace.Script, points []string) {
 
 // admitCached admits a seed with its cached point set, mirroring offer's
 // admission and persistence paths but skipping execution, checking and
-// attribution. The points are force-marked in the global counters so the
-// session's coverage view matches what a real replay would have left.
+// attribution. The points are force-marked in the session's counters so
+// its coverage view matches what a real replay would have left.
 func (e *engine) admitCached(s *trace.Script, points []string) {
-	cov.ForceHit(points)
+	if e.reg != nil {
+		e.reg.ForceHit(points)
+	} else {
+		cov.ForceHit(points)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	_, admitted, replaced, evicted := e.corpus.Admit(s, points)
@@ -317,8 +374,9 @@ func (e *engine) admitCached(s *trace.Script, points []string) {
 
 // worker is one fuzzing goroutine: its RNG stream is derived from the
 // session seed and worker id, so a single-worker session is fully
-// deterministic.
-func (e *engine) worker(id int, deadline time.Time) {
+// deterministic. The loop ends when ctx is done (deadline or caller
+// cancellation — both are graceful session ends) or MaxRuns is reached.
+func (e *engine) worker(ctx context.Context, id int) {
 	r := rand.New(rand.NewSource(workerSeed(e.cfg.Seed, id)))
 	m := &mutator{r: r, maxSteps: e.cfg.MaxSteps}
 	for {
@@ -326,8 +384,10 @@ func (e *engine) worker(id int, deadline time.Time) {
 		if e.cfg.MaxRuns > 0 && seq > e.cfg.MaxRuns {
 			return
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		select {
+		case <-ctx.Done():
 			return
+		default:
 		}
 		e.step(r, m, seq)
 		e.runs.Add(1)
@@ -351,7 +411,7 @@ func (e *engine) step(r *rand.Rand, m *mutator, seq int64) {
 		cand.Name = candidateName(seq)
 	}
 
-	before := cov.HitCount()
+	before := e.covHitCount()
 	tr, res, crash, err := e.execCheck(cand)
 	switch {
 	case crash != "":
@@ -361,7 +421,7 @@ func (e *engine) step(r *rand.Rand, m *mutator, seq int64) {
 		e.execErrs.Add(1)
 	case !res.Accepted:
 		e.reportDeviation(cand, tr, res)
-	case cov.HitCount() > before || r.Intn(64) == 0:
+	case e.covHitCount() > before || r.Intn(64) == 0:
 		// The cheap pre-filter only sees *globally* new points, which a
 		// deviating run may have claimed first even though no corpus entry
 		// holds them — so a small slice of accepted runs is attributed
@@ -373,19 +433,27 @@ func (e *engine) step(r *rand.Rand, m *mutator, seq int64) {
 
 // execCheck is the fast path: execute and check once under cov.Guard (so
 // its hits never land in a concurrent attribution window), catching
-// panics from the implementation or the model.
+// panics from the implementation or the model. In isolated-registry mode
+// the run is attributed instead and its point set merged into the
+// registry — that is what keeps the registry's HitCount moving for the
+// guidance pre-filter, at the cost of serializing candidate evaluation.
 func (e *engine) execCheck(s *trace.Script) (tr *trace.Trace, res checker.Result, crash string, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			crash = fmt.Sprintf("%v", p)
 		}
 	}()
-	cov.Guard(func() {
+	run := func() {
 		tr, err = e.runScript(s)
 		if err == nil {
 			res = e.check.Check(tr)
 		}
-	})
+	}
+	if e.reg != nil {
+		e.reg.AddHits(e.tracker.Attribute(run))
+	} else {
+		cov.Guard(run)
+	}
 	return tr, res, "", err
 }
 
@@ -439,6 +507,9 @@ func (e *engine) offer(s *trace.Script, fromLoop bool) {
 			res = e.check.Check(tr)
 		}
 	})
+	if e.reg != nil {
+		e.reg.AddHits(points)
+	}
 	if crash != "" {
 		// E.g. a reloaded corpus replayed against a different profile that
 		// panics on it: a finding, not a session abort.
@@ -636,7 +707,7 @@ func (e *engine) progress(done <-chan struct{}) {
 			corpus, findings := e.corpus.Len(), len(e.findings)
 			e.mu.Unlock()
 			e.logf("fuzz: runs=%d corpus=%d coverage=%d findings=%d",
-				e.runs.Load(), corpus, cov.HitCount(), findings)
+				e.runs.Load(), corpus, e.covHitCount(), findings)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package fuzz
 
 import (
+	"context"
+
 	"math/rand"
 	"strings"
 	"testing"
@@ -136,7 +138,7 @@ func TestValidLifecycle(t *testing.T) {
 // schedule, corpus and coverage.
 func TestFuzzDeterministic(t *testing.T) {
 	run := func() *Result {
-		res, err := Run(Config{
+		res, err := Run(context.Background(), Config{
 			Factory: fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")),
 			Spec:    linuxSpec(),
 			Seed:    7,
@@ -174,7 +176,7 @@ func TestFuzzFindsAndMinimizesDeviation(t *testing.T) {
 	if prof.Name == "" {
 		t.Fatal("survey profile missing")
 	}
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Name:    "fuzz hfsplus_linux_trusty vs linux",
 		Factory: fsimpl.MemFactory(prof),
 		Spec:    linuxSpec(),
@@ -230,7 +232,7 @@ func TestFuzzCorpusPersistAndResume(t *testing.T) {
 		MaxRuns:   400,
 		CorpusDir: dir,
 	}
-	first, err := Run(cfg)
+	first, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +244,7 @@ func TestFuzzCorpusPersistAndResume(t *testing.T) {
 	}
 
 	cfg.Seed = 12 // a different schedule, same persisted corpus
-	second, err := Run(cfg)
+	second, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +266,7 @@ func TestFuzzCorpusPersistAndResume(t *testing.T) {
 // TestFuzzSeedScriptsEnterCorpus: configured seed inputs are attributed
 // and admitted before the loop starts.
 func TestFuzzSeedScriptsEnterCorpus(t *testing.T) {
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Factory: fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")),
 		Spec:    linuxSpec(),
 		Seed:    5,
@@ -286,10 +288,10 @@ func TestFuzzSeedScriptsEnterCorpus(t *testing.T) {
 // TestFuzzConfigValidation: missing factory or missing stop condition are
 // rejected.
 func TestFuzzConfigValidation(t *testing.T) {
-	if _, err := Run(Config{Spec: linuxSpec(), MaxRuns: 1}); err == nil {
+	if _, err := Run(context.Background(), Config{Spec: linuxSpec(), MaxRuns: 1}); err == nil {
 		t.Error("nil factory accepted")
 	}
-	if _, err := Run(Config{Factory: fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")), Spec: linuxSpec()}); err == nil {
+	if _, err := Run(context.Background(), Config{Factory: fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")), Spec: linuxSpec()}); err == nil {
 		t.Error("unbounded session accepted")
 	}
 }

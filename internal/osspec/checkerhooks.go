@@ -1,6 +1,7 @@
 package osspec
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -47,6 +48,11 @@ type ClosureOpts struct {
 	// per-state transition fan-out runs in parallel, but successors are
 	// merged — and duplicates decided — in the sequential order.
 	Workers int
+	// Ctx, when non-nil, is consulted between expansion rounds: a
+	// cancelled context stops the closure early and returns whatever has
+	// been computed. Callers that pass a Ctx must treat the result as
+	// unusable once Ctx is cancelled (the checker abandons the trace).
+	Ctx context.Context
 }
 
 // tauParallelMin is the frontier size below which fanning out goroutines
@@ -95,6 +101,9 @@ func TauClosureWith(states []*OsState, o ClosureOpts) (out []*OsState, expansion
 		workers = runtime.GOMAXPROCS(0)
 	}
 	for frontier := out; len(frontier) > 0; {
+		if o.Ctx != nil && o.Ctx.Err() != nil {
+			return out, expansions, capHit
+		}
 		succs := MapStates(frontier, workers, func(s *OsState) []*OsState {
 			return expandOne(s, o.Dedup)
 		})

@@ -24,6 +24,15 @@
 // cover the suite exactly once, and ReadRecords/WriteRecords merge shard
 // sinks into the same canonical form.
 //
+// Run takes a context and cancels cooperatively between jobs and inside
+// each job's execute/check; because every completed record is already an
+// atomic line in the sink, a cancelled run's journal is always a valid
+// resume log — finishing it later yields the same canonical bytes as an
+// uninterrupted run. Config.Observe streams records as jobs finish, and
+// Config.Cov attributes each job's model coverage to an isolated
+// cov.Registry instead of the process-wide counters.
+//
 // cmd/sfs-run is the CLI for this package; sfs-report and internal/fuzz
-// reuse the cache and the record stream.
+// reuse the cache and the record stream. sibylfs.Session.Run is the
+// public facade.
 package pipeline

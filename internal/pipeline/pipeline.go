@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/checker"
+	"repro/internal/cov"
 	"repro/internal/exec"
 	"repro/internal/fsimpl"
 	"repro/internal/osspec"
@@ -63,6 +65,18 @@ type Config struct {
 	// resume journal: jobs whose key the sink already holds are skipped
 	// (their record is reused). Callers own Finalize/Close.
 	Sink *Sink
+	// Observe, when non-nil, is called once per record as its job
+	// completes — cache hits and sink resumes included — so callers can
+	// stream progress without buffering the whole run. Calls are
+	// serialized but arrive in completion order, which is nondeterministic
+	// under parallel workers; the returned slice stays in job order.
+	Observe func(Record)
+	// Cov, when non-nil, is an isolated coverage registry: each job's
+	// execute-and-check runs inside a cov Collect window and its model
+	// coverage is attributed to this registry instead of the process-wide
+	// one. Windows serialize model evaluation process-wide — prefer nil
+	// (shared coverage) for throughput.
+	Cov *cov.Registry
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -90,7 +104,14 @@ func (st Stats) String() string {
 // deterministic: a cache hit, a sink resume and a fresh execution of the
 // same job yield identical records (only Stats and Record.Cached reveal
 // the difference).
-func Run(cfg Config) ([]Record, Stats, error) {
+//
+// Cancellation is cooperative: ctx is consulted between jobs and inside
+// each job's execute/check. On cancellation Run stops dispatching, waits
+// for in-flight jobs, and returns ctx.Err() (wrapped; errors.Is works).
+// Every record completed before the cancel has already reached the sink,
+// so the JSONL journal stays valid for -resume — the caller just Closes
+// the sink instead of Finalizing it.
+func Run(ctx context.Context, cfg Config) ([]Record, Stats, error) {
 	var st Stats
 	if cfg.Factory == nil {
 		return nil, st, errors.New("pipeline: Config.Factory is required")
@@ -157,10 +178,10 @@ func Run(cfg Config) ([]Record, Stats, error) {
 		go func() {
 			defer wg.Done()
 			for j := range idx {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					continue // drain: completed records stay in sink/cache
 				}
-				rec, hit, skipped, err := runJob(cfg, chk, cfg.Scripts[jobs[j]], keys[jobs[j]])
+				rec, hit, skipped, err := runJob(ctx, cfg, chk, cfg.Scripts[jobs[j]], keys[jobs[j]])
 				records[j], errs[j] = rec, err
 				if err != nil {
 					failed.Store(true)
@@ -178,21 +199,32 @@ func Run(cfg Config) ([]Record, Stats, error) {
 				if !rec.Accepted {
 					st.Rejected++
 				}
+				if cfg.Observe != nil {
+					cfg.Observe(rec)
+				}
 				mu.Unlock()
 			}
 		}()
 	}
+feed:
 	for j := range jobs {
-		idx <- j
+		select {
+		case idx <- j:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	st.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, st, fmt.Errorf("pipeline: %s: %w", cfg.Name, err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, st, err
 		}
 	}
-	st.Elapsed = time.Since(start)
 	if cfg.Log != nil {
 		fmt.Fprintf(cfg.Log, "pipeline: %s: %s\n", cfg.Name, st)
 	}
@@ -201,8 +233,9 @@ func Run(cfg Config) ([]Record, Stats, error) {
 
 // runJob resolves one script to its record: sink journal first, then the
 // result cache, then a real execute-and-check (whose record is written
-// back to both).
-func runJob(cfg Config, chk *checker.Checker, s *trace.Script, key string) (rec Record, hit, skipped bool, err error) {
+// back to both). With cfg.Cov the execute-and-check runs inside a
+// coverage-collection window attributed to that registry.
+func runJob(ctx context.Context, cfg Config, chk *checker.Checker, s *trace.Script, key string) (rec Record, hit, skipped bool, err error) {
 	if cfg.Sink != nil {
 		if rec, ok := cfg.Sink.Lookup(key); ok {
 			rec.Cached = true
@@ -221,18 +254,31 @@ func runJob(cfg Config, chk *checker.Checker, s *trace.Script, key string) (rec 
 		}
 	}
 	var t *trace.Trace
-	if cfg.Concurrent {
-		t, err = exec.RunConcurrent(s, cfg.Factory, exec.ConcurrentOptions{
-			Seeded: cfg.SchedSeed != 0,
-			Seed:   cfg.SchedSeed,
-		})
+	var res checker.Result
+	work := func() {
+		if cfg.Concurrent {
+			t, err = exec.RunConcurrent(ctx, s, cfg.Factory, exec.ConcurrentOptions{
+				Seeded: cfg.SchedSeed != 0,
+				Seed:   cfg.SchedSeed,
+			})
+		} else {
+			t, err = exec.Run(ctx, s, cfg.Factory)
+		}
+		if err == nil {
+			res, err = chk.CheckCtx(ctx, t)
+		}
+	}
+	if cfg.Cov != nil {
+		cfg.Cov.Collect(work)
 	} else {
-		t, err = exec.Run(s, cfg.Factory)
+		// Shared-registry runs evaluate under Guard so their hits can never
+		// land inside another session's open attribution window.
+		cov.Guard(work)
 	}
 	if err != nil {
 		return Record{}, false, false, fmt.Errorf("pipeline: %s: %w", s.Name, err)
 	}
-	rec = NewRecord(key, t, chk.Check(t))
+	rec = NewRecord(key, t, res)
 	if cfg.Cache != nil {
 		if err := cfg.Cache.PutRecord(rec); err != nil {
 			return rec, false, false, err

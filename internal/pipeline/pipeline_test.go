@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+
 	"fmt"
 	"os"
 	"path/filepath"
@@ -52,7 +54,7 @@ func TestCacheHitMissInvalidation(t *testing.T) {
 	cfg := testConfig(scripts)
 	cfg.Cache = cache
 
-	cold, st, err := Run(cfg)
+	cold, st, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +63,7 @@ func TestCacheHitMissInvalidation(t *testing.T) {
 	}
 
 	// Warm: every job is a cache hit and the records are identical.
-	warm, st, err := Run(cfg)
+	warm, st, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestCacheHitMissInvalidation(t *testing.T) {
 	// A model-version bump invalidates everything.
 	bumped := cfg
 	bumped.ModelVersion = "test-v2"
-	if _, st, err = Run(bumped); err != nil {
+	if _, st, err = Run(context.Background(), bumped); err != nil {
 		t.Fatal(err)
 	}
 	if st.Executed != len(scripts) || st.CacheHits != 0 {
@@ -91,7 +93,7 @@ func TestCacheHitMissInvalidation(t *testing.T) {
 	// A spec-variant change invalidates everything too.
 	posix := cfg
 	posix.Spec = types.Spec{Platform: types.PlatformPOSIX, Permissions: true, RootUser: true}
-	if _, st, err = Run(posix); err != nil {
+	if _, st, err = Run(context.Background(), posix); err != nil {
 		t.Fatal(err)
 	}
 	if st.Executed != len(scripts) || st.CacheHits != 0 {
@@ -107,7 +109,7 @@ func TestCacheHitMissInvalidation(t *testing.T) {
 	edited[3] = mod
 	cfg2 := cfg
 	cfg2.Scripts = edited
-	if _, st, err = Run(cfg2); err != nil {
+	if _, st, err = Run(context.Background(), cfg2); err != nil {
 		t.Fatal(err)
 	}
 	if st.Executed != 1 || st.CacheHits != len(scripts)-1 {
@@ -123,7 +125,7 @@ func finalizedRun(t *testing.T, cfg Config, path string, resume bool) Stats {
 		t.Fatal(err)
 	}
 	cfg.Sink = sink
-	_, st, err := Run(cfg)
+	_, st, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +217,7 @@ func TestResumeAfterKill(t *testing.T) {
 	part := cfg
 	part.Scripts = scripts[:5] // only some jobs "finished" before the kill
 	part.Sink = sink
-	if _, _, err := Run(part); err != nil {
+	if _, _, err := Run(context.Background(), part); err != nil {
 		t.Fatal(err)
 	}
 	sink.Close() // no Finalize: the process died
@@ -276,7 +278,7 @@ func TestSummariseMatchesRecords(t *testing.T) {
 	// A deviating implementation: the spec for the wrong platform.
 	scripts := testScripts(t, 6)
 	cfg := testConfig(scripts)
-	records, _, err := Run(cfg)
+	records, _, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +307,7 @@ func TestRecordResultRoundTrip(t *testing.T) {
 	scripts := testScripts(t, 1)
 	cfg := testConfig(scripts)
 	cfg.Spec = types.Spec{Platform: types.PlatformPOSIX, Permissions: true, RootUser: true}
-	records, _, err := Run(cfg)
+	records, _, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package reduce
 
 import (
+	"context"
+
 	"repro/internal/checker"
 	"repro/internal/exec"
 	"repro/internal/fsimpl"
@@ -18,7 +20,7 @@ type Oracle func(*trace.Script) (bool, error)
 // Deviates executes the script against a fresh instance and reports
 // whether the oracle rejects the resulting trace.
 func Deviates(s *trace.Script, factory fsimpl.Factory, spec types.Spec) (bool, error) {
-	tr, err := exec.Run(s, factory)
+	tr, err := exec.Run(context.Background(), s, factory)
 	if err != nil {
 		return false, err
 	}

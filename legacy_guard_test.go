@@ -1,0 +1,112 @@
+package sibylfs
+
+// Legacy-API guard: the deprecated package-level free functions exist only
+// so out-of-tree callers keep compiling. First-party drivers — every CLI
+// under cmd/ and every example — must use the Session facade. This test
+// discovers the deprecated set by scanning this package's doc comments, so
+// deprecating another function automatically extends the guard; CI runs it
+// as a dedicated step.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// deprecatedFuncs parses the root package's non-test sources and returns
+// the exported function names whose doc comment carries a "Deprecated:"
+// marker.
+func deprecatedFuncs(t *testing.T) map[string]bool {
+	t.Helper()
+	out := make(map[string]bool)
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || !fn.Name.IsExported() || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if strings.Contains(c.Text, "Deprecated:") {
+					out[fn.Name.Name] = true
+					break
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("found no deprecated free functions; the guard is scanning the wrong place")
+	}
+	return out
+}
+
+// TestNoDeprecatedAPIInCommands fails if any CLI or example calls a
+// deprecated sibylfs free function instead of the Session facade.
+func TestNoDeprecatedAPIInCommands(t *testing.T) {
+	deprecated := deprecatedFuncs(t)
+	fset := token.NewFileSet()
+	var violations []string
+	for _, root := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return err
+			}
+			// Resolve the local name of the root package import ("repro").
+			alias := ""
+			for _, imp := range f.Imports {
+				if strings.Trim(imp.Path.Value, `"`) != "repro" {
+					continue
+				}
+				if imp.Name != nil {
+					alias = imp.Name.Name
+				} else {
+					alias = "repro"
+				}
+			}
+			if alias == "" {
+				return nil
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != alias || !deprecated[sel.Sel.Name] {
+					return true
+				}
+				violations = append(violations,
+					fset.Position(sel.Pos()).String()+": "+alias+"."+sel.Sel.Name)
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(violations) > 0 {
+		t.Errorf("cmd/ and examples/ must use the Session facade; deprecated free-function uses:\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}

@@ -1,6 +1,8 @@
 package sibylfs
 
 import (
+	"context"
+
 	"repro/internal/pipeline"
 )
 
@@ -33,6 +35,10 @@ func OpenResultSink(path string, resume bool) (*ResultSink, error) {
 
 // RunPipeline executes one shard of a suite through the cache-backed
 // checking pipeline, returning this shard's records in job order.
+//
+// Deprecated: use Session.Run — it is cancellable, owns the sink
+// lifecycle (finalize on success, resumable journal on error) and
+// supplies spec/workers/cache/observer from the session options.
 func RunPipeline(cfg PipelineConfig) ([]PipelineRecord, PipelineStats, error) {
-	return pipeline.Run(cfg)
+	return pipeline.Run(context.Background(), cfg)
 }

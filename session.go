@@ -1,0 +1,580 @@
+package sibylfs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/checker"
+	"repro/internal/cov"
+	"repro/internal/exec"
+	"repro/internal/fsimpl"
+	"repro/internal/fuzz"
+	"repro/internal/pipeline"
+	"repro/internal/testgen"
+	"repro/internal/types"
+)
+
+// Session is the package's front door: one configured handle unifying the
+// Fig 1 flow — Generate, Execute/ExecuteConcurrent, Check, Run (the
+// sharded cache-backed pipeline), Survey and Fuzz — behind a single set of
+// options instead of per-call parameter soups. Every method takes a
+// context.Context first and cancels cooperatively: a deadlined or
+// interrupted Run stops between (and inside) jobs and leaves its JSONL
+// journal valid for resumption.
+//
+//	s := sibylfs.New(
+//	    sibylfs.WithSpec(sibylfs.SpecFor(sibylfs.Linux)),
+//	    sibylfs.WithWorkers(8),
+//	    sibylfs.WithCacheDir("cache"),
+//	    sibylfs.WithJournal("run.jsonl"),
+//	    sibylfs.WithObserver(func(r sibylfs.PipelineRecord) { log.Println(r.Name) }),
+//	)
+//	scripts, _ := s.Generate(ctx)
+//	records, stats, err := s.Run(ctx, sibylfs.RunJob{
+//	    Name:    "ext4 vs linux",
+//	    Scripts: scripts,
+//	    Factory: sibylfs.MemFS(sibylfs.LinuxProfile("ext4")),
+//	    FSName:  "ext4",
+//	})
+//
+// A Session is safe for concurrent use; several sessions may coexist in
+// one process. By default they share the process-wide coverage registry;
+// give each its own with WithCoverage(NewCoverageRegistry()) and their
+// coverage figures stay fully isolated (see CoverageRegistry).
+type Session struct {
+	spec        Spec
+	workers     int
+	tauWorkers  int
+	maxStateSet int
+	cacheDir    string
+	journal     string
+	journalDir  string
+	resume      bool
+	observer    func(PipelineRecord)
+	reg         *cov.Registry // nil = shared process-wide registry
+	log         io.Writer
+
+	cacheOnce sync.Once
+	cache     *pipeline.Cache
+	cacheErr  error
+	// journalMu serializes Run calls that share this session's journal:
+	// two sinks appending to (or truncating) one file would corrupt it.
+	journalMu sync.Mutex
+}
+
+// Option configures a Session at construction.
+type Option func(*Session)
+
+// New constructs a Session. The zero configuration checks against
+// DefaultSpec with GOMAXPROCS workers, no cache, no journal and the
+// shared process-wide coverage registry.
+func New(opts ...Option) *Session {
+	s := &Session{spec: DefaultSpec()}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// WithSpec selects the model variant every checking method uses.
+func WithSpec(spec Spec) Option { return func(s *Session) { s.spec = spec } }
+
+// WithWorkers bounds cross-trace parallelism (execution and checking
+// worker pools; ≤ 0 selects GOMAXPROCS).
+func WithWorkers(n int) Option { return func(s *Session) { s.workers = n } }
+
+// WithTauWorkers bounds within-trace parallelism: the goroutines fanning
+// out one trace's τ-closure and transition union (≤ 0 lets each method
+// pick its default — GOMAXPROCS for direct checking, 1 inside the
+// pipeline, whose cross-trace workers already saturate the cores).
+func WithTauWorkers(n int) Option { return func(s *Session) { s.tauWorkers = n } }
+
+// WithMaxStateSet caps the oracle's tracked state set (0 = the checker
+// default). The cap is part of the pipeline cache key.
+func WithMaxStateSet(n int) Option { return func(s *Session) { s.maxStateSet = n } }
+
+// WithCacheDir backs Run, Survey and Fuzz with a content-addressed result
+// cache rooted at dir: re-runs skip any trace whose (script, model
+// version, run config) key is already cached. The directory is created on
+// first use.
+func WithCacheDir(dir string) Option { return func(s *Session) { s.cacheDir = dir } }
+
+// WithJournal streams Run's records to the JSONL sink at path. The sink
+// doubles as the crash-safe resume journal: with WithResume, a later
+// session skips every trace the journal already holds. On success the
+// journal is finalized to canonical order; on error (cancellation
+// included) it keeps its append order and remains valid for resumption.
+// Concurrent Run calls on one session serialize on the journal (each Run
+// opens it afresh, and without WithResume opening truncates); to run
+// shards in parallel, give each its own journal — one session per shard,
+// merged afterwards as sfs-run -merge does.
+func WithJournal(path string) Option { return func(s *Session) { s.journal = path } }
+
+// WithJournalDir streams Survey's records to one JSONL sink per
+// configuration under dir (Survey runs many configurations; Run's single
+// sink is WithJournal).
+func WithJournalDir(dir string) Option { return func(s *Session) { s.journalDir = dir } }
+
+// WithResume recovers existing journals instead of replacing them,
+// skipping work they already hold.
+func WithResume() Option { return func(s *Session) { s.resume = true } }
+
+// WithObserver streams per-record progress: fn is called once per
+// pipeline record as Run and Survey complete each job — cache hits and
+// journal resumes included — so callers see progress without buffering
+// whole suites. Calls are serialized but arrive in completion order,
+// which is nondeterministic under parallel workers. fn must not call back
+// into the session.
+func WithObserver(fn func(PipelineRecord)) Option { return func(s *Session) { s.observer = fn } }
+
+// WithCoverage gives the session its own coverage registry (or shares one
+// between chosen sessions): model coverage reached by this session's
+// checking, pipeline and fuzzing is attributed to reg, and the session's
+// Coverage/CoverageUnhit/ResetCoverage read and reset reg instead of the
+// process-wide counters — two sessions with distinct registries never see
+// each other's hits, and ResetCoverage loses its process-global blast
+// radius. Attribution uses exclusive windows over the shared counters, so
+// isolation serializes model evaluation across the process; prefer the
+// default shared registry for raw throughput.
+func WithCoverage(reg *CoverageRegistry) Option { return func(s *Session) { s.reg = reg } }
+
+// WithLog sends progress lines (pipeline stats, fuzz session progress)
+// to w.
+func WithLog(w io.Writer) Option { return func(s *Session) { s.log = w } }
+
+// CoverageRegistry is an isolated model-coverage view; see WithCoverage.
+type CoverageRegistry = cov.Registry
+
+// NewCoverageRegistry returns a fresh isolated coverage registry.
+func NewCoverageRegistry() *CoverageRegistry { return cov.NewRegistry() }
+
+// Spec returns the model variant the session checks against.
+func (s *Session) Spec() Spec { return s.spec }
+
+// openCache lazily opens the session's result cache (nil without
+// WithCacheDir). The handle is shared by every method of the session.
+func (s *Session) openCache() (*pipeline.Cache, error) {
+	if s.cacheDir == "" {
+		return nil, nil
+	}
+	s.cacheOnce.Do(func() {
+		s.cache, s.cacheErr = pipeline.OpenCache(s.cacheDir)
+	})
+	return s.cache, s.cacheErr
+}
+
+// Generate builds the full sequential test suite (§6.1).
+func (s *Session) Generate(ctx context.Context) ([]*Script, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return testgen.Generate().Scripts, nil
+}
+
+// GenerateConcurrent builds the multi-process concurrency universe; run
+// it through ExecuteConcurrent so the calls genuinely interleave.
+func (s *Session) GenerateConcurrent(ctx context.Context) ([]*Script, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return testgen.ConcurrentScripts(), nil
+}
+
+// covWrap returns the attribution wrapper for this session's model
+// evaluation: with an isolated registry every unit runs in an exclusive
+// Collect window attributed to it; with the shared registry units run
+// under cov.Guard, so their hits can never land inside another session's
+// open attribution window. Either way, concurrent sessions' coverage
+// stays exact.
+func (s *Session) covWrap() func(func()) {
+	if s.reg != nil {
+		reg := s.reg
+		return func(f func()) { reg.Collect(f) }
+	}
+	return cov.Guard
+}
+
+// covFactory wraps factory so each Apply runs inside the session's
+// attribution wrapper — only the determinized model (SpecFS) hits
+// coverage points during execution, but wrapping is harmless (a shared
+// read-lock) for the others.
+func (s *Session) covFactory(factory Factory) Factory {
+	wrap := s.covWrap()
+	return func() (fsimpl.FS, error) {
+		fs, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		return &wrapFS{fs: fs, wrap: wrap}, nil
+	}
+}
+
+// wrapFS routes an implementation's model evaluation through the
+// session's coverage-attribution wrapper.
+type wrapFS struct {
+	fs   fsimpl.FS
+	wrap func(func())
+}
+
+func (c *wrapFS) Name() string { return c.fs.Name() }
+func (c *wrapFS) Apply(pid types.Pid, cmd types.Command) (rv types.RetValue) {
+	c.wrap(func() { rv = c.fs.Apply(pid, cmd) })
+	return rv
+}
+func (c *wrapFS) CreateProcess(pid types.Pid, uid types.Uid, gid types.Gid) {
+	c.fs.CreateProcess(pid, uid, gid)
+}
+func (c *wrapFS) DestroyProcess(pid types.Pid) { c.fs.DestroyProcess(pid) }
+func (c *wrapFS) Close() error                 { return c.fs.Close() }
+
+// Execute runs scripts against fresh instances from factory (§6.2) with
+// the session's worker pool, cancelling between scripts and between
+// steps.
+func (s *Session) Execute(ctx context.Context, scripts []*Script, factory Factory) ([]*Trace, error) {
+	return exec.RunAll(ctx, scripts, s.covFactory(factory), s.workers)
+}
+
+// ExecuteConcurrent runs scripts with one goroutine per script process,
+// so calls from different processes genuinely overlap in the recorded
+// traces. opts.Workers ≤ 0 falls back to the session's worker bound.
+func (s *Session) ExecuteConcurrent(ctx context.Context, scripts []*Script, factory Factory, opts ConcurrentOptions) ([]*Trace, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = s.workers
+	}
+	return exec.RunAllConcurrent(ctx, scripts, s.covFactory(factory), opts)
+}
+
+// Check runs the oracle over traces with the session's spec and worker
+// pool. Each trace's check runs inside the session's coverage wrapper:
+// an exclusive attribution window with an isolated registry (the
+// registry sees exactly this session's model coverage, at the documented
+// cost of serializing the per-trace work), a shared Guard otherwise (the
+// pool parallelises as before).
+func (s *Session) Check(ctx context.Context, traces []*Trace) ([]CheckResult, error) {
+	chk := s.newChecker()
+	wrap := s.covWrap()
+	workers := s.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]CheckResult, len(traces))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain
+				}
+				wrap(func() {
+					results[i], _ = chk.CheckCtx(ctx, traces[i])
+				})
+			}
+		}()
+	}
+feed:
+	for i := range traces {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// CheckOne checks a single trace.
+func (s *Session) CheckOne(ctx context.Context, t *Trace) (CheckResult, error) {
+	chk := s.newChecker()
+	var res CheckResult
+	var err error
+	s.covWrap()(func() { res, err = chk.CheckCtx(ctx, t) })
+	return res, err
+}
+
+func (s *Session) newChecker() *checker.Checker {
+	chk := checker.New(s.spec)
+	if s.maxStateSet > 0 {
+		chk.MaxStateSet = s.maxStateSet
+	}
+	chk.TauWorkers = s.tauWorkers
+	return chk
+}
+
+// RunJob names one pipeline run: what to execute and how, while the
+// session supplies the environment (spec, workers, cache, journal,
+// observer, coverage registry). See PipelineConfig for field semantics.
+type RunJob struct {
+	// Name labels the run in summaries ("ext4 vs linux").
+	Name string
+	// Scripts is the full job list (identical order across shards).
+	Scripts []*Script
+	// Factory creates the implementation under test; FSName is its cache
+	// identity.
+	Factory Factory
+	FSName  string
+	// Shards/Shard split the job list across invocations or machines.
+	Shards int
+	Shard  int
+	// Concurrent selects the concurrent executor; SchedSeed ≠ 0 its
+	// seeded deterministic scheduler.
+	Concurrent bool
+	SchedSeed  int64
+	// ModelVersion overrides the cache key's model version (tests only).
+	ModelVersion string
+}
+
+// Run executes one shard of a suite through the sharded, cache-backed
+// checking pipeline and returns this shard's records in job order. With
+// WithJournal the records also stream to the JSONL sink, which is
+// finalized on success and left as a valid append-order journal on error
+// — cancellation (ctx deadline, Ctrl-C via signal.NotifyContext) stops
+// between jobs, and a later session constructed WithResume completes the
+// run without re-executing journaled work, yielding byte-identical
+// finalized output.
+func (s *Session) Run(ctx context.Context, job RunJob) ([]PipelineRecord, PipelineStats, error) {
+	cache, err := s.openCache()
+	if err != nil {
+		return nil, PipelineStats{}, err
+	}
+	cfg := pipeline.Config{
+		Name:         job.Name,
+		Scripts:      job.Scripts,
+		Factory:      job.Factory,
+		FSName:       job.FSName,
+		Spec:         s.spec,
+		ModelVersion: job.ModelVersion,
+		Workers:      s.workers,
+		TauWorkers:   s.tauWorkers,
+		MaxStateSet:  s.maxStateSet,
+		Shards:       job.Shards,
+		Shard:        job.Shard,
+		Concurrent:   job.Concurrent,
+		SchedSeed:    job.SchedSeed,
+		Cache:        cache,
+		Observe:      s.observer,
+		Cov:          s.reg,
+		Log:          s.log,
+	}
+	if s.journal != "" {
+		s.journalMu.Lock()
+		defer s.journalMu.Unlock()
+		sink, err := pipeline.OpenSink(s.journal, s.resume)
+		if err != nil {
+			return nil, PipelineStats{}, err
+		}
+		cfg.Sink = sink
+	}
+	records, stats, err := pipeline.Run(ctx, cfg)
+	if cfg.Sink != nil {
+		if err != nil {
+			cfg.Sink.Close() // keep the append-order journal for -resume
+		} else if ferr := cfg.Sink.Finalize(); ferr != nil {
+			return records, stats, ferr
+		}
+	}
+	return records, stats, err
+}
+
+// Survey executes scripts on every configuration through the pipeline and
+// summarises the deviations (the §7.3 survey). Summaries aggregate from
+// per-trace records, so no configuration ever holds its full
+// ([]Trace, []Result) pair in memory. The session's cache is shared
+// across configurations; WithJournalDir adds one resumable JSONL sink per
+// configuration. Cancellation stops between jobs and returns the
+// configurations completed so far with ctx's error.
+func (s *Session) Survey(ctx context.Context, scripts []*Script, configs []Config) ([]SurveyResult, error) {
+	cache, err := s.openCache()
+	if err != nil {
+		return nil, err
+	}
+	if s.journalDir != "" {
+		// Concurrent Surveys of one session would race on the same
+		// per-configuration sink files; serialize them, as Run does.
+		s.journalMu.Lock()
+		defer s.journalMu.Unlock()
+		if err := os.MkdirAll(s.journalDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	var out []SurveyResult
+	for _, cfg := range configs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		sel := scripts
+		if cfg.SkipUserScripts {
+			sel = FilterHostSafe(scripts)
+		}
+		w := s.workers
+		if cfg.Serial {
+			w = 1
+		}
+		pcfg := pipeline.Config{
+			Name:    cfg.Name,
+			Scripts: sel,
+			Factory: cfg.Factory,
+			FSName:  cfg.Name,
+			Spec:    cfg.Spec,
+			Workers: w,
+			Cache:   cache,
+			Observe: s.observer,
+			Cov:     s.reg,
+			Log:     s.log,
+		}
+		if s.maxStateSet > 0 {
+			pcfg.MaxStateSet = s.maxStateSet
+		}
+		pcfg.TauWorkers = s.tauWorkers
+		if cfg.Serial && pcfg.TauWorkers <= 0 {
+			// Serial configs (hostfs) must execute one script at a time, but
+			// their *checking* needn't be single-threaded too: recover the
+			// session's parallelism inside each trace's closure. Resolve the
+			// "0 = GOMAXPROCS" convention here — pipeline.Run would clamp a
+			// zero TauWorkers to 1.
+			tw := s.workers
+			if tw <= 0 {
+				tw = runtime.GOMAXPROCS(0)
+			}
+			pcfg.TauWorkers = tw
+		}
+		if s.journalDir != "" {
+			sink, err := pipeline.OpenSink(filepath.Join(s.journalDir, surveySinkName(cfg.Name)), s.resume)
+			if err != nil {
+				return out, err
+			}
+			pcfg.Sink = sink
+		}
+		records, _, err := pipeline.Run(ctx, pcfg)
+		if pcfg.Sink != nil {
+			if err == nil {
+				err = pcfg.Sink.Finalize()
+			} else {
+				pcfg.Sink.Close()
+			}
+		}
+		if err != nil {
+			return out, fmt.Errorf("survey %s: %w", cfg.Name, err)
+		}
+		out = append(out, SurveyResult{
+			Config:  cfg,
+			Summary: pipeline.Summarise(cfg.Name, records),
+		})
+	}
+	return out, nil
+}
+
+// MergeSurvey merges the per-configuration summaries, exposing the tests
+// that distinguish configurations.
+func (s *Session) MergeSurvey(ctx context.Context, results []SurveyResult) (*analysis.Merged, error) {
+	runs := make([]*analysis.RunSummary, len(results))
+	for i, r := range results {
+		runs[i] = r.Summary
+	}
+	return analysis.MergeCtx(ctx, runs)
+}
+
+// FuzzJob names one coverage-guided fuzzing session; the session supplies
+// spec, workers, result cache, coverage registry and log. The session
+// ends when ctx is cancelled or deadlined (the normal stop for a
+// time-bounded session — pair with context.WithTimeout) or after MaxRuns
+// candidates; one of the two bounds is required.
+type FuzzJob struct {
+	// Name labels the session in reports and is the result cache's
+	// implementation identity — keep it stable across sessions.
+	Name string
+	// Factory creates the implementation under test, one instance per run.
+	Factory Factory
+	// Seed makes the session reproducible (with one worker).
+	Seed int64
+	// MaxRuns bounds the number of candidate executions (0 = until ctx
+	// ends).
+	MaxRuns int64
+	// MaxSteps caps candidate script length (default 30).
+	MaxSteps int
+	// CorpusDir persists the corpus and findings for resumption.
+	CorpusDir string
+	// Concurrent executes candidates with the seeded concurrent executor.
+	Concurrent bool
+	// Seeds are extra initial inputs offered to the corpus at startup.
+	Seeds []*Script
+	// KeepCoverage keeps the session's coverage counters instead of
+	// resetting them at start.
+	KeepCoverage bool
+}
+
+// Fuzz runs a coverage-guided fuzzing session: mutated scripts are
+// executed via the job's Factory, checked against the session's spec,
+// admitted to the corpus when they reach new model coverage points, and
+// minimized into findings when the oracle rejects them. Cancellation is
+// the normal end of a session: the corpus and findings collected so far
+// are reported as usual.
+func (s *Session) Fuzz(ctx context.Context, job FuzzJob) (*FuzzResult, error) {
+	cache, err := s.openCache()
+	if err != nil {
+		return nil, err
+	}
+	return fuzz.Run(ctx, FuzzConfig{
+		Name:         job.Name,
+		Factory:      job.Factory,
+		Spec:         s.spec,
+		Seed:         job.Seed,
+		Workers:      s.workers,
+		MaxRuns:      job.MaxRuns,
+		MaxSteps:     job.MaxSteps,
+		CorpusDir:    job.CorpusDir,
+		Concurrent:   job.Concurrent,
+		Seeds:        job.Seeds,
+		KeepCoverage: job.KeepCoverage,
+		ResultCache:  cache,
+		Registry:     s.reg,
+		Log:          s.log,
+	})
+}
+
+// Coverage reports the session's model coverage-point statistics (§7.2):
+// its registry's with WithCoverage, the process-wide figures otherwise.
+func (s *Session) Coverage() (hit, total int) {
+	if s.reg != nil {
+		return s.reg.Stats()
+	}
+	return cov.Stats()
+}
+
+// CoverageUnhit lists coverage points this session never exercised.
+func (s *Session) CoverageUnhit() []string {
+	if s.reg != nil {
+		return s.reg.Unhit()
+	}
+	return cov.Unhit()
+}
+
+// ResetCoverage zeroes the session's coverage counters. With an isolated
+// registry this touches nothing process-global — the footgun the old
+// package-level ResetCoverage had.
+func (s *Session) ResetCoverage() {
+	if s.reg != nil {
+		s.reg.Reset()
+		return
+	}
+	cov.Reset()
+}
+
+// defaultSession backs the deprecated package-level functions.
+var defaultSession = New()
+
+// surveySinkName maps a configuration name to its JSONL file name.
+func surveySinkName(config string) string {
+	return strings.ReplaceAll(config, " ", "_") + ".jsonl"
+}

@@ -3,17 +3,26 @@
 // usable as a test oracle, together with a generated test suite, a test
 // executor, implementations under test, and result analysis.
 //
-// The typical flow mirrors Fig 1 of the paper:
+// The front door is the Session facade: one option-configured handle
+// whose context-aware methods cover the Fig 1 flow end to end —
 //
-//	suite := sibylfs.Generate()                            // test scripts
-//	traces, _ := sibylfs.Execute(suite, impl, 0)           // drive an FS
-//	results := sibylfs.Check(sibylfs.DefaultSpec(), traces, 0) // oracle
+//	s := sibylfs.New(sibylfs.WithSpec(sibylfs.DefaultSpec()))
+//	suite, _ := s.Generate(ctx)                             // test scripts
+//	traces, _ := s.Execute(ctx, suite, impl)                // drive an FS
+//	results, _ := s.Check(ctx, traces)                      // oracle
+//
+// plus Run (the sharded, cache-backed pipeline), Survey and Fuzz; see
+// Session. The package-level Execute/Check/... functions predate the
+// facade and survive as deprecated wrappers so existing callers keep
+// compiling.
 //
 // The package re-exports the model's vocabulary via type aliases so
 // downstream users never import internal packages directly.
 package sibylfs
 
 import (
+	"context"
+
 	"repro/internal/checker"
 	"repro/internal/exec"
 	"repro/internal/fsimpl"
@@ -70,11 +79,15 @@ func SpecFor(p Platform) Spec {
 func ParsePlatformName(s string) (Platform, bool) { return types.ParsePlatform(s) }
 
 // Generate builds the full test suite (§6.1).
+//
+// Deprecated: use Session.Generate, which is context-aware.
 func Generate() []*Script { return testgen.Generate().Scripts }
 
 // GenerateConcurrent builds the multi-process concurrency universe: 2–4
 // processes issuing overlapping calls on shared paths. Run it through
 // ExecuteConcurrent so the calls genuinely interleave.
+//
+// Deprecated: use Session.GenerateConcurrent, which is context-aware.
 func GenerateConcurrent() []*Script { return testgen.ConcurrentScripts() }
 
 // SuiteStats reports the number of scripts per command group.
@@ -91,35 +104,51 @@ func ParseTrace(text string) (*Trace, error) { return trace.ParseTrace(text) }
 
 // Execute runs scripts against fresh instances from factory (§6.2).
 // workers ≤ 0 selects GOMAXPROCS.
+//
+// Deprecated: use Session.Execute, which is cancellable and carries the
+// worker bound as a session option.
 func Execute(scripts []*Script, factory Factory, workers int) ([]*Trace, error) {
-	return exec.RunAll(scripts, factory, workers)
+	return New(WithWorkers(workers)).Execute(context.Background(), scripts, factory)
 }
 
 // ExecuteOne runs a single script.
+//
+// Deprecated: use Session.Execute with a one-script slice, or
+// Session.ExecuteConcurrent for multi-process scripts.
 func ExecuteOne(script *Script, factory Factory) (*Trace, error) {
-	return exec.Run(script, factory)
+	return exec.Run(context.Background(), script, factory)
 }
 
 // ExecuteConcurrent runs scripts with one goroutine per script process, so
 // calls from different processes genuinely overlap in the recorded traces.
 // With opts.Seeded a deterministic scheduler replays the interleaving
 // chosen by opts.Seed; opts.Workers bounds script-level parallelism.
+//
+// Deprecated: use Session.ExecuteConcurrent, which is cancellable.
 func ExecuteConcurrent(scripts []*Script, factory Factory, opts ConcurrentOptions) ([]*Trace, error) {
-	return exec.RunAllConcurrent(scripts, factory, opts)
+	return New().ExecuteConcurrent(context.Background(), scripts, factory, opts)
 }
 
 // ExecuteOneConcurrent runs a single script concurrently.
+//
+// Deprecated: use Session.ExecuteConcurrent with a one-script slice.
 func ExecuteOneConcurrent(script *Script, factory Factory, opts ConcurrentOptions) (*Trace, error) {
-	return exec.RunConcurrent(script, factory, opts)
+	return exec.RunConcurrent(context.Background(), script, factory, opts)
 }
 
 // Check runs the oracle over traces with the given model variant.
 // workers ≤ 0 selects GOMAXPROCS.
+//
+// Deprecated: use Session.Check, which is cancellable and carries spec
+// and workers as session options.
 func Check(spec Spec, traces []*Trace, workers int) []CheckResult {
-	return checker.New(spec).CheckAll(traces, workers)
+	results, _ := New(WithSpec(spec), WithWorkers(workers)).Check(context.Background(), traces)
+	return results
 }
 
 // CheckOne checks a single trace.
+//
+// Deprecated: use Session.CheckOne.
 func CheckOne(spec Spec, t *Trace) CheckResult {
 	return checker.New(spec).Check(t)
 }
@@ -151,10 +180,20 @@ func SurveyProfiles() []Profile { return fsimpl.SurveyProfiles() }
 
 // Coverage reports model coverage-point statistics accumulated since the
 // last reset (§7.2 measures statement coverage of the model this way).
-func Coverage() (hit, total int) { return covStats() }
+//
+// Deprecated: use Session.Coverage — with WithCoverage the figures are
+// the session's own instead of process-global.
+func Coverage() (hit, total int) { return defaultSession.Coverage() }
 
 // CoverageUnhit lists coverage points never exercised.
-func CoverageUnhit() []string { return covUnhit() }
+//
+// Deprecated: use Session.CoverageUnhit.
+func CoverageUnhit() []string { return defaultSession.CoverageUnhit() }
 
-// ResetCoverage zeroes the coverage counters.
-func ResetCoverage() { covReset() }
+// ResetCoverage zeroes the process-global coverage counters — including
+// every concurrent session's view of them, which is why it is deprecated.
+//
+// Deprecated: use Session.ResetCoverage on a session constructed with
+// WithCoverage(NewCoverageRegistry()); resetting an isolated registry
+// cannot disturb other sessions.
+func ResetCoverage() { defaultSession.ResetCoverage() }

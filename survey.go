@@ -1,15 +1,11 @@
 package sibylfs
 
 import (
+	"context"
 	"fmt"
-	"os"
-	"path/filepath"
-	"runtime"
-	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/fsimpl"
-	"repro/internal/pipeline"
 	"repro/internal/types"
 )
 
@@ -111,85 +107,30 @@ type SurveyOptions struct {
 // configuration streams through the checking pipeline: summaries are
 // aggregated from per-trace records, so no configuration ever holds its
 // full ([]Trace, []Result) pair in memory.
+//
+// Deprecated: use Session.Survey, which is cancellable and carries
+// workers/cache/journals as session options.
 func RunSurvey(scripts []*Script, configs []Config, workers int) ([]SurveyResult, error) {
 	return RunSurveyWith(scripts, configs, workers, SurveyOptions{})
 }
 
 // RunSurveyWith is RunSurvey with the pipeline's cache and JSONL sinks
 // attached (see SurveyOptions).
+//
+// Deprecated: use Session.Survey with WithCacheDir/WithJournalDir/
+// WithResume.
 func RunSurveyWith(scripts []*Script, configs []Config, workers int, opts SurveyOptions) ([]SurveyResult, error) {
-	var cache *pipeline.Cache
+	sessionOpts := []Option{WithWorkers(workers)}
 	if opts.CacheDir != "" {
-		var err error
-		if cache, err = pipeline.OpenCache(opts.CacheDir); err != nil {
-			return nil, err
-		}
+		sessionOpts = append(sessionOpts, WithCacheDir(opts.CacheDir))
 	}
 	if opts.JSONLDir != "" {
-		if err := os.MkdirAll(opts.JSONLDir, 0o755); err != nil {
-			return nil, err
-		}
+		sessionOpts = append(sessionOpts, WithJournalDir(opts.JSONLDir))
 	}
-	var out []SurveyResult
-	for _, cfg := range configs {
-		sel := scripts
-		if cfg.SkipUserScripts {
-			sel = FilterHostSafe(scripts)
-		}
-		w := workers
-		if cfg.Serial {
-			w = 1
-		}
-		pcfg := pipeline.Config{
-			Name:    cfg.Name,
-			Scripts: sel,
-			Factory: cfg.Factory,
-			FSName:  cfg.Name,
-			Spec:    cfg.Spec,
-			Workers: w,
-			Cache:   cache,
-		}
-		if cfg.Serial {
-			// Serial configs (hostfs) must execute one script at a time, but
-			// their *checking* needn't be single-threaded too: recover the
-			// caller's parallelism inside each trace's closure. Resolve the
-			// "0 = GOMAXPROCS" convention here — pipeline.Run would clamp a
-			// zero TauWorkers to 1.
-			tw := workers
-			if tw <= 0 {
-				tw = runtime.GOMAXPROCS(0)
-			}
-			pcfg.TauWorkers = tw
-		}
-		if opts.JSONLDir != "" {
-			sink, err := pipeline.OpenSink(filepath.Join(opts.JSONLDir, surveySinkName(cfg.Name)), opts.Resume)
-			if err != nil {
-				return out, err
-			}
-			pcfg.Sink = sink
-		}
-		records, _, err := pipeline.Run(pcfg)
-		if pcfg.Sink != nil {
-			if err == nil {
-				err = pcfg.Sink.Finalize()
-			} else {
-				pcfg.Sink.Close()
-			}
-		}
-		if err != nil {
-			return out, fmt.Errorf("survey %s: %w", cfg.Name, err)
-		}
-		out = append(out, SurveyResult{
-			Config:  cfg,
-			Summary: pipeline.Summarise(cfg.Name, records),
-		})
+	if opts.Resume {
+		sessionOpts = append(sessionOpts, WithResume())
 	}
-	return out, nil
-}
-
-// surveySinkName maps a configuration name to its JSONL file name.
-func surveySinkName(config string) string {
-	return strings.ReplaceAll(config, " ", "_") + ".jsonl"
+	return New(sessionOpts...).Survey(context.Background(), scripts, configs)
 }
 
 // FilterHostSafe drops scripts that switch credentials or belong to the
