@@ -16,6 +16,7 @@ import (
 
 	sibylfs "repro"
 	"repro/internal/analysis"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -24,7 +25,9 @@ func main() {
 	platform := flag.String("p", "linux", "model variant: posix|linux|mac_os_x|freebsd")
 	noPerms := flag.Bool("noperms", false, "disable the permissions trait")
 	workers := flag.Int("w", 0, "parallel workers (0 = GOMAXPROCS)")
+	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-check")
 	flag.Parse()
+	showVersion()
 	if *inDir == "" {
 		fmt.Fprintln(os.Stderr, "usage: sfs-check -i DIR [-o DIR] [-p PLATFORM]")
 		os.Exit(2)

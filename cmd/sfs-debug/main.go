@@ -14,6 +14,7 @@ import (
 	"syscall"
 
 	sibylfs "repro"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/osspec"
 	"repro/internal/types"
@@ -22,7 +23,9 @@ import (
 func main() {
 	platform := flag.String("p", "linux", "model variant")
 	verbose := flag.Bool("v", false, "dump every tracked state (not just counts)")
+	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-debug")
 	flag.Parse()
+	showVersion()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: sfs-debug [-p PLATFORM] [-v] TRACE-FILE")
 		os.Exit(2)

@@ -53,10 +53,30 @@ func main() {
 	concurrent := flag.Bool("concurrent", false, "execute candidates with the concurrent executor (seeded scheduler, seed = -seed) and seed the corpus with the multi-process universe")
 	outDir := flag.String("o", "", "directory for report.html and summary.txt (default: -corpus dir, if set)")
 	cacheDir := flag.String("cache-dir", "", "pipeline result cache: corpus entries whose clean replay is cached skip re-execution at session start")
+	statsJSON := flag.String("stats-json", "", "write a telemetry snapshot (runs, corpus, latency histograms) here on exit; - = stdout")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /stats.json and /debug/pprof on this address while fuzzing")
 	verbose := flag.Bool("v", false, "log corpus admissions, findings and progress")
+	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-fuzz")
 	flag.Parse()
+	showVersion()
 	if *fsName == "" {
 		usage()
+	}
+	if *debugAddr != "" {
+		srv, err := cliutil.StartDebug(*debugAddr, "sfs-fuzz")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-fuzz:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+	}
+	writeStats := func() {
+		if *statsJSON == "" {
+			return
+		}
+		if err := cliutil.WriteStats(*statsJSON, "sfs-fuzz"); err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-fuzz: writing stats:", err)
+		}
 	}
 
 	fs, ok := cliutil.PickFS(*fsName)
@@ -161,6 +181,7 @@ func main() {
 		}
 		fmt.Printf("report: %s\n", filepath.Join(dir, "report.html"))
 	}
+	writeStats()
 	if len(res.Findings) > 0 || res.Crashes > 0 {
 		os.Exit(3) // deviations found: distinct from usage/config errors
 	}

@@ -14,13 +14,16 @@ import (
 	"syscall"
 
 	sibylfs "repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
 	outDir := flag.String("o", "", "output directory for script files (omit with -stats)")
 	stats := flag.Bool("stats", false, "print per-group script counts and exit")
 	group := flag.String("group", "", "only emit scripts of this command group")
+	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-gen")
 	flag.Parse()
+	showVersion()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

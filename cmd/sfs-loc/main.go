@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+
+	"repro/internal/cliutil"
 )
 
 // moduleOf maps source directories to the Fig 7 row they correspond to.
@@ -30,7 +32,9 @@ var moduleOf = map[string]string{
 
 func main() {
 	root := flag.String("root", ".", "repository root")
+	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-loc")
 	flag.Parse()
+	showVersion()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

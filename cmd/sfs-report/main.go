@@ -23,6 +23,7 @@ import (
 
 	sibylfs "repro"
 	"repro/internal/analysis"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -34,7 +35,18 @@ func main() {
 	jsonlDir := flag.String("jsonl-dir", "", "write one canonical JSONL record file per configuration")
 	resume := flag.Bool("resume", false, "with -jsonl-dir: recover interrupted sinks and skip completed traces")
 	timeout := flag.Duration("timeout", 0, "cancel the survey after this long (sinks stay resumable; exit 4)")
+	statsJSON := flag.String("stats-json", "", "write a telemetry snapshot (counters, latency histograms) here on exit; - = stdout")
+	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-report")
 	flag.Parse()
+	showVersion()
+	writeStats := func() {
+		if *statsJSON == "" {
+			return
+		}
+		if err := cliutil.WriteStats(*statsJSON, "sfs-report"); err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-report: writing stats:", err)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -88,6 +100,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "; rerun with -resume to finish")
 			}
 			fmt.Fprintln(os.Stderr)
+			writeStats()
 			os.Exit(4)
 		}
 		fmt.Fprintln(os.Stderr, "sfs-report:", err)
@@ -124,4 +137,5 @@ func main() {
 		fmt.Printf("  %-50s deviates on: %s\n", test, strings.Join(merged.DeviationsFor(test), ", "))
 	}
 	fmt.Printf("\nHTML written to %s\n", *outDir)
+	writeStats()
 }

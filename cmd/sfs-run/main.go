@@ -75,8 +75,12 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (journal stays resumable; exit 4)")
 	outDir := flag.String("o", "", "directory for .checked files (optional)")
 	htmlPath := flag.String("html", "", "write the HTML analysis index here (optional)")
+	statsJSON := flag.String("stats-json", "", "write a telemetry snapshot (counters, latency histograms) here on exit; - = stdout")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /stats.json and /debug/pprof on this address while running")
 	verbose := flag.Bool("v", false, "log pipeline progress")
+	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-run")
 	flag.Parse()
+	showVersion()
 
 	if *merge {
 		if flag.NArg() < 2 {
@@ -97,6 +101,25 @@ func main() {
 	}
 	spec := sibylfs.SpecFor(pl)
 	spec.Permissions = !*noPerms
+
+	if *debugAddr != "" {
+		srv, err := cliutil.StartDebug(*debugAddr, "sfs-run")
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+	}
+	// writeStats runs on every deliberate exit — success, deviations
+	// (exit 3) and cancellation (exit 4) — so interrupted runs still leave
+	// their evidence. os.Exit skips defers, hence the explicit calls.
+	writeStats := func() {
+		if *statsJSON == "" {
+			return
+		}
+		if err := cliutil.WriteStats(*statsJSON, "sfs-run"); err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-run: writing stats:", err)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -160,6 +183,7 @@ func main() {
 			stop() // restore default signal handling: a second Ctrl-C kills
 			fmt.Fprintf(os.Stderr, "sfs-run: cancelled (%v); journal %s keeps %s — rerun with -resume to finish\n",
 				err, *jsonl, stats)
+			writeStats()
 			os.Exit(4)
 		}
 		fatal(err)
@@ -200,6 +224,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sfs-run: warning: %d trace(s) hit the oracle's state-set cap; "+
 			"verdicts for them are best-effort\n", summary.CapHits)
 	}
+	writeStats()
 	if summary.Rejected > 0 {
 		os.Exit(3)
 	}

@@ -44,7 +44,9 @@ func main() {
 	workers := flag.Int("w", 0, "parallel workers (0 = GOMAXPROCS)")
 	concurrent := flag.Bool("concurrent", false, "run script processes concurrently (one goroutine per process)")
 	schedSeed := flag.Int64("sched-seed", 0, "with -concurrent: deterministic scheduler seed (0 = free-running)")
+	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-test")
 	flag.Parse()
+	showVersion()
 	if *fsName == "" {
 		usage()
 	}

@@ -71,10 +71,15 @@ func TestWorkerCountDoesNotChangeResults(t *testing.T) {
 		base := New(types.DefaultSpec())
 		base.TauWorkers = 1
 		want := base.Check(tr)
+		// TauNanos is wall-clock and TauParallelRounds counts rounds that
+		// actually fanned out — both are telemetry, expected to vary with
+		// the worker count, and no part of the observational contract.
+		want.TauNanos, want.TauParallelRounds = 0, 0
 		for _, workers := range []int{2, 4, 8} {
 			c := New(types.DefaultSpec())
 			c.TauWorkers = workers
 			got := c.Check(tr)
+			got.TauNanos, got.TauParallelRounds = 0, 0
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("trace %d: workers=%d diverged:\n%+v\nwant\n%+v", ti, workers, got, want)
 			}

@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/osspec"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/types"
 )
@@ -56,6 +58,14 @@ type Result struct {
 	// false alarm and an acceptance may rest on luck. The cap exists only
 	// to bound pathological blowup; a hit is worth surfacing to the user.
 	StateSetCapHit bool
+	// TauRounds / TauParallelRounds / TauNanos are telemetry: the number
+	// of τ-closure frontier-expansion rounds this trace cost, how many of
+	// them were large enough to fan across the worker pool, and the wall
+	// time spent inside the closure. They never influence the verdict and
+	// are not part of the serialized record.
+	TauRounds         int
+	TauParallelRounds int
+	TauNanos          int64
 }
 
 // MeanStates is the mean tracked state-set size per step.
@@ -80,6 +90,10 @@ type Checker struct {
 	// DisableDedup turns off deduplication of the state set — only for the
 	// ablation benchmarks; never set it in real checking.
 	DisableDedup bool
+	// Tel receives the checker's telemetry (counters per trace, τ-closure
+	// attribution); nil selects telemetry.Default. Purely observational:
+	// results are byte-identical whatever registry is installed.
+	Tel *telemetry.Registry
 }
 
 // New returns a checker for the given spec variant.
@@ -107,6 +121,7 @@ func (c *Checker) Check(t *trace.Trace) Result {
 // step's worker fan-out. On cancellation the partial Result (inspected so
 // far, verdict meaningless) is returned with ctx.Err().
 func (c *Checker) CheckCtx(ctx context.Context, t *trace.Trace) (Result, error) {
+	start := time.Now()
 	res := Result{Name: t.Name, Accepted: true}
 	initial := osspec.NewOsState(c.Spec)
 	initial.Freeze()
@@ -157,7 +172,33 @@ func (c *Checker) CheckCtx(ctx context.Context, t *trace.Trace) (Result, error) 
 	if len(states) == 0 {
 		res.Accepted = false
 	}
-	return res, ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	c.record(res, time.Since(start))
+	return res, nil
+}
+
+// record attributes one completed trace's work to the checker's registry.
+// One batch of atomic adds per trace — never per step — so the oracle's
+// hot loop stays unmetered.
+func (c *Checker) record(res Result, elapsed time.Duration) {
+	tel := telemetry.Or(c.Tel)
+	tel.Counter("checker.traces").Inc()
+	tel.Counter("checker.steps").Add(int64(res.Steps))
+	tel.Counter("checker.states_explored").Add(int64(res.SumStates))
+	tel.Counter("checker.tau_expansions").Add(int64(res.TauExpansions))
+	tel.Counter("checker.tau_rounds").Add(int64(res.TauRounds))
+	tel.Counter("checker.tau_rounds_parallel").Add(int64(res.TauParallelRounds))
+	if !res.Accepted {
+		tel.Counter("checker.rejected").Inc()
+	}
+	if res.StateSetCapHit {
+		tel.Counter("checker.cap_hits").Inc()
+	}
+	tel.Gauge("checker.max_states").SetMax(int64(res.MaxStates))
+	tel.Histogram("checker.check_ns").Observe(int64(elapsed))
+	tel.Histogram("checker.tau_closure_ns").Observe(res.TauNanos)
 }
 
 // stepReturn matches an observed return value. The state set is first
@@ -205,13 +246,19 @@ func (c *Checker) stepReturn(ctx context.Context, states []*osspec.OsState, lbl 
 // boundary and abandons the trace, so the truncated set is never used for
 // a verdict.
 func (c *Checker) tauClosure(ctx context.Context, states []*osspec.OsState, res *Result) []*osspec.OsState {
+	t0 := time.Now()
+	var cs osspec.ClosureStats
 	out, n, capHit := osspec.TauClosureWith(states, osspec.ClosureOpts{
 		Dedup:   !c.DisableDedup,
 		Cap:     c.MaxStateSet,
 		Workers: c.workers(),
 		Ctx:     ctx,
+		Stats:   &cs,
 	})
 	res.TauExpansions += n
+	res.TauRounds += cs.Rounds
+	res.TauParallelRounds += cs.ParallelRounds
+	res.TauNanos += int64(time.Since(t0))
 	if capHit {
 		res.StateSetCapHit = true
 	}

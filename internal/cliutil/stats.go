@@ -1,0 +1,46 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// StatsHeader is the telemetry snapshot header for tool, stamped with
+// the build version (see Version) so stats artifacts say which build
+// produced them.
+func StatsHeader(tool string) telemetry.Header {
+	return telemetry.Header{Tool: tool, Version: Version()}
+}
+
+// WriteStats dumps the default telemetry registry to path as indented
+// JSON ("-" writes to stdout). Tools accepting -stats-json call it on
+// every meaningful exit path — deviations and cancellation included — so
+// a failing run still leaves its evidence.
+func WriteStats(path, tool string) error {
+	if path == "-" {
+		return telemetry.Default.WriteJSON(os.Stdout, StatsHeader(tool))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.Default.WriteJSON(f, StatsHeader(tool)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// StartDebug serves /metrics (Prometheus text), /stats.json, /debug/vars
+// and /debug/pprof on addr, announcing the bound address on stderr (addr
+// may be ":0"). Close the returned server on exit.
+func StartDebug(addr, tool string) (*telemetry.DebugServer, error) {
+	srv, err := telemetry.ServeDebug(addr, telemetry.Default, StatsHeader(tool))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: debug server listening on http://%s/\n", tool, srv.Addr())
+	return srv, nil
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/fsimpl"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/types"
 )
@@ -51,6 +52,11 @@ func Run(ctx context.Context, s *trace.Script, factory fsimpl.Factory) (*trace.T
 			return nil, fmt.Errorf("exec: script %q line %d contains a return label (%s); returns are executor output, not script input", s.Name, st.Line, lbl)
 		}
 	}
+	// Executor throughput is process-global telemetry (exec has no
+	// per-session configuration); the pipeline attributes per-job
+	// execute timings to its own registry on top.
+	telemetry.Default.Counter("exec.traces").Inc()
+	telemetry.Default.Counter("exec.steps").Add(int64(len(t.Steps)))
 	return t, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/osspec"
 	"repro/internal/pipeline"
 	"repro/internal/reduce"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/types"
 )
@@ -87,6 +88,10 @@ type Config struct {
 	Registry *cov.Registry
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Tel receives the session's telemetry (iteration throughput, corpus
+	// size, findings, per-candidate latency); nil selects
+	// telemetry.Default. Purely observational.
+	Tel *telemetry.Registry
 }
 
 // Result is the outcome of one fuzzing session.
@@ -144,15 +149,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		cfg.Name = "fuzz"
 	}
 
+	tel := telemetry.Or(cfg.Tel)
 	e := &engine{
 		cfg:     cfg,
 		check:   checker.New(cfg.Spec),
 		corpus:  NewCorpus(),
 		tracker: cov.NewTracker(),
 		reg:     cfg.Registry,
+		tel:     tel,
 		bySig:   make(map[string]*Finding),
 		rawSeen: make(map[string]*Finding),
 	}
+	e.check.Tel = cfg.Tel // nil keeps the checker on Default, like the engine
 	if !cfg.KeepCoverage {
 		if e.reg != nil {
 			e.reg.Reset()
@@ -161,9 +169,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	seedSpan := tel.Span("fuzz.seed")
 	if err := e.seed(ctx); err != nil {
 		return nil, err
 	}
+	seedSpan.End()
+	tel.Counter("fuzz.cached_seeds").Add(int64(e.cachedSeeds))
 	initialHit := e.covHitCount()
 	e.logf("fuzz: start corpus=%d coverage=%d points (%d seeds from cache)",
 		e.corpus.Len(), initialHit, e.cachedSeeds)
@@ -195,6 +206,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	res.Findings = append(res.Findings, e.findings...)
 	e.mu.Unlock()
 	res.CovHit, res.CovTotal = e.covStats()
+	tel.Gauge("fuzz.corpus_size").Set(int64(res.CorpusSize))
+	tel.Gauge("fuzz.findings").Set(int64(len(res.Findings)))
+	tel.Gauge("fuzz.coverage_points").Set(int64(res.CovHit))
 
 	sum, html, err := ReportWith(cfg.Name, res.Findings, res.CovHit, res.CovTotal)
 	if err != nil {
@@ -224,7 +238,9 @@ type engine struct {
 	tracker *cov.Tracker // Attribute serializes internally
 	// reg is the isolated coverage registry, nil for the process-global
 	// counters (Config.Registry).
-	reg      *cov.Registry
+	reg *cov.Registry
+	// tel is the resolved telemetry registry (never nil).
+	tel      *telemetry.Registry
 	runs     atomic.Int64
 	seq      atomic.Int64
 	execErrs atomic.Int64
@@ -391,6 +407,7 @@ func (e *engine) worker(ctx context.Context, id int) {
 		}
 		e.step(r, m, seq)
 		e.runs.Add(1)
+		e.tel.Counter("fuzz.runs").Inc()
 	}
 }
 
@@ -412,13 +429,17 @@ func (e *engine) step(r *rand.Rand, m *mutator, seq int64) {
 	}
 
 	before := e.covHitCount()
+	candStart := time.Now()
 	tr, res, crash, err := e.execCheck(cand)
+	e.tel.Histogram("fuzz.exec_check_ns").ObserveSince(candStart)
 	switch {
 	case crash != "":
 		e.crashes.Add(1)
+		e.tel.Counter("fuzz.crashes").Inc()
 		e.reportCrash(cand, crash)
 	case err != nil:
 		e.execErrs.Add(1)
+		e.tel.Counter("fuzz.exec_errors").Inc()
 	case !res.Accepted:
 		e.reportDeviation(cand, tr, res)
 	case e.covHitCount() > before || r.Intn(64) == 0:
@@ -527,6 +548,10 @@ func (e *engine) offer(s *trace.Script, fromLoop bool) {
 	}
 	e.mu.Lock()
 	entry, admitted, replaced, evicted := e.corpus.Admit(s, points)
+	if admitted {
+		e.tel.Counter("fuzz.corpus_admitted").Inc()
+		e.tel.Gauge("fuzz.corpus_size").Set(int64(e.corpus.Len()))
+	}
 	if admitted && fromLoop {
 		e.newEntries++
 	}
@@ -563,6 +588,7 @@ func (e *engine) offer(s *trace.Script, fromLoop bool) {
 // failing ops with their observed/allowed diagnoses) short-circuits
 // duplicates before ddmin runs.
 func (e *engine) reportDeviation(cand *trace.Script, tr *trace.Trace, res checker.Result) {
+	e.tel.Counter("fuzz.deviations").Inc()
 	rawKey := rawDeviationKey(tr, res)
 	e.mu.Lock()
 	if f, ok := e.rawSeen[rawKey]; ok {
@@ -706,6 +732,9 @@ func (e *engine) progress(done <-chan struct{}) {
 			e.mu.Lock()
 			corpus, findings := e.corpus.Len(), len(e.findings)
 			e.mu.Unlock()
+			e.tel.Gauge("fuzz.corpus_size").Set(int64(corpus))
+			e.tel.Gauge("fuzz.findings").Set(int64(findings))
+			e.tel.Gauge("fuzz.coverage_points").Set(int64(e.covHitCount()))
 			e.logf("fuzz: runs=%d corpus=%d coverage=%d findings=%d",
 				e.runs.Load(), corpus, e.covHitCount(), findings)
 		}

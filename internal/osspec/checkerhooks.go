@@ -53,6 +53,19 @@ type ClosureOpts struct {
 	// been computed. Callers that pass a Ctx must treat the result as
 	// unusable once Ctx is cancelled (the checker abandons the trace).
 	Ctx context.Context
+	// Stats, when non-nil, receives the closure's work split (telemetry;
+	// never affects results).
+	Stats *ClosureStats
+}
+
+// ClosureStats describes how one τ-closure spent its effort.
+type ClosureStats struct {
+	// Rounds is the number of frontier-expansion rounds run.
+	Rounds int
+	// ParallelRounds counts rounds whose frontier was large enough to fan
+	// across the worker pool; the rest stayed on the caller's goroutine
+	// (a fan-out "stall" — the workers had nothing to chew on).
+	ParallelRounds int
 }
 
 // tauParallelMin is the frontier size below which fanning out goroutines
@@ -103,6 +116,12 @@ func TauClosureWith(states []*OsState, o ClosureOpts) (out []*OsState, expansion
 	for frontier := out; len(frontier) > 0; {
 		if o.Ctx != nil && o.Ctx.Err() != nil {
 			return out, expansions, capHit
+		}
+		if o.Stats != nil {
+			o.Stats.Rounds++
+			if workers > 1 && len(frontier) >= tauParallelMin {
+				o.Stats.ParallelRounds++
+			}
 		}
 		succs := MapStates(frontier, workers, func(s *OsState) []*OsState {
 			return expandOne(s, o.Dedup)

@@ -1,0 +1,19 @@
+package osspec
+
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// stateClones counts OsState.Clone calls process-wide — like the heap
+// counters in internal/state, deltas around a run attribute the COW
+// traffic a workload generates. telemetry.Default exposes it as a gauge.
+var stateClones atomic.Int64
+
+// StateClones returns the process-wide count of OsState COW clones.
+func StateClones() int64 { return stateClones.Load() }
+
+func init() {
+	telemetry.Default.Func("osspec.state_clones", StateClones)
+}

@@ -181,6 +181,7 @@ func (s *OsState) Pids() []types.Pid {
 // across goroutines over one shared frontier state.
 func (s *OsState) Clone() *OsState {
 	s.Freeze()
+	stateClones.Add(1)
 	return &OsState{
 		H:       s.H.Clone(),
 		fids:    s.fids,

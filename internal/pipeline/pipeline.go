@@ -15,6 +15,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fsimpl"
 	"repro/internal/osspec"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/types"
 )
@@ -77,9 +78,24 @@ type Config struct {
 	// one. Windows serialize model evaluation process-wide — prefer nil
 	// (shared coverage) for throughput.
 	Cov *cov.Registry
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress lines: a rate-limited status
+	// line (at most one per progressInterval — completed/total, cache hit
+	// rate, traces/s, ETA) while the run is in flight, plus the final
+	// Stats line. Never one line per record: on a warm 21k-trace suite
+	// that would dominate wall time through the terminal.
 	Log io.Writer
+	// Tel receives the run's telemetry — per-phase latency histograms
+	// (cache lookup/store, execute, check, journal append) and work
+	// counters. nil selects telemetry.Default; sessions pass their own
+	// registry (sibylfs.WithTelemetry) for isolation. Purely
+	// observational: records are byte-identical whatever registry is
+	// installed.
+	Tel *telemetry.Registry
 }
+
+// progressInterval is the minimum spacing of in-flight progress lines
+// (~5 lines/s at most).
+const progressInterval = 200 * time.Millisecond
 
 // Stats describes one run's work split.
 type Stats struct {
@@ -130,6 +146,7 @@ func Run(ctx context.Context, cfg Config) ([]Record, Stats, error) {
 	if version == "" {
 		version = osspec.ModelVersion
 	}
+	tel := telemetry.Or(cfg.Tel)
 	chk := checker.New(cfg.Spec)
 	if cfg.MaxStateSet > 0 {
 		chk.MaxStateSet = cfg.MaxStateSet
@@ -137,6 +154,10 @@ func Run(ctx context.Context, cfg Config) ([]Record, Stats, error) {
 	chk.TauWorkers = cfg.TauWorkers
 	if chk.TauWorkers <= 0 {
 		chk.TauWorkers = 1
+	}
+	chk.Tel = tel
+	if cfg.Sink != nil {
+		cfg.Sink.SetTelemetry(tel)
 	}
 
 	specHash := SpecHash(version, cfg.Spec)
@@ -167,10 +188,14 @@ func Run(ctx context.Context, cfg Config) ([]Record, Stats, error) {
 	st.Jobs = len(jobs)
 
 	start := time.Now()
+	_, span := telemetry.StartSpan(ctx, tel, "pipeline.run")
+	defer span.End()
+	tel.Counter("pipeline.jobs").Add(int64(st.Jobs))
 	records := make([]Record, len(jobs))
 	errs := make([]error, len(jobs))
 	var failed atomic.Bool // first job error stops further work
 	var mu sync.Mutex      // st counters + log
+	lastProgress := start
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -181,26 +206,38 @@ func Run(ctx context.Context, cfg Config) ([]Record, Stats, error) {
 				if failed.Load() || ctx.Err() != nil {
 					continue // drain: completed records stay in sink/cache
 				}
-				rec, hit, skipped, err := runJob(ctx, cfg, chk, cfg.Scripts[jobs[j]], keys[jobs[j]])
+				jobStart := time.Now()
+				rec, hit, skipped, err := runJob(ctx, cfg, chk, tel, cfg.Scripts[jobs[j]], keys[jobs[j]])
 				records[j], errs[j] = rec, err
 				if err != nil {
 					failed.Store(true)
 					continue
 				}
+				tel.Histogram("pipeline.job_ns").ObserveSince(jobStart)
 				mu.Lock()
 				switch {
 				case skipped:
 					st.SinkSkipped++
+					tel.Counter("pipeline.resumed").Inc()
 				case hit:
 					st.CacheHits++
+					tel.Counter("pipeline.cache_hits").Inc()
 				default:
 					st.Executed++
+					tel.Counter("pipeline.executed").Inc()
 				}
 				if !rec.Accepted {
 					st.Rejected++
+					tel.Counter("pipeline.rejected").Inc()
 				}
 				if cfg.Observe != nil {
 					cfg.Observe(rec)
+				}
+				if cfg.Log != nil {
+					if now := time.Now(); now.Sub(lastProgress) >= progressInterval {
+						lastProgress = now
+						logProgress(cfg.Log, cfg.Name, st, now.Sub(start))
+					}
 				}
 				mu.Unlock()
 			}
@@ -231,11 +268,29 @@ feed:
 	return records, st, nil
 }
 
+// logProgress emits one rate-limited in-flight status line: completion,
+// work split, cache hit rate over the jobs resolved so far, throughput
+// and a naive remaining/rate ETA.
+func logProgress(w io.Writer, name string, st Stats, elapsed time.Duration) {
+	done := st.Executed + st.CacheHits + st.SinkSkipped
+	if done == 0 || elapsed <= 0 {
+		return
+	}
+	cached := st.CacheHits + st.SinkSkipped
+	rate := float64(done) / elapsed.Seconds()
+	eta := time.Duration(float64(st.Jobs-done) / rate * float64(time.Second)).Round(time.Second)
+	fmt.Fprintf(w, "pipeline: %s: %d/%d traces (%d executed, %d cached %.0f%%, %.0f traces/s, ETA %s)\n",
+		name, done, st.Jobs, st.Executed, cached,
+		100*float64(cached)/float64(done), rate, eta)
+}
+
 // runJob resolves one script to its record: sink journal first, then the
 // result cache, then a real execute-and-check (whose record is written
 // back to both). With cfg.Cov the execute-and-check runs inside a
-// coverage-collection window attributed to that registry.
-func runJob(ctx context.Context, cfg Config, chk *checker.Checker, s *trace.Script, key string) (rec Record, hit, skipped bool, err error) {
+// coverage-collection window attributed to that registry. Phase latencies
+// (cache lookup/store, execute, check, journal append) land in tel's
+// histograms.
+func runJob(ctx context.Context, cfg Config, chk *checker.Checker, tel *telemetry.Registry, s *trace.Script, key string) (rec Record, hit, skipped bool, err error) {
 	if cfg.Sink != nil {
 		if rec, ok := cfg.Sink.Lookup(key); ok {
 			rec.Cached = true
@@ -243,7 +298,10 @@ func runJob(ctx context.Context, cfg Config, chk *checker.Checker, s *trace.Scri
 		}
 	}
 	if cfg.Cache != nil {
-		if rec, ok := cfg.Cache.GetRecord(key); ok {
+		lookupStart := time.Now()
+		rec, ok := cfg.Cache.GetRecord(key)
+		tel.Histogram("pipeline.cache_lookup_ns").ObserveSince(lookupStart)
+		if ok {
 			rec.Cached = true
 			if cfg.Sink != nil {
 				if err := cfg.Sink.Append(rec); err != nil {
@@ -252,10 +310,12 @@ func runJob(ctx context.Context, cfg Config, chk *checker.Checker, s *trace.Scri
 			}
 			return rec, true, false, nil
 		}
+		tel.Counter("pipeline.cache_misses").Inc()
 	}
 	var t *trace.Trace
 	var res checker.Result
 	work := func() {
+		execStart := time.Now()
 		if cfg.Concurrent {
 			t, err = exec.RunConcurrent(ctx, s, cfg.Factory, exec.ConcurrentOptions{
 				Seeded: cfg.SchedSeed != 0,
@@ -264,8 +324,11 @@ func runJob(ctx context.Context, cfg Config, chk *checker.Checker, s *trace.Scri
 		} else {
 			t, err = exec.Run(ctx, s, cfg.Factory)
 		}
+		tel.Histogram("pipeline.execute_ns").ObserveSince(execStart)
 		if err == nil {
+			checkStart := time.Now()
 			res, err = chk.CheckCtx(ctx, t)
+			tel.Histogram("pipeline.check_ns").ObserveSince(checkStart)
 		}
 	}
 	if cfg.Cov != nil {
@@ -280,9 +343,13 @@ func runJob(ctx context.Context, cfg Config, chk *checker.Checker, s *trace.Scri
 	}
 	rec = NewRecord(key, t, res)
 	if cfg.Cache != nil {
-		if err := cfg.Cache.PutRecord(rec); err != nil {
+		storeStart := time.Now()
+		err := cfg.Cache.PutRecord(rec)
+		tel.Histogram("pipeline.cache_store_ns").ObserveSince(storeStart)
+		if err != nil {
 			return rec, false, false, err
 		}
+		tel.Counter("pipeline.cache_stores").Inc()
 	}
 	if cfg.Sink != nil {
 		if err := cfg.Sink.Append(rec); err != nil {

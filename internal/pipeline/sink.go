@@ -8,6 +8,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Sink is the streaming JSONL result file and, at the same time, the
@@ -24,6 +27,17 @@ type Sink struct {
 	path    string
 	byKey   map[string]Record
 	records []Record
+	tel     *telemetry.Registry // nil until SetTelemetry; journal I/O metrics
+}
+
+// SetTelemetry attributes the sink's journal I/O (append counts/bytes/
+// latency, finalize latency) to reg; pipeline.Run installs the run's
+// registry here. Nil disables sink metrics (the sink never falls back to
+// Default on its own — a sink may outlive the run that instrumented it).
+func (s *Sink) SetTelemetry(reg *telemetry.Registry) {
+	s.mu.Lock()
+	s.tel = reg
+	s.mu.Unlock()
 }
 
 // OpenSink opens the JSONL sink at path. With resume true an existing file
@@ -134,8 +148,14 @@ func (s *Sink) Append(rec Record) error {
 	if _, dup := s.byKey[rec.Key]; dup {
 		return nil
 	}
+	writeStart := time.Now()
 	if _, err := s.f.Write(append(data, '\n')); err != nil {
 		return err
+	}
+	if s.tel != nil {
+		s.tel.Histogram("journal.append_ns").ObserveSince(writeStart)
+		s.tel.Counter("journal.appends").Inc()
+		s.tel.Counter("journal.bytes").Add(int64(len(data) + 1))
 	}
 	s.byKey[rec.Key] = rec
 	s.records = append(s.records, rec)
@@ -157,11 +177,16 @@ func (s *Sink) Records() []Record {
 func (s *Sink) Finalize() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	finalizeStart := time.Now()
 	if err := s.f.Close(); err != nil {
 		return err
 	}
 	s.f = nil
-	return WriteRecords(s.path, s.records)
+	err := WriteRecords(s.path, s.records)
+	if s.tel != nil {
+		s.tel.Histogram("journal.finalize_ns").ObserveSince(finalizeStart)
+	}
+	return err
 }
 
 // Close closes the sink without canonicalizing (the journal keeps its

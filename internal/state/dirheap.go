@@ -120,6 +120,7 @@ func NewHeap() *Heap {
 // that to fan Trans out across goroutines over a shared frontier state.
 func (h *Heap) Clone() *Heap {
 	h.Freeze()
+	heapClones.Add(1)
 	return &Heap{
 		dirs:     h.dirs,
 		files:    h.files,
@@ -214,6 +215,7 @@ func (h *Heap) MutDir(r DirRef) *Dir {
 	}
 	h.unhashDir(r, d)
 	if h.tok == nil || d.owner != h.tok {
+		objectCopies.Add(1)
 		h.ensureMaps()
 		entries := make(map[string]Entry, len(d.Entries))
 		for n, e := range d.Entries {
@@ -242,6 +244,7 @@ func (h *Heap) MutFile(r FileRef) *File {
 	}
 	h.unhashFile(r, f)
 	if h.tok == nil || f.owner != h.tok {
+		objectCopies.Add(1)
 		h.ensureMaps()
 		nf := &File{
 			Bytes:     append([]byte(nil), f.Bytes...),

@@ -1,0 +1,36 @@
+package state
+
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Engine counters: process-global by design — COW heaps flow between
+// goroutines and sessions, so per-session attribution would mean
+// threading a registry through every OsState. They answer the profiling
+// questions ("how many clones did this run cost, how often did the
+// incremental hash actually recompute content") as deltas around a run.
+// telemetry.Default exposes them as gauges via init below.
+var (
+	heapClones   atomic.Int64 // Heap.Clone calls (O(1) COW shares)
+	objectCopies atomic.Int64 // Dir/File objects copied on first write
+	hashComputes atomic.Int64 // content hashes computed (memo misses)
+)
+
+// HeapClones returns the process-wide count of COW heap clones.
+func HeapClones() int64 { return heapClones.Load() }
+
+// ObjectCopies returns the process-wide count of Dir/File objects
+// physically copied by copy-on-write.
+func ObjectCopies() int64 { return objectCopies.Load() }
+
+// HashComputes returns the process-wide count of per-object content-hash
+// computations (memoisation misses).
+func HashComputes() int64 { return hashComputes.Load() }
+
+func init() {
+	telemetry.Default.Func("state.heap_clones", HeapClones)
+	telemetry.Default.Func("state.object_copies", ObjectCopies)
+	telemetry.Default.Func("state.hash_computes", HashComputes)
+}

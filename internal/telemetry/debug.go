@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// DebugServer is the -debug-addr HTTP endpoint: live /metrics (Prometheus
+// text), /stats.json (Snapshot JSON), /debug/vars (expvar) and
+// /debug/pprof/* (CPU, heap, goroutine, block profiles) for the registry
+// it serves.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// expvarOnce guards the process-global expvar publication: expvar.Publish
+// panics on duplicate names, and a process may open several debug servers
+// over its lifetime (tests do).
+var expvarOnce sync.Once
+
+// ServeDebug starts the debug HTTP server on addr (e.g. "localhost:6060";
+// ":0" picks a free port — read it back with Addr). The server runs until
+// Close; handler errors never affect the instrumented run.
+func ServeDebug(addr string, reg *Registry, h Header) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	expvarOnce.Do(func() {
+		// Also visible under /debug/vars, next to memstats and cmdline.
+		// First server wins the slot; later registries are still fully
+		// served by their own /stats.json.
+		expvar.Publish("sfs_telemetry", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "%s debug endpoint\n\n/metrics\n/stats.json\n/debug/vars\n/debug/pprof/\n", h.Tool)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w, h)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go ds.srv.Serve(ln)
+	return ds, nil
+}
+
+// Addr returns the server's bound address (resolves ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }

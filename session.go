@@ -17,6 +17,7 @@ import (
 	"repro/internal/fsimpl"
 	"repro/internal/fuzz"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 	"repro/internal/testgen"
 	"repro/internal/types"
 )
@@ -47,7 +48,9 @@ import (
 // A Session is safe for concurrent use; several sessions may coexist in
 // one process. By default they share the process-wide coverage registry;
 // give each its own with WithCoverage(NewCoverageRegistry()) and their
-// coverage figures stay fully isolated (see CoverageRegistry).
+// coverage figures stay fully isolated (see CoverageRegistry). The same
+// model applies to metrics: sessions record into telemetry.Default unless
+// WithTelemetry(NewTelemetryRegistry()) gives them a private registry.
 type Session struct {
 	spec        Spec
 	workers     int
@@ -58,7 +61,8 @@ type Session struct {
 	journalDir  string
 	resume      bool
 	observer    func(PipelineRecord)
-	reg         *cov.Registry // nil = shared process-wide registry
+	reg         *cov.Registry       // nil = shared process-wide registry
+	tel         *telemetry.Registry // nil = telemetry.Default
 	log         io.Writer
 
 	cacheOnce sync.Once
@@ -149,6 +153,24 @@ func WithCoverage(reg *CoverageRegistry) Option { return func(s *Session) { s.re
 // to w.
 func WithLog(w io.Writer) Option { return func(s *Session) { s.log = w } }
 
+// WithTelemetry gives the session its own telemetry registry: counters,
+// gauges, latency histograms and spans recorded by this session's
+// checking, pipeline and fuzzing land in reg instead of the shared
+// telemetry.Default — two sessions with distinct registries never see
+// each other's figures. Unlike coverage isolation, telemetry isolation is
+// free: registries are just independent sets of atomics. Engine-internal
+// totals (state-heap clones, hash computes) remain process-global and are
+// published on the default registry only. Read reg with its Snapshot /
+// WriteJSON / WritePrometheus methods.
+func WithTelemetry(reg *TelemetryRegistry) Option { return func(s *Session) { s.tel = reg } }
+
+// TelemetryRegistry is an isolated metrics/span registry; see
+// WithTelemetry.
+type TelemetryRegistry = telemetry.Registry
+
+// NewTelemetryRegistry returns a fresh isolated telemetry registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
 // CoverageRegistry is an isolated model-coverage view; see WithCoverage.
 type CoverageRegistry = cov.Registry
 
@@ -175,6 +197,7 @@ func (s *Session) Generate(ctx context.Context) ([]*Script, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	defer telemetry.Or(s.tel).Span("session.generate").End()
 	return testgen.Generate().Scripts, nil
 }
 
@@ -309,6 +332,7 @@ func (s *Session) newChecker() *checker.Checker {
 		chk.MaxStateSet = s.maxStateSet
 	}
 	chk.TauWorkers = s.tauWorkers
+	chk.Tel = s.tel
 	return chk
 }
 
@@ -348,6 +372,7 @@ func (s *Session) Run(ctx context.Context, job RunJob) ([]PipelineRecord, Pipeli
 	if err != nil {
 		return nil, PipelineStats{}, err
 	}
+	defer telemetry.Or(s.tel).Span("session.run").End()
 	cfg := pipeline.Config{
 		Name:         job.Name,
 		Scripts:      job.Scripts,
@@ -365,6 +390,7 @@ func (s *Session) Run(ctx context.Context, job RunJob) ([]PipelineRecord, Pipeli
 		Cache:        cache,
 		Observe:      s.observer,
 		Cov:          s.reg,
+		Tel:          s.tel,
 		Log:          s.log,
 	}
 	if s.journal != "" {
@@ -408,6 +434,7 @@ func (s *Session) Survey(ctx context.Context, scripts []*Script, configs []Confi
 			return nil, err
 		}
 	}
+	defer telemetry.Or(s.tel).Span("session.survey").End()
 	var out []SurveyResult
 	for _, cfg := range configs {
 		if err := ctx.Err(); err != nil {
@@ -431,6 +458,7 @@ func (s *Session) Survey(ctx context.Context, scripts []*Script, configs []Confi
 			Cache:   cache,
 			Observe: s.observer,
 			Cov:     s.reg,
+			Tel:     s.tel,
 			Log:     s.log,
 		}
 		if s.maxStateSet > 0 {
@@ -525,6 +553,7 @@ func (s *Session) Fuzz(ctx context.Context, job FuzzJob) (*FuzzResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer telemetry.Or(s.tel).Span("session.fuzz").End()
 	return fuzz.Run(ctx, FuzzConfig{
 		Name:         job.Name,
 		Factory:      job.Factory,
@@ -539,6 +568,7 @@ func (s *Session) Fuzz(ctx context.Context, job FuzzJob) (*FuzzResult, error) {
 		KeepCoverage: job.KeepCoverage,
 		ResultCache:  cache,
 		Registry:     s.reg,
+		Tel:          s.tel,
 		Log:          s.log,
 	})
 }
