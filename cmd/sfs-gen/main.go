@@ -21,6 +21,7 @@ func main() {
 	outDir := flag.String("o", "", "output directory for script files (omit with -stats)")
 	stats := flag.Bool("stats", false, "print per-group script counts and exit")
 	group := flag.String("group", "", "only emit scripts of this command group")
+	cacheDir := flag.String("cache-dir", "", "cache directory (warm starts load the generated suite from it)")
 	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-gen")
 	flag.Parse()
 	showVersion()
@@ -28,7 +29,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	session := sibylfs.New()
+	var opts []sibylfs.Option
+	if *cacheDir != "" {
+		opts = append(opts, sibylfs.WithCacheDir(*cacheDir))
+	}
+	session := sibylfs.New(opts...)
 	suite, err := session.Generate(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sfs-gen:", err)

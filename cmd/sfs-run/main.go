@@ -133,21 +133,6 @@ func main() {
 	if !ok {
 		usage()
 	}
-	scripts, err := cliutil.LoadScripts(*inDir, *concurrent)
-	if err != nil {
-		fatal(err)
-	}
-	if fs.HostOnly {
-		scripts = sibylfs.FilterHostSafe(scripts)
-	}
-	if *sample > 1 {
-		var sel []*sibylfs.Script
-		for i := 0; i < len(scripts); i += *sample {
-			sel = append(sel, scripts[i])
-		}
-		scripts = sel
-	}
-
 	w := *workers
 	if fs.Serial {
 		w = 1
@@ -167,6 +152,24 @@ func main() {
 		opts = append(opts, sibylfs.WithLog(os.Stderr))
 	}
 	session := sibylfs.New(opts...)
+
+	// The session is built before the scripts load so that with -cache-dir
+	// a warm start serves the generated suite (text and hashes both) from
+	// the generation cache instead of regenerating it.
+	scripts, err := cliutil.SessionScripts(ctx, session, *inDir, *concurrent)
+	if err != nil {
+		fatal(err)
+	}
+	if fs.HostOnly {
+		scripts = sibylfs.FilterHostSafe(scripts)
+	}
+	if *sample > 1 {
+		var sel []*sibylfs.Script
+		for i := 0; i < len(scripts); i += *sample {
+			sel = append(sel, scripts[i])
+		}
+		scripts = sel
+	}
 
 	_, stats, err := session.Run(ctx, sibylfs.RunJob{
 		Name:       fmt.Sprintf("%s vs %s", *fsName, pl),

@@ -40,6 +40,7 @@ byte-identical trace.
 func main() {
 	fsName := flag.String("fs", "", "implementation under test")
 	inDir := flag.String("i", "", "directory of .script files (default: generated suite)")
+	cacheDir := flag.String("cache-dir", "", "cache directory (warm starts load the generated suite from it)")
 	outDir := flag.String("o", "", "directory for .trace files (default: stdout summary only)")
 	workers := flag.Int("w", 0, "parallel workers (0 = GOMAXPROCS)")
 	concurrent := flag.Bool("concurrent", false, "run script processes concurrently (one goroutine per process)")
@@ -58,7 +59,16 @@ func main() {
 	if !ok {
 		usage()
 	}
-	scripts, err := cliutil.LoadScripts(*inDir, *concurrent)
+	w := *workers
+	if fs.Serial {
+		w = 1
+	}
+	sessionOpts := []sibylfs.Option{sibylfs.WithWorkers(w)}
+	if *cacheDir != "" {
+		sessionOpts = append(sessionOpts, sibylfs.WithCacheDir(*cacheDir))
+	}
+	session := sibylfs.New(sessionOpts...)
+	scripts, err := cliutil.SessionScripts(ctx, session, *inDir, *concurrent)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sfs-test:", err)
 		os.Exit(1)
@@ -66,11 +76,6 @@ func main() {
 	if fs.HostOnly {
 		scripts = sibylfs.FilterHostSafe(scripts)
 	}
-	w := *workers
-	if fs.Serial {
-		w = 1
-	}
-	session := sibylfs.New(sibylfs.WithWorkers(w))
 	var traces []*sibylfs.Trace
 	if *concurrent {
 		traces, err = session.ExecuteConcurrent(ctx, scripts, fs.Factory, sibylfs.ConcurrentOptions{

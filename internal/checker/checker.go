@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/osspec"
@@ -94,6 +95,29 @@ type Checker struct {
 	// attribution); nil selects telemetry.Default. Purely observational:
 	// results are byte-identical whatever registry is installed.
 	Tel *telemetry.Registry
+	// Memo, when non-nil, is the suite-level cons table: transition
+	// fan-outs are interned per (source state object, label) and replayed
+	// across traces (scripts share their fixture prefix — and the shared
+	// initial state — so most of a suite's τ-closure work walks the same
+	// interned object graph). A replay is Trans applied to that very
+	// object, so results are byte-identical with the table on or off;
+	// the golden parity fixtures pin it. Ignored under DisableDedup (the
+	// ablation's unhashed states would race the table's publication
+	// protocol).
+	Memo *osspec.ConsTable
+
+	// initOnce/initial share one hashed+frozen initial state across every
+	// trace this checker checks: all traces start identical, and the
+	// pointer-equality fast paths in StateEqual and the cons table make
+	// the per-trace first steps cheap.
+	initOnce sync.Once
+	initial  *osspec.OsState
+
+	// scratch pools per-trace dedup sets: one set serves a whole trace
+	// (reset per step) instead of allocating a bucket map per reduce and
+	// per τ-closure — the dominant per-step allocation once the cons
+	// table absorbs the transition work.
+	scratch sync.Pool
 }
 
 // New returns a checker for the given spec variant.
@@ -106,6 +130,29 @@ func (c *Checker) workers() int {
 		return c.TauWorkers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// memo returns the cons table to use, nil when memoisation is off. The
+// DisableDedup ablation skips pre-hashing, so the table's hashed-and-frozen
+// publication protocol would race; it never memoises.
+func (c *Checker) memo() *osspec.ConsTable {
+	if c.DisableDedup {
+		return nil
+	}
+	return c.Memo
+}
+
+// initialState returns the model's initial state, built once per checker
+// and published hashed+frozen so concurrently-checked traces share it as a
+// pure read.
+func (c *Checker) initialState() *osspec.OsState {
+	c.initOnce.Do(func() {
+		s := osspec.NewOsState(c.Spec)
+		s.Hash()
+		s.Freeze()
+		c.initial = s
+	})
+	return c.initial
 }
 
 // Check runs the oracle over a trace: S_{i+1} = ∪_{s∈S_i} os_trans(s, lbl_i),
@@ -123,9 +170,16 @@ func (c *Checker) Check(t *trace.Trace) Result {
 func (c *Checker) CheckCtx(ctx context.Context, t *trace.Trace) (Result, error) {
 	start := time.Now()
 	res := Result{Name: t.Name, Accepted: true}
-	initial := osspec.NewOsState(c.Spec)
-	initial.Freeze()
-	states := []*osspec.OsState{initial}
+	states := []*osspec.OsState{c.initialState()}
+	workers := c.workers() // hoisted: GOMAXPROCS reads showed up per step
+	sc, _ := c.scratch.Get().(*osspec.StateSet)
+	if sc == nil {
+		sc = osspec.NewStateSet(64)
+	}
+	defer func() {
+		sc.Reset() // drop state references before pooling
+		c.scratch.Put(sc)
+	}()
 
 	for _, st := range t.Steps {
 		if err := ctx.Err(); err != nil {
@@ -138,7 +192,7 @@ func (c *Checker) CheckCtx(ctx context.Context, t *trace.Trace) (Result, error) 
 		}
 		switch lbl := st.Label.(type) {
 		case types.ReturnLabel:
-			states = c.stepReturn(ctx, states, lbl, st, &res)
+			states = c.stepReturn(ctx, states, lbl, st, &res, sc, workers)
 		default:
 			src := states
 			if _, isDestroy := st.Label.(types.DestroyLabel); isDestroy {
@@ -150,12 +204,12 @@ func (c *Checker) CheckCtx(ctx context.Context, t *trace.Trace) (Result, error) 
 				// would do — but it keeps the oracle sound if destroy ever
 				// gains observable effects. Sequential traces have no
 				// pending calls here, so it is a no-op for them.
-				src = c.tauClosure(ctx, states, &res)
+				src = c.tauClosure(ctx, states, &res, sc, workers)
 				if len(src) > res.MaxStates {
 					res.MaxStates = len(src)
 				}
 			}
-			next := c.unionTrans(src, st.Label)
+			next := c.unionTrans(src, st.Label, workers)
 			if len(next) == 0 {
 				res.Accepted = false
 				res.Errors = append(res.Errors, StepError{
@@ -166,7 +220,7 @@ func (c *Checker) CheckCtx(ctx context.Context, t *trace.Trace) (Result, error) 
 				// Recovery: drop the label entirely.
 				continue
 			}
-			states = c.reduce(next, &res)
+			states = c.reduce(next, &res, sc)
 		}
 	}
 	if len(states) == 0 {
@@ -208,15 +262,15 @@ func (c *Checker) record(res Result, elapsed time.Duration) {
 // mid-call and the closure is a single expansion round; for concurrent
 // traces this closure is where the §3 state-set strategy does its real
 // work, and where MaxStates peaks.
-func (c *Checker) stepReturn(ctx context.Context, states []*osspec.OsState, lbl types.ReturnLabel, st trace.Step, res *Result) []*osspec.OsState {
-	expanded := c.tauClosure(ctx, states, res)
+func (c *Checker) stepReturn(ctx context.Context, states []*osspec.OsState, lbl types.ReturnLabel, st trace.Step, res *Result, sc *osspec.StateSet, workers int) []*osspec.OsState {
+	expanded := c.tauClosure(ctx, states, res, sc, workers)
 	if len(expanded) > res.MaxStates {
 		res.MaxStates = len(expanded)
 	}
 
-	next := c.unionTrans(expanded, lbl)
+	next := c.unionTrans(expanded, lbl, workers)
 	if len(next) > 0 {
-		return c.reduce(next, res)
+		return c.reduce(next, res, sc)
 	}
 
 	// Non-conformant: diagnose and continue with the allowed values (Fig 4).
@@ -236,7 +290,7 @@ func (c *Checker) stepReturn(ctx context.Context, states []*osspec.OsState, lbl 
 			recovered = append(recovered, osspec.ResetToRunning(s, lbl.Pid))
 		}
 	}
-	return c.reduce(recovered, res)
+	return c.reduce(recovered, res, sc)
 }
 
 // tauClosure closes the state set over internal transitions (see
@@ -245,15 +299,17 @@ func (c *Checker) stepReturn(ctx context.Context, states []*osspec.OsState, lbl 
 // cancelled ctx cuts the closure short; CheckCtx notices at the next step
 // boundary and abandons the trace, so the truncated set is never used for
 // a verdict.
-func (c *Checker) tauClosure(ctx context.Context, states []*osspec.OsState, res *Result) []*osspec.OsState {
+func (c *Checker) tauClosure(ctx context.Context, states []*osspec.OsState, res *Result, sc *osspec.StateSet, workers int) []*osspec.OsState {
 	t0 := time.Now()
 	var cs osspec.ClosureStats
 	out, n, capHit := osspec.TauClosureWith(states, osspec.ClosureOpts{
 		Dedup:   !c.DisableDedup,
 		Cap:     c.MaxStateSet,
-		Workers: c.workers(),
+		Workers: workers,
 		Ctx:     ctx,
 		Stats:   &cs,
+		Memo:    c.memo(),
+		Scratch: sc,
 	})
 	res.TauExpansions += n
 	res.TauRounds += cs.Rounds
@@ -270,10 +326,22 @@ func (c *Checker) tauClosure(ctx context.Context, states []*osspec.OsState, res 
 // concatenated in source order, so the result — and every later dedup
 // decision — is byte-identical to the sequential computation. All source
 // states are frozen (Check/reduce/tauClosure guarantee it), which makes
-// the shared reads race-free.
-func (c *Checker) unionTrans(states []*osspec.OsState, lbl types.Label) []*osspec.OsState {
+// the shared reads race-free. With a cons table the per-state fan-out is
+// interned suite-wide and replayed for equal (state, label) pairs.
+func (c *Checker) unionTrans(states []*osspec.OsState, lbl types.Label, workers int) []*osspec.OsState {
 	prehash := !c.DisableDedup
-	results := osspec.MapStates(states, c.workers(), func(s *osspec.OsState) []*osspec.OsState {
+	memo := c.memo()
+	var key string
+	if memo != nil {
+		key = osspec.LabelKey(lbl)
+	}
+	return osspec.UnionStates(states, workers, func(s *osspec.OsState) []*osspec.OsState {
+		if memo != nil {
+			if succs, ok := memo.Get(s, key); ok {
+				return succs
+			}
+			return memo.Put(s, key, osspec.Trans(s, lbl)) // hashes and freezes
+		}
 		succs := osspec.Trans(s, lbl)
 		if prehash {
 			for _, ns := range succs {
@@ -282,11 +350,6 @@ func (c *Checker) unionTrans(states []*osspec.OsState, lbl types.Label) []*osspe
 		}
 		return succs
 	})
-	var next []*osspec.OsState
-	for _, succs := range results {
-		next = append(next, succs...)
-	}
-	return next
 }
 
 func allowedSet(states []*osspec.OsState, pid types.Pid) []string {
@@ -306,8 +369,11 @@ func allowedSet(states []*osspec.OsState, pid types.Pid) []string {
 
 // reduce dedupes the state set by hash-consed identity (or only caps it,
 // for the ablation benchmark), records cap truncation, and freezes the
-// survivors so the next fan-out may share them across goroutines.
-func (c *Checker) reduce(states []*osspec.OsState, res *Result) []*osspec.OsState {
+// survivors so the next fan-out may share them across goroutines. sc is
+// the trace's scratch set, reset here; its previous contents are done with
+// by the time reduce runs (the closure/union results only reference
+// states, never the set).
+func (c *Checker) reduce(states []*osspec.OsState, res *Result, sc *osspec.StateSet) []*osspec.OsState {
 	if c.DisableDedup {
 		if c.MaxStateSet > 0 && len(states) > c.MaxStateSet {
 			states = states[:c.MaxStateSet]
@@ -318,7 +384,12 @@ func (c *Checker) reduce(states []*osspec.OsState, res *Result) []*osspec.OsStat
 		}
 		return states
 	}
-	set := osspec.NewStateSet(len(states))
+	set := sc
+	if set == nil {
+		set = osspec.NewStateSet(len(states))
+	} else {
+		set.Reset()
+	}
 	out := states[:0]
 	for i, s := range states {
 		if !set.Add(s) {

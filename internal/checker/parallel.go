@@ -57,17 +57,23 @@ feed:
 // RenderChecked interleaves the original trace with the checker's
 // diagnostics, producing a checked trace in the style of Fig 4.
 func RenderChecked(t *trace.Trace, r Result) string {
-	byLine := make(map[int][]StepError)
-	for _, e := range r.Errors {
-		byLine[e.Line] = append(byLine[e.Line], e)
+	var byLine map[int][]StepError // nil on the common accepted path
+	if len(r.Errors) > 0 {
+		byLine = make(map[int][]StepError)
+		for _, e := range r.Errors {
+			byLine[e.Line] = append(byLine[e.Line], e)
+		}
 	}
 	var b strings.Builder
 	b.WriteString("@type checked_trace\n")
 	if t.Name != "" {
-		fmt.Fprintf(&b, "# Test %s\n", t.Name)
+		b.WriteString("# Test ")
+		b.WriteString(t.Name)
+		b.WriteByte('\n')
 	}
 	for _, st := range t.Steps {
-		fmt.Fprintf(&b, "%s\n", st.Label)
+		b.WriteString(st.Label.String())
+		b.WriteByte('\n')
 		for _, e := range byLine[st.Line] {
 			b.WriteString(e.Message())
 		}

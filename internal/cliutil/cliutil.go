@@ -5,11 +5,13 @@
 package cliutil
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	sibylfs "repro"
 	"repro/internal/fsimpl"
 	"repro/internal/testgen"
 	"repro/internal/trace"
@@ -68,10 +70,26 @@ func PickFS(name string) (FSChoice, bool) {
 	}
 }
 
+// SessionScripts resolves a tool's -i flag to its script list: a
+// directory of .script files when dir is given, otherwise the generated
+// suite served through the session — so a session constructed with
+// WithCacheDir loads the suite (and its precomputed script hashes) from
+// the generation cache on warm starts instead of regenerating.
+func SessionScripts(ctx context.Context, s *sibylfs.Session, dir string, concurrent bool) ([]*trace.Script, error) {
+	if dir != "" {
+		return LoadScripts(dir, concurrent)
+	}
+	if concurrent {
+		return s.GenerateConcurrent(ctx)
+	}
+	return s.Generate(ctx)
+}
+
 // LoadScripts parses every .script file under dir (the file name becomes
 // the script name when the header carries none). An empty dir selects
 // the generated suite — the concurrent multi-process universe when
-// concurrent is set, the full sequential suite otherwise.
+// concurrent is set, the full sequential suite otherwise. It bypasses the
+// generation cache; prefer SessionScripts from tools that hold a Session.
 func LoadScripts(dir string, concurrent bool) ([]*trace.Script, error) {
 	if dir == "" {
 		if concurrent {

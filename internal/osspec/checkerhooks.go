@@ -56,6 +56,18 @@ type ClosureOpts struct {
 	// Stats, when non-nil, receives the closure's work split (telemetry;
 	// never affects results).
 	Stats *ClosureStats
+	// Memo, when non-nil, interns each state's τ fan-out in the suite-level
+	// ConsTable: traces sharing a prefix (every combinatorial script does)
+	// replay interned successors instead of re-running the spec. Implies
+	// the same successors Dedup-hashing would produce; only meaningful with
+	// Dedup on.
+	Memo *ConsTable
+	// Scratch, when non-nil, is a caller-owned dedup set reused across
+	// closures instead of allocating one per call (it is Reset on entry).
+	// The caller must not touch it while the closure runs and must not
+	// reuse it before abandoning the returned states of earlier calls'
+	// in-progress use. Ignored without Dedup.
+	Scratch *StateSet
 }
 
 // ClosureStats describes how one τ-closure spent its effort.
@@ -98,7 +110,12 @@ func TauClosureWith(states []*OsState, o ClosureOpts) (out []*OsState, expansion
 	out = append(make([]*OsState, 0, len(states)), states...)
 	var set *StateSet
 	if o.Dedup {
-		set = NewStateSet(len(out))
+		if o.Scratch != nil {
+			set = o.Scratch
+			set.Reset()
+		} else {
+			set = NewStateSet(len(out))
+		}
 		for _, s := range out {
 			set.Add(s)
 		}
@@ -123,12 +140,26 @@ func TauClosureWith(states []*OsState, o ClosureOpts) (out []*OsState, expansion
 				o.Stats.ParallelRounds++
 			}
 		}
-		succs := MapStates(frontier, workers, func(s *OsState) []*OsState {
-			return expandOne(s, o.Dedup)
-		})
+		// The serial case (every sequential trace, and the pipeline's
+		// TauWorkers=1 default) iterates the frontier directly instead of
+		// materialising MapStates' per-state result table — the table was
+		// a leading per-step allocation once the cons table absorbed the
+		// transition work itself.
+		var groups [][]*OsState
+		if workers > 1 && len(frontier) >= tauParallelMin {
+			groups = MapStates(frontier, workers, func(s *OsState) []*OsState {
+				return expandOne(s, o.Dedup, o.Memo)
+			})
+		}
 		var next []*OsState
-		for _, group := range succs {
-			for _, ns := range group {
+		for i, s := range frontier {
+			var succs []*OsState
+			if groups != nil {
+				succs = groups[i]
+			} else {
+				succs = expandOne(s, o.Dedup, o.Memo)
+			}
+			for _, ns := range succs {
 				expansions++
 				if set != nil && !set.Add(ns) {
 					continue
@@ -168,6 +199,25 @@ func hasCallingProc(s *OsState) bool {
 	return false
 }
 
+// UnionStates applies fn to every state and concatenates the results in
+// source order — the checker's transition union. The serial case (≤ 1
+// worker, or a set below tauParallelMin) streams straight into the output
+// slice; the parallel case fans out via MapStates and concatenates the
+// ordered result table, so the output is byte-identical either way.
+func UnionStates(states []*OsState, workers int, fn func(*OsState) []*OsState) []*OsState {
+	var next []*OsState
+	if workers <= 1 || len(states) < tauParallelMin {
+		for _, s := range states {
+			next = append(next, fn(s)...)
+		}
+		return next
+	}
+	for _, group := range MapStates(states, workers, fn) {
+		next = append(next, group...)
+	}
+	return next
+}
+
 // MapStates applies fn to every state, fanning the calls across workers
 // (≤ 1, or fewer states than tauParallelMin, stays on the caller's
 // goroutine) while keeping the result deterministically ordered: slot i
@@ -205,11 +255,22 @@ func MapStates(states []*OsState, workers int, fn func(*OsState) []*OsState) [][
 }
 
 // expandOne generates s's τ-successors and (when deduplicating) pre-hashes
-// them on the worker, so the serial merge only compares digests.
-func expandOne(s *OsState, hash bool) []*OsState {
+// them on the worker, so the serial merge only compares digests. With a
+// memo, the whole fan-out is interned per source state and replayed for
+// equal states in later traces; interned successors are already hashed and
+// frozen, and the returned slice must not be mutated.
+func expandOne(s *OsState, hash bool, memo *ConsTable) []*OsState {
+	if memo != nil {
+		if succs, ok := memo.Get(s, tauExpandKey); ok {
+			return succs
+		}
+	}
 	var out []*OsState
 	for _, pid := range CallingPids(s) {
 		out = append(out, TauFor(s, pid)...)
+	}
+	if memo != nil {
+		return memo.Put(s, tauExpandKey, out) // hashes and freezes out
 	}
 	if hash {
 		for _, ns := range out {

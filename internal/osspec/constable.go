@@ -1,0 +1,168 @@
+package osspec
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// ConsTable memoises transition fan-outs across traces. The key observation
+// (ROADMAP item 5): every combinatorial script opens with the identical
+// fixture prelude, so the same states recur suite-wide — the per-trace
+// hash-cons tables recompute the same clones and digests tens of thousands
+// of times per run. The table interns the successor set of a (source state,
+// label) pair once per shard and replays it for every later trace that
+// reaches the same state.
+//
+// Entries are keyed by the source state's *pointer identity*, not by
+// StateEqual: StateEqual deliberately ignores fields Trans depends on
+// (pending commands, allocation counters, descriptor capability flags,
+// LastSeen snapshots — ignorable within one trace, where merged states
+// never differ in them, but not across traces). Pointer identity makes a
+// replay trivially sound — it is Trans applied to that very object — and
+// still captures the suite-wide sharing: the checker publishes one initial
+// state per run, interned successors feed back into every trace's state
+// set, so all traces walk the same object graph along shared script
+// prefixes and divergence re-interns fresh objects at the first new label.
+//
+// Concurrency: safe for concurrent use. Successor states are published
+// only hashed and frozen (Hash() then Freeze()), after which Hash,
+// StateEqual and Clone on them are pure reads. Callers must treat returned
+// successor slices as immutable.
+//
+// Memory is bounded by an epoch reset: once the retained-state count
+// passes the cap the whole table is cleared (the shared initial state
+// lives outside the table, so the next trace re-seeds the hot fixture
+// prefix within a few steps — a reset costs one trace's worth of
+// recomputation, not a shard's).
+type ConsTable struct {
+	mu sync.RWMutex
+	m  map[consKey][]*OsState
+	// retained counts the *OsState pointers the table keeps alive (the
+	// interned successors); the epoch reset triggers when it passes cap.
+	retained int
+	cap      int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	resets atomic.Int64
+}
+
+type consKey struct {
+	src *OsState
+	lbl string
+}
+
+// DefaultConsCap bounds the states a ConsTable may retain before an epoch
+// reset. 64k states is ~tens of MB of copy-on-write structure — far above
+// what one suite's shared fixture prefix needs, far below a leak.
+const DefaultConsCap = 1 << 16
+
+// NewConsTable returns an empty table; maxStates ≤ 0 selects
+// DefaultConsCap.
+func NewConsTable(maxStates int) *ConsTable {
+	if maxStates <= 0 {
+		maxStates = DefaultConsCap
+	}
+	return &ConsTable{m: make(map[consKey][]*OsState), cap: maxStates}
+}
+
+// Get returns the interned successors of (src, key) and whether the pair
+// was present.
+func (t *ConsTable) Get(src *OsState, key string) ([]*OsState, bool) {
+	t.mu.RLock()
+	succs, ok := t.m[consKey{src, key}]
+	t.mu.RUnlock()
+	if ok {
+		t.hits.Add(1)
+		return succs, true
+	}
+	t.misses.Add(1)
+	return nil, false
+}
+
+// Put interns succs as the fan-out of (src, key), hashing and freezing
+// every successor first (the publication protocol that makes later shared
+// reads race-free), and returns the canonical slice: when a concurrent Put
+// of the same pair won the race, the winner's (identical) successors are
+// returned so every caller converges on the same interned objects. src
+// must already be frozen.
+func (t *ConsTable) Put(src *OsState, key string, succs []*OsState) []*OsState {
+	for _, ns := range succs {
+		ns.Hash()
+		ns.Freeze()
+	}
+	k := consKey{src, key}
+	t.mu.Lock()
+	if won, dup := t.m[k]; dup {
+		t.mu.Unlock()
+		return won
+	}
+	if t.retained+len(succs) > t.cap && t.retained > 0 {
+		// Epoch reset: drop everything rather than evict piecemeal. The
+		// table regrows from the live frontier within one trace.
+		t.m = make(map[consKey][]*OsState)
+		t.retained = 0
+		t.resets.Add(1)
+	}
+	t.m[k] = succs
+	t.retained += len(succs)
+	t.mu.Unlock()
+	return succs
+}
+
+// Reset clears the table to an empty epoch (the shard boundary hook).
+func (t *ConsTable) Reset() {
+	t.mu.Lock()
+	if t.retained > 0 || len(t.m) > 0 {
+		t.m = make(map[consKey][]*OsState)
+		t.retained = 0
+		t.resets.Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// ConsStats is a snapshot of a table's effectiveness counters.
+type ConsStats struct {
+	Hits, Misses, Resets int64
+	Retained             int
+}
+
+// Stats snapshots the table's counters (telemetry; never affects results).
+func (t *ConsTable) Stats() ConsStats {
+	t.mu.RLock()
+	retained := t.retained
+	t.mu.RUnlock()
+	return ConsStats{
+		Hits:     t.hits.Load(),
+		Misses:   t.misses.Load(),
+		Resets:   t.resets.Load(),
+		Retained: retained,
+	}
+}
+
+// tauExpandKey is the ConsTable key for the whole-state τ expansion
+// (expandOne: every calling pid's fan-out, concatenated in pid order).
+// NUL-prefixed so it can never collide with a rendered label key.
+const tauExpandKey = "\x00tau*"
+
+// LabelKey renders lbl as a ConsTable key. A leading type tag keeps the
+// key space injective across label kinds even where the human renderings
+// could overlap.
+func LabelKey(lbl types.Label) string {
+	switch l := lbl.(type) {
+	case types.CallLabel:
+		return "c" + strconv.Itoa(int(l.Pid)) + "\x00" + l.Cmd.String()
+	case types.ReturnLabel:
+		return "r" + strconv.Itoa(int(l.Pid)) + "\x00" + l.Ret.String()
+	case types.TauLabel:
+		return "t"
+	case types.CreateLabel:
+		return "n" + strconv.Itoa(int(l.Pid)) + "," + strconv.Itoa(int(l.Uid)) + "," + strconv.Itoa(int(l.Gid))
+	case types.DestroyLabel:
+		return "d" + strconv.Itoa(int(l.Pid))
+	}
+	return "?" + lbl.String()
+}

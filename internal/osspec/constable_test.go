@@ -1,0 +1,117 @@
+package osspec
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestConsTableInternsAndConverges pins the table's core contract: a Put
+// followed by a Get of the same (source, key) pair returns the identical
+// slice, a racing second Put of the pair converges on the first winner's
+// successors, and the counters attribute hits and misses correctly.
+func TestConsTableInternsAndConverges(t *testing.T) {
+	src := NewOsState(types.DefaultSpec())
+	src.Hash()
+	src.Freeze()
+	tbl := NewConsTable(0)
+
+	lbl := types.CallLabel{Pid: InitialPid, Cmd: types.Mkdir{Path: "/a", Perm: 0o755}}
+	key := LabelKey(lbl)
+	if _, ok := tbl.Get(src, key); ok {
+		t.Fatal("empty table reported a hit")
+	}
+	succs := Trans(src, lbl)
+	if len(succs) == 0 {
+		t.Fatal("mkdir produced no successors")
+	}
+	won := tbl.Put(src, key, succs)
+	if len(won) != len(succs) || won[0] != succs[0] {
+		t.Fatal("first Put did not intern its own successors")
+	}
+	for _, ns := range won {
+		if !ns.frozen {
+			t.Fatal("Put published an unfrozen successor")
+		}
+		if !ns.hvOK {
+			t.Fatal("Put published an unhashed successor")
+		}
+	}
+	got, ok := tbl.Get(src, key)
+	if !ok || got[0] != succs[0] {
+		t.Fatal("Get did not return the interned slice")
+	}
+	// A racing loser must converge on the winner's objects, not keep its
+	// own equal-but-distinct recomputation.
+	dup := Trans(src, lbl)
+	if again := tbl.Put(src, key, dup); again[0] != succs[0] {
+		t.Fatal("second Put kept the loser's successors")
+	}
+	st := tbl.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+	if st.Retained != len(succs) {
+		t.Fatalf("retained %d states, want %d", st.Retained, len(succs))
+	}
+}
+
+// TestConsTableEpochReset pins the memory bound: once retained successors
+// would pass the cap, the table drops the whole epoch, so live heap
+// objects held by the table never exceed cap plus one fan-out.
+func TestConsTableEpochReset(t *testing.T) {
+	src := NewOsState(types.DefaultSpec())
+	src.Hash()
+	src.Freeze()
+	const cap = 4
+	tbl := NewConsTable(cap)
+	// Distinct labels produce distinct entries from the same source.
+	paths := []string{"/a", "/b", "/c", "/d", "/e", "/f", "/g", "/h"}
+	maxFan := 0
+	for _, p := range paths {
+		lbl := types.CallLabel{Pid: InitialPid, Cmd: types.Mkdir{Path: p, Perm: 0o755}}
+		succs := Trans(src, lbl)
+		if len(succs) > maxFan {
+			maxFan = len(succs)
+		}
+		tbl.Put(src, LabelKey(lbl), succs)
+		if got := tbl.Stats().Retained; got > cap+maxFan {
+			t.Fatalf("retained %d states, cap %d + fan-out %d", got, cap, maxFan)
+		}
+	}
+	st := tbl.Stats()
+	if st.Resets == 0 {
+		t.Fatalf("no epoch reset after %d puts against cap %d", len(paths), cap)
+	}
+	// The shard-boundary hook empties the table unconditionally.
+	tbl.Reset()
+	if st := tbl.Stats(); st.Retained != 0 {
+		t.Fatalf("Reset left %d retained states", st.Retained)
+	}
+	if _, ok := tbl.Get(src, LabelKey(types.CallLabel{Pid: InitialPid, Cmd: types.Mkdir{Path: "/a", Perm: 0o755}})); ok {
+		t.Fatal("Reset left an entry behind")
+	}
+}
+
+// TestLabelKeyInjectiveAcrossKinds spot-checks the type-tag discipline:
+// labels of different kinds can never share a key, and the τ-expansion
+// sentinel cannot collide with any rendered label.
+func TestLabelKeyInjectiveAcrossKinds(t *testing.T) {
+	keys := map[string]string{}
+	for name, lbl := range map[string]types.Label{
+		"call":    types.CallLabel{Pid: 1, Cmd: types.Mkdir{Path: "/a", Perm: 0o755}},
+		"ret":     types.ReturnLabel{Pid: 1, Ret: types.RvNone{}},
+		"tau":     types.TauLabel{},
+		"create":  types.CreateLabel{Pid: 2, Uid: 0, Gid: 0},
+		"destroy": types.DestroyLabel{Pid: 2},
+	} {
+		k := LabelKey(lbl)
+		if k == tauExpandKey {
+			t.Fatalf("%s label collides with the τ-expansion sentinel", name)
+		}
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("labels %s and %s share key %q", prev, name, k)
+		}
+		keys[k] = name
+	}
+}

@@ -206,3 +206,17 @@ func (ss *StateSet) Add(s *OsState) bool {
 
 // Len reports the number of distinct states added.
 func (ss *StateSet) Len() int { return ss.n }
+
+// Reset empties the set, keeping its bucket storage for reuse — the
+// checker's per-trace scratch sets are reset once per step instead of
+// reallocated (ROADMAP item 5's arena lever: the bucket map was the
+// dominant per-step allocation on the cold path). An already-empty set
+// returns immediately: clear() sweeps the map's full bucket capacity
+// regardless of population, and defensive double-Resets are common.
+func (ss *StateSet) Reset() {
+	if ss.n == 0 {
+		return
+	}
+	clear(ss.buckets)
+	ss.n = 0
+}

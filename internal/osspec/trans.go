@@ -38,12 +38,12 @@ func Trans(s *OsState, lbl types.Label) []*OsState {
 	case types.TauLabel:
 		cov.Hit(covTransTau)
 		// An internal step processes the pending call of any one calling
-		// process — the concurrency nondeterminism of §3.
+		// process — the concurrency nondeterminism of §3. Deterministic pid
+		// order so a memoised fan-out replays exactly what a fresh
+		// computation would produce.
 		var out []*OsState
-		for pid, p := range s.procs {
-			if p.Run == RsCalling {
-				out = append(out, processCall(s, pid, p.PendingCmd)...)
-			}
+		for _, pid := range CallingPids(s) {
+			out = append(out, processCall(s, pid, s.procs[pid].PendingCmd)...)
 		}
 		return out
 

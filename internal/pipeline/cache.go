@@ -9,17 +9,26 @@ import (
 // Cache is the content-addressed result store: one JSON file per key,
 // fanned into 256 subdirectories by the key's first byte so directory
 // listings stay cheap at suite scale (~21k entries). Writes are atomic
-// (temp file + rename), so a killed run can never leave a torn entry, and
-// concurrent writers of the same key are idempotent — last rename wins
-// with identical content.
+// and durable (temp file + fsync + rename + directory fsync), so a killed
+// run can never leave a torn entry, and concurrent writers of the same
+// key are idempotent — last rename wins with identical content.
 type Cache struct {
 	dir string
 }
 
-// OpenCache opens (creating if needed) a cache rooted at dir.
+// OpenCache opens (creating if needed) a cache rooted at dir. Opening
+// sweeps temp files abandoned by killed writers (see sweepOrphans); live
+// writers are safe — only files older than orphanAge are reclaimed.
 func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
+	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if e.IsDir() && len(e.Name()) == 2 {
+				sweepOrphans(filepath.Join(dir, e.Name()), ".tmp-")
+			}
+		}
 	}
 	return &Cache{dir: dir}, nil
 }
@@ -77,18 +86,5 @@ func (c *Cache) putBytes(path string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr != nil {
-			return werr
-		}
-		return cerr
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicWriteFile(path, ".tmp-*", data)
 }

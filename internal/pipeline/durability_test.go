@@ -1,0 +1,155 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestCacheEntryPermissions pins the shared-artifact contract: entries
+// land world-readable (0644), not with os.CreateTemp's private 0600 —
+// a cache directory is meant to be shareable across users and CI stages.
+func TestCacheEntryPermissions(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+	if err := c.PutRecord(Record{Key: key, Name: "x", Accepted: true}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(c.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("cache entry mode %o, want 644", perm)
+	}
+}
+
+// TestFinalizedSinkPermissions does the same for the finalized JSONL.
+func TestFinalizedSinkPermissions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := WriteRecords(path, []Record{{Key: "k1", Name: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("finalized sink mode %o, want 644", perm)
+	}
+}
+
+// TestOrphanSweepOnOpen simulates a kill between CreateTemp and Rename:
+// the leaked temp files (backdated past orphanAge) must be reclaimed the
+// next time the cache or sink is opened, while a live writer's fresh temp
+// file and ordinary payload files survive untouched.
+func TestOrphanSweepOnOpen(t *testing.T) {
+	dir := t.TempDir()
+
+	// Cache orphans live in the two-hex-digit fan-out subdirectories.
+	sub := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old := filepath.Join(sub, ".tmp-dead123")
+	fresh := filepath.Join(sub, ".tmp-live456")
+	entry := filepath.Join(sub, "cdef.json")
+	for _, p := range []string{old, fresh, entry} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := time.Now().Add(-2 * orphanAge)
+	if err := os.Chtimes(old, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Fatal("stale cache orphan survived OpenCache")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh temp file (possible live writer) was swept")
+	}
+	if _, err := os.Stat(entry); err != nil {
+		t.Fatal("cache entry was swept")
+	}
+
+	// Sink orphans (.jsonl-*, from a kill mid-Finalize) live next to the
+	// sink file.
+	sinkDir := t.TempDir()
+	oldSink := filepath.Join(sinkDir, ".jsonl-dead")
+	freshSink := filepath.Join(sinkDir, ".jsonl-live")
+	for _, p := range []string{oldSink, freshSink} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Chtimes(oldSink, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSink(filepath.Join(sinkDir, "run.jsonl"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := os.Stat(oldSink); !os.IsNotExist(err) {
+		t.Fatal("stale sink orphan survived OpenSink")
+	}
+	if _, err := os.Stat(freshSink); err != nil {
+		t.Fatal("fresh sink temp file was swept")
+	}
+}
+
+// TestSuiteBlobRoundTrip pins the generation-cache encoding: decode is the
+// inverse of encode, the stored hashes are exactly ScriptHash's, and a
+// damaged blob reports an error (a cache miss) instead of a partial suite.
+func TestSuiteBlobRoundTrip(t *testing.T) {
+	a, err := trace.ParseScript("@type script\n# Test alpha\n1: mkdir \"/a\" 0o755\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.ParseScript("@type script\n# Test beta\n1: stat \"/a\"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts := []*trace.Script{a, b}
+	blob, hashes := EncodeSuite(scripts)
+	for i, s := range scripts {
+		if hashes[i] != ScriptHash(s) {
+			t.Fatalf("script %d: stored hash %s, ScriptHash %s", i, hashes[i], ScriptHash(s))
+		}
+	}
+	back, gotHashes, err := DecodeSuite(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(scripts) {
+		t.Fatalf("decoded %d scripts, want %d", len(back), len(scripts))
+	}
+	for i := range scripts {
+		if back[i].Name != scripts[i].Name {
+			t.Fatalf("script %d: name %q, want %q", i, back[i].Name, scripts[i].Name)
+		}
+		if back[i].Render() != scripts[i].Render() {
+			t.Fatalf("script %d: decoded text differs", i)
+		}
+		if gotHashes[i] != hashes[i] {
+			t.Fatalf("script %d: decoded hash %s, want %s", i, gotHashes[i], hashes[i])
+		}
+	}
+	for _, cut := range []int{0, len(blob) / 2, len(blob) - 1} {
+		if _, _, err := DecodeSuite(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+}

@@ -49,6 +49,17 @@ type Config struct {
 	// MaxStateSet caps the checker's tracked state set (0 = the checker
 	// default). Part of the cache key: a different cap can change verdicts.
 	MaxStateSet int
+	// NoSharedCons disables the suite-level cons table that interns
+	// transition fan-outs across traces (checker.Memo) — the ablation knob
+	// for benchmarks and the parity fixtures. Purely an execution strategy:
+	// records are byte-identical either way, so it is NOT part of the
+	// cache key.
+	NoSharedCons bool
+	// HashScript, when non-nil, supplies each script's content hash for key
+	// computation instead of ScriptHash (which re-renders the script).
+	// Sessions pass a memo fed by the generation cache so warm runs skip
+	// re-rendering the whole suite. Must agree with ScriptHash.
+	HashScript func(*trace.Script) string
 	// Shards/Shard split the job list across invocations or machines:
 	// shard K of N takes jobs K, K+N, K+2N, ... Shards ≤ 1 means the whole
 	// list; Shard must be in [0, Shards).
@@ -156,6 +167,12 @@ func Run(ctx context.Context, cfg Config) ([]Record, Stats, error) {
 		chk.TauWorkers = 1
 	}
 	chk.Tel = tel
+	if !cfg.NoSharedCons {
+		// One cons table per Run: a shard is the natural epoch (shards may
+		// run on different machines), and the table resets itself if a
+		// pathological suite outgrows the in-shard cap.
+		chk.Memo = osspec.NewConsTable(0)
+	}
 	if cfg.Sink != nil {
 		cfg.Sink.SetTelemetry(tel)
 	}
@@ -166,9 +183,13 @@ func Run(ctx context.Context, cfg Config) ([]Record, Stats, error) {
 	// Keys for the FULL suite (not just this shard): jobs need theirs, and
 	// the sink prunes against the complete set so a resumed sink keeps
 	// other shards' records but drops records of edited/removed scripts.
+	hashScript := cfg.HashScript
+	if hashScript == nil {
+		hashScript = ScriptHash
+	}
 	keys := make([]string, len(cfg.Scripts))
 	for i, s := range cfg.Scripts {
-		keys[i] = Key(ScriptHash(s), specHash, configHash)
+		keys[i] = Key(hashScript(s), specHash, configHash)
 	}
 	if cfg.Sink != nil {
 		valid := make(map[string]bool, len(keys))
@@ -254,6 +275,13 @@ feed:
 	close(idx)
 	wg.Wait()
 	st.Elapsed = time.Since(start)
+	if chk.Memo != nil {
+		cs := chk.Memo.Stats()
+		tel.Counter("checker.cons_hits").Add(cs.Hits)
+		tel.Counter("checker.cons_misses").Add(cs.Misses)
+		tel.Counter("checker.cons_resets").Add(cs.Resets)
+		tel.Gauge("checker.cons_retained").SetMax(int64(cs.Retained))
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, st, fmt.Errorf("pipeline: %s: %w", cfg.Name, err)
 	}

@@ -42,8 +42,10 @@ func (s *Sink) SetTelemetry(reg *telemetry.Registry) {
 
 // OpenSink opens the JSONL sink at path. With resume true an existing file
 // is recovered (intact lines kept, a torn tail truncated); with resume
-// false any existing file is replaced.
+// false any existing file is replaced. Either way, opening sweeps
+// finalize temp files abandoned by a kill mid-Finalize (see sweepOrphans).
 func OpenSink(path string, resume bool) (*Sink, error) {
+	sweepOrphans(filepath.Dir(path), ".jsonl-")
 	s := &Sink{path: path, byKey: make(map[string]Record)}
 	if !resume {
 		f, err := os.Create(path)
@@ -214,7 +216,8 @@ func sortRecords(records []Record) {
 	})
 }
 
-// WriteRecords writes records to path in canonical order, atomically.
+// WriteRecords writes records to path in canonical order, atomically and
+// durably (temp file + fsync + rename + directory fsync), world-readable.
 func WriteRecords(path string, records []Record) error {
 	sorted := append([]Record(nil), records...)
 	sortRecords(sorted)
@@ -227,20 +230,7 @@ func WriteRecords(path string, records []Record) error {
 		buf.Write(data)
 		buf.WriteByte('\n')
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".jsonl-*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(buf.Bytes())
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr != nil {
-			return werr
-		}
-		return cerr
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicWriteFile(path, ".jsonl-*", buf.Bytes())
 }
 
 // ReadRecords loads every record line of a JSONL file, in file order. A

@@ -57,17 +57,9 @@ func (t *Trace) Render() string {
 }
 
 func renderLabel(l types.Label) string {
-	switch lb := l.(type) {
-	case types.CallLabel:
-		return fmt.Sprintf("%d: %s", int(lb.Pid), lb.Cmd)
-	case types.ReturnLabel:
-		return fmt.Sprintf("%d: %s", int(lb.Pid), lb.Ret)
-	case types.CreateLabel:
-		return fmt.Sprintf("create %d %d %d", int(lb.Pid), int(lb.Uid), int(lb.Gid))
-	case types.DestroyLabel:
-		return fmt.Sprintf("destroy %d", int(lb.Pid))
-	case types.TauLabel:
-		return "tau"
+	if l == nil {
+		return "# unknown label"
 	}
-	return "# unknown label"
+	// Every label kind's String renders exactly the concrete trace syntax.
+	return l.String()
 }

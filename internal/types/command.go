@@ -1,6 +1,6 @@
 package types
 
-import "fmt"
+import "strconv"
 
 // Pid identifies a process in the model of processes and the operating
 // system (§1.1).
@@ -179,53 +179,57 @@ func (Write) Op() string          { return "write" }
 func (Umask) Op() string          { return "umask" }
 func (AddUserToGroup) Op() string { return "add_user_to_group" }
 
-func q(s string) string { return fmt.Sprintf("%q", s) }
+func q(s string) string { return strconv.Quote(s) }
 
 // String implementations render the trace-file syntax of Fig 2.
-func (c Close) String() string    { return fmt.Sprintf("close (FD %d)", int(c.FD)) }
-func (c Closedir) String() string { return fmt.Sprintf("closedir (DH %d)", int(c.DH)) }
+func (c Close) String() string    { return "close (FD " + strconv.Itoa(int(c.FD)) + ")" }
+func (c Closedir) String() string { return "closedir (DH " + strconv.Itoa(int(c.DH)) + ")" }
 func (c Chdir) String() string    { return "chdir " + q(c.Path) }
-func (c Chmod) String() string    { return fmt.Sprintf("chmod %s %s", q(c.Path), c.Perm) }
+func (c Chmod) String() string    { return "chmod " + q(c.Path) + " " + c.Perm.String() }
 func (c Chown) String() string {
-	return fmt.Sprintf("chown %s %d %d", q(c.Path), int(c.Uid), int(c.Gid))
+	return "chown " + q(c.Path) + " " + strconv.Itoa(int(c.Uid)) + " " + strconv.Itoa(int(c.Gid))
 }
-func (c Link) String() string { return fmt.Sprintf("link %s %s", q(c.Src), q(c.Dst)) }
+func (c Link) String() string { return "link " + q(c.Src) + " " + q(c.Dst) }
 func (c Lseek) String() string {
-	return fmt.Sprintf("lseek (FD %d) %d %s", int(c.FD), c.Off, c.Whence)
+	return "lseek (FD " + strconv.Itoa(int(c.FD)) + ") " + strconv.FormatInt(c.Off, 10) + " " + c.Whence.String()
 }
 func (c Lstat) String() string { return "lstat " + q(c.Path) }
-func (c Mkdir) String() string { return fmt.Sprintf("mkdir %s %s", q(c.Path), c.Perm) }
+func (c Mkdir) String() string { return "mkdir " + q(c.Path) + " " + c.Perm.String() }
 func (c Open) String() string {
 	if c.HasPerm {
-		return fmt.Sprintf("open %s %s %s", q(c.Path), c.Flags, c.Perm)
+		return "open " + q(c.Path) + " " + c.Flags.String() + " " + c.Perm.String()
 	}
-	return fmt.Sprintf("open %s %s", q(c.Path), c.Flags)
+	return "open " + q(c.Path) + " " + c.Flags.String()
 }
 func (c Opendir) String() string { return "opendir " + q(c.Path) }
 func (c Pread) String() string {
-	return fmt.Sprintf("pread (FD %d) %d %d", int(c.FD), c.Size, c.Off)
+	return "pread (FD " + strconv.Itoa(int(c.FD)) + ") " + strconv.FormatInt(c.Size, 10) + " " + strconv.FormatInt(c.Off, 10)
 }
 func (c Pwrite) String() string {
-	return fmt.Sprintf("pwrite (FD %d) %s %d %d", int(c.FD), q(string(c.Data)), c.Size, c.Off)
+	return "pwrite (FD " + strconv.Itoa(int(c.FD)) + ") " + q(string(c.Data)) + " " + strconv.FormatInt(c.Size, 10) + " " + strconv.FormatInt(c.Off, 10)
 }
-func (c Read) String() string    { return fmt.Sprintf("read (FD %d) %d", int(c.FD), c.Size) }
-func (c Readdir) String() string { return fmt.Sprintf("readdir (DH %d)", int(c.DH)) }
+func (c Read) String() string {
+	return "read (FD " + strconv.Itoa(int(c.FD)) + ") " + strconv.FormatInt(c.Size, 10)
+}
+func (c Readdir) String() string { return "readdir (DH " + strconv.Itoa(int(c.DH)) + ")" }
 func (c Readlink) String() string {
 	return "readlink " + q(c.Path)
 }
-func (c Rename) String() string    { return fmt.Sprintf("rename %s %s", q(c.Src), q(c.Dst)) }
-func (c Rewinddir) String() string { return fmt.Sprintf("rewinddir (DH %d)", int(c.DH)) }
+func (c Rename) String() string    { return "rename " + q(c.Src) + " " + q(c.Dst) }
+func (c Rewinddir) String() string { return "rewinddir (DH " + strconv.Itoa(int(c.DH)) + ")" }
 func (c Rmdir) String() string     { return "rmdir " + q(c.Path) }
 func (c Stat) String() string      { return "stat " + q(c.Path) }
 func (c Symlink) String() string {
-	return fmt.Sprintf("symlink %s %s", q(c.Target), q(c.Linkpath))
+	return "symlink " + q(c.Target) + " " + q(c.Linkpath)
 }
-func (c Truncate) String() string { return fmt.Sprintf("truncate %s %d", q(c.Path), c.Len) }
-func (c Unlink) String() string   { return "unlink " + q(c.Path) }
+func (c Truncate) String() string {
+	return "truncate " + q(c.Path) + " " + strconv.FormatInt(c.Len, 10)
+}
+func (c Unlink) String() string { return "unlink " + q(c.Path) }
 func (c Write) String() string {
-	return fmt.Sprintf("write (FD %d) %s %d", int(c.FD), q(string(c.Data)), c.Size)
+	return "write (FD " + strconv.Itoa(int(c.FD)) + ") " + q(string(c.Data)) + " " + strconv.FormatInt(c.Size, 10)
 }
 func (c Umask) String() string { return "umask " + c.Mask.String() }
 func (c AddUserToGroup) String() string {
-	return fmt.Sprintf("add_user_to_group %d %d", int(c.Uid), int(c.Gid))
+	return "add_user_to_group " + strconv.Itoa(int(c.Uid)) + " " + strconv.Itoa(int(c.Gid))
 }

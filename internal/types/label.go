@@ -1,6 +1,6 @@
 package types
 
-import "fmt"
+import "strconv"
 
 // Label is the Go encoding of os_label (§5): the alphabet of the labelled
 // transition system. A trace is a sequence of labels.
@@ -42,10 +42,10 @@ func (CreateLabel) isLabel()  {}
 func (DestroyLabel) isLabel() {}
 func (TauLabel) isLabel()     {}
 
-func (l CallLabel) String() string   { return fmt.Sprintf("%d: %s", int(l.Pid), l.Cmd) }
-func (l ReturnLabel) String() string { return fmt.Sprintf("%d: %s", int(l.Pid), l.Ret) }
+func (l CallLabel) String() string   { return strconv.Itoa(int(l.Pid)) + ": " + l.Cmd.String() }
+func (l ReturnLabel) String() string { return strconv.Itoa(int(l.Pid)) + ": " + l.Ret.String() }
 func (l CreateLabel) String() string {
-	return fmt.Sprintf("create %d %d %d", int(l.Pid), int(l.Uid), int(l.Gid))
+	return "create " + strconv.Itoa(int(l.Pid)) + " " + strconv.Itoa(int(l.Uid)) + " " + strconv.Itoa(int(l.Gid))
 }
-func (l DestroyLabel) String() string { return fmt.Sprintf("destroy %d", int(l.Pid)) }
+func (l DestroyLabel) String() string { return "destroy " + strconv.Itoa(int(l.Pid)) }
 func (TauLabel) String() string       { return "tau" }

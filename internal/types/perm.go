@@ -1,6 +1,9 @@
 package types
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Uid and Gid identify users and groups in the model of users/groups that
 // the permissions trait works over (§1.1 of the paper).
@@ -39,7 +42,7 @@ const (
 )
 
 // String renders the permission in the octal form used by trace files.
-func (p Perm) String() string { return fmt.Sprintf("0o%o", uint32(p)) }
+func (p Perm) String() string { return "0o" + strconv.FormatUint(uint64(uint32(p)), 8) }
 
 // AccessRequest names the kind of access a permission check is for.
 type AccessRequest int

@@ -2,7 +2,7 @@ package types
 
 import (
 	"bytes"
-	"fmt"
+	"strconv"
 )
 
 // RetValue is the Go encoding of error_or_value ret_value: what a libc call
@@ -58,16 +58,16 @@ func (RvErr) isRetValue()    {}
 func (RvPerm) isRetValue()   {}
 
 func (RvNone) String() string    { return "RV_none" }
-func (v RvNum) String() string   { return fmt.Sprintf("RV_num(%d)", v.N) }
-func (v RvBytes) String() string { return fmt.Sprintf("RV_bytes(%q)", string(v.Data)) }
+func (v RvNum) String() string   { return "RV_num(" + strconv.FormatInt(v.N, 10) + ")" }
+func (v RvBytes) String() string { return "RV_bytes(" + strconv.Quote(string(v.Data)) + ")" }
 func (v RvStats) String() string { return "RV_stats " + v.Stats.String() }
-func (v RvFD) String() string    { return fmt.Sprintf("RV_file_descriptor(FD %d)", int(v.FD)) }
-func (v RvDH) String() string    { return fmt.Sprintf("RV_dir_handle(DH %d)", int(v.DH)) }
+func (v RvFD) String() string    { return "RV_file_descriptor(FD " + strconv.Itoa(int(v.FD)) + ")" }
+func (v RvDH) String() string    { return "RV_dir_handle(DH " + strconv.Itoa(int(v.DH)) + ")" }
 func (v RvDirent) String() string {
 	if v.End {
 		return "RV_readdir_end"
 	}
-	return fmt.Sprintf("RV_readdir(%q)", v.Name)
+	return "RV_readdir(" + strconv.Quote(v.Name) + ")"
 }
 func (v RvErr) String() string  { return v.Err.String() }
 func (v RvPerm) String() string { return "RV_perm(" + v.Perm.String() + ")" }

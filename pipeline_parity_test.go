@@ -76,6 +76,28 @@ func TestPipelineGoldenParity(t *testing.T) {
 	})
 }
 
+// TestPipelineGoldenParityNoSharedCons re-runs the sequential slice with
+// the suite-level cons table ablated: the shared transition memo is an
+// execution strategy only, so the checked-trace digest AND the oracle work
+// metrics (peak/τ/sum/steps) must match the same golden record the
+// memoised run pins. A divergence here means the memo replayed a fan-out
+// it had no right to reuse.
+func TestPipelineGoldenParityNoSharedCons(t *testing.T) {
+	suite := Generate()
+	var sel []*Script
+	for i := 0; i < len(suite); i += 7 {
+		sel = append(sel, suite[i])
+	}
+	pipelineGolden(t, "seq_slice7", PipelineConfig{
+		Name:         "seq_slice7",
+		Scripts:      sel,
+		Factory:      MemFS(LinuxProfile("ext4")),
+		FSName:       "ext4",
+		Spec:         DefaultSpec(),
+		NoSharedCons: true,
+	})
+}
+
 func TestPipelineGoldenParityConcurrent(t *testing.T) {
 	pipelineGolden(t, "conc_seed1", PipelineConfig{
 		Name:       "conc_seed1",

@@ -68,6 +68,12 @@ type Session struct {
 	cacheOnce sync.Once
 	cache     *pipeline.Cache
 	cacheErr  error
+	// hashMu/hashes memoise per-script content hashes (pipeline.ScriptHash
+	// re-renders the script — at suite scale the render pass costs several
+	// times the generation). Generate seeds the memo from the generation
+	// cache; pipeline key computation reads it via Config.HashScript.
+	hashMu sync.Mutex
+	hashes map[*Script]string
 	// journalMu serializes Run calls that share this session's journal:
 	// two sinks appending to (or truncating) one file would corrupt it.
 	journalMu sync.Mutex
@@ -192,22 +198,93 @@ func (s *Session) openCache() (*pipeline.Cache, error) {
 	return s.cache, s.cacheErr
 }
 
-// Generate builds the full sequential test suite (§6.1).
+// Generate builds the full sequential test suite (§6.1). With WithCacheDir
+// the suite is served from the content-addressed generation cache — keyed
+// by (testgen.Version, universe) — so warm invocations load the rendered
+// suite and its precomputed script hashes instead of regenerating; a cold
+// invocation generates, then stores the blob for the next process.
 func (s *Session) Generate(ctx context.Context) ([]*Script, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	defer telemetry.Or(s.tel).Span("session.generate").End()
-	return testgen.Generate().Scripts, nil
+	return s.generateUniverse("sequential", func() []*Script { return testgen.Generate().Scripts })
 }
 
 // GenerateConcurrent builds the multi-process concurrency universe; run
-// it through ExecuteConcurrent so the calls genuinely interleave.
+// it through ExecuteConcurrent so the calls genuinely interleave. Cached
+// like Generate, under its own universe key.
 func (s *Session) GenerateConcurrent(ctx context.Context) ([]*Script, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return testgen.ConcurrentScripts(), nil
+	return s.generateUniverse("concurrent", testgen.ConcurrentScripts)
+}
+
+// generateUniverse serves one generation universe through the session's
+// cache: a hit decodes the stored suite (and seeds the script-hash memo
+// from the stored hashes), a miss generates, renders each script once to
+// hash and store it, and seeds the memo from that same pass. Without a
+// cache it simply generates — hashes then compute lazily if a pipeline
+// run needs them. Corrupt blobs count as misses and are overwritten.
+func (s *Session) generateUniverse(universe string, gen func() []*Script) ([]*Script, error) {
+	tel := telemetry.Or(s.tel)
+	cache, err := s.openCache()
+	if err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		return gen(), nil
+	}
+	key := pipeline.GenSuiteKey(testgen.Version, universe)
+	if blob, ok := cache.GetRaw(key); ok {
+		if scripts, hashes, err := pipeline.DecodeSuite(blob); err == nil {
+			tel.Counter("testgen.cache_hits").Inc()
+			s.rememberHashes(scripts, hashes)
+			return scripts, nil
+		}
+	}
+	tel.Counter("testgen.cache_misses").Inc()
+	scripts := gen()
+	blob, hashes := pipeline.EncodeSuite(scripts)
+	if err := cache.PutRaw(key, blob); err != nil {
+		return nil, err
+	}
+	s.rememberHashes(scripts, hashes)
+	return scripts, nil
+}
+
+// rememberHashes seeds the script-hash memo (index-aligned slices).
+func (s *Session) rememberHashes(scripts []*Script, hashes []string) {
+	s.hashMu.Lock()
+	if s.hashes == nil {
+		s.hashes = make(map[*Script]string, len(scripts))
+	}
+	for i, sc := range scripts {
+		s.hashes[sc] = hashes[i]
+	}
+	s.hashMu.Unlock()
+}
+
+// scriptHash is the pipeline's Config.HashScript hook: memoised per script
+// pointer, computing (and caching) pipeline.ScriptHash on first sight.
+// Survey's repeated configurations and every warm generation hit pay the
+// render cost zero times.
+func (s *Session) scriptHash(sc *Script) string {
+	s.hashMu.Lock()
+	h, ok := s.hashes[sc]
+	s.hashMu.Unlock()
+	if ok {
+		return h
+	}
+	h = pipeline.ScriptHash(sc)
+	s.hashMu.Lock()
+	if s.hashes == nil {
+		s.hashes = make(map[*Script]string)
+	}
+	s.hashes[sc] = h
+	s.hashMu.Unlock()
+	return h
 }
 
 // covWrap returns the attribution wrapper for this session's model
@@ -392,6 +469,7 @@ func (s *Session) Run(ctx context.Context, job RunJob) ([]PipelineRecord, Pipeli
 		Cov:          s.reg,
 		Tel:          s.tel,
 		Log:          s.log,
+		HashScript:   s.scriptHash,
 	}
 	if s.journal != "" {
 		s.journalMu.Lock()
@@ -449,17 +527,18 @@ func (s *Session) Survey(ctx context.Context, scripts []*Script, configs []Confi
 			w = 1
 		}
 		pcfg := pipeline.Config{
-			Name:    cfg.Name,
-			Scripts: sel,
-			Factory: cfg.Factory,
-			FSName:  cfg.Name,
-			Spec:    cfg.Spec,
-			Workers: w,
-			Cache:   cache,
-			Observe: s.observer,
-			Cov:     s.reg,
-			Tel:     s.tel,
-			Log:     s.log,
+			Name:       cfg.Name,
+			Scripts:    sel,
+			Factory:    cfg.Factory,
+			FSName:     cfg.Name,
+			Spec:       cfg.Spec,
+			Workers:    w,
+			Cache:      cache,
+			Observe:    s.observer,
+			Cov:        s.reg,
+			Tel:        s.tel,
+			Log:        s.log,
+			HashScript: s.scriptHash,
 		}
 		if s.maxStateSet > 0 {
 			pcfg.MaxStateSet = s.maxStateSet
