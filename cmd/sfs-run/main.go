@@ -22,6 +22,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cliutil"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 )
 
 func usage() {
@@ -67,6 +68,8 @@ func main() {
 	shards := flag.Int("shards", 1, "total number of shards the suite is split into")
 	shard := flag.Int("shard", 0, "this invocation's shard index, in [0,shards)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache (skip unchanged traces)")
+	storeName := flag.String("store", "pack", "cache backend: pack (segment store) or dir (v1 file-per-key)")
+	cacheStats := flag.Bool("cache-stats", false, "print result-store contents and hit/miss ratios on exit")
 	jsonl := flag.String("jsonl", "run.jsonl", "JSONL result sink / resume journal")
 	resume := flag.Bool("resume", false, "recover the sink journal and skip already-completed traces")
 	merge := flag.Bool("merge", false, "merge shard sinks: sfs-run -merge OUT.jsonl IN.jsonl...")
@@ -120,6 +123,36 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sfs-run: writing stats:", err)
 		}
 	}
+	// printCacheStats reports the result store's contents and this run's
+	// hit/miss split; like writeStats it runs on every deliberate exit so
+	// cancelled runs still show what the cache absorbed.
+	var session *sibylfs.Session
+	printCacheStats := func() {
+		if !*cacheStats || session == nil {
+			return
+		}
+		st, ok := session.CacheStats()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "sfs-run: -cache-stats: no cache configured (use -cache-dir)")
+			return
+		}
+		fmt.Printf("cache: backend=%s entries=%d segments=%d bytes=%d\n",
+			st.Backend, st.Entries, st.Segments, st.Bytes)
+		if fb, ok := session.CacheFallbackStats(); ok {
+			fmt.Printf("cache: v1 read-through fallback: entries=%d bytes=%d\n",
+				fb.Entries, fb.Bytes)
+		}
+		tel := telemetry.Default
+		hits := tel.Counter("pipeline.cache_hits").Value()
+		misses := tel.Counter("pipeline.cache_misses").Value()
+		if total := hits + misses; total > 0 {
+			fmt.Printf("cache: %d hits, %d misses (%.1f%% hit rate), %d stores, %d batches, %d fsyncs\n",
+				hits, misses, 100*float64(hits)/float64(total),
+				tel.Counter("pipeline.cache_stores").Value(),
+				tel.Counter("pipeline.store_batches").Value(),
+				tel.Counter("pipeline.store_fsyncs").Value())
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -143,7 +176,19 @@ func main() {
 		sibylfs.WithJournal(*jsonl),
 	}
 	if *cacheDir != "" {
-		opts = append(opts, sibylfs.WithCacheDir(*cacheDir))
+		switch *storeName {
+		case "pack", "":
+			opts = append(opts, sibylfs.WithCacheDir(*cacheDir))
+		case "dir":
+			store, err := sibylfs.OpenDirStore(*cacheDir)
+			if err != nil {
+				fatal(err)
+			}
+			opts = append(opts, sibylfs.WithStore(store))
+		default:
+			fmt.Fprintf(os.Stderr, "sfs-run: unknown store backend %q (want pack or dir)\n", *storeName)
+			os.Exit(2)
+		}
 	}
 	if *resume {
 		opts = append(opts, sibylfs.WithResume())
@@ -151,7 +196,7 @@ func main() {
 	if *verbose {
 		opts = append(opts, sibylfs.WithLog(os.Stderr))
 	}
-	session := sibylfs.New(opts...)
+	session = sibylfs.New(opts...)
 
 	// The session is built before the scripts load so that with -cache-dir
 	// a warm start serves the generated suite (text and hashes both) from
@@ -186,6 +231,7 @@ func main() {
 			stop() // restore default signal handling: a second Ctrl-C kills
 			fmt.Fprintf(os.Stderr, "sfs-run: cancelled (%v); journal %s keeps %s — rerun with -resume to finish\n",
 				err, *jsonl, stats)
+			printCacheStats()
 			writeStats()
 			os.Exit(4)
 		}
@@ -227,6 +273,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sfs-run: warning: %d trace(s) hit the oracle's state-set cap; "+
 			"verdicts for them are best-effort\n", summary.CapHits)
 	}
+	printCacheStats()
 	writeStats()
 	if summary.Rejected > 0 {
 		os.Exit(3)

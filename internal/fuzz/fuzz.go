@@ -192,6 +192,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	go func() { wg.Wait(); close(done) }()
 	e.progress(done)
 
+	if cfg.ResultCache != nil {
+		// Group-commit barrier: the attributed-seed entries written during
+		// this session must be durable before it reports (cancellation is
+		// the *normal* end of a fuzz session, so this is the main exit).
+		if err := cfg.ResultCache.Flush(); err != nil {
+			return nil, err
+		}
+	}
+
 	res := &Result{
 		Runs:          e.runs.Load(),
 		ExecErrors:    e.execErrs.Load(),

@@ -1,0 +1,166 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"encoding/json"
+)
+
+// Framed record encoding — the value format pack-backed caches store
+// under a record key. A v1 entry is the record's canonical JSON line and
+// nothing else; decoding it costs a full JSON parse per warm hit, which
+// dominates the warm path once the store itself is down to one pread.
+// A framed entry carries both representations:
+//
+//	"sfsrec1\x00" | uint32 len(json) | json | binary fields
+//
+// so a warm hit decodes the flat binary fields (length-prefixed slices,
+// no parser) and journals the embedded canonical JSON verbatim
+// (Sink.AppendEncoded) — neither a JSON parse nor a re-marshal. The JSON
+// is authoritative for every external consumer (journal, Finalize,
+// ReadRecords); the binary part is a pure decode accelerator, and any
+// damage to it degrades to parsing the embedded JSON, never to a wrong
+// record.
+//
+// DirStore-bound caches (OpenDirCache, sfs-run -store dir) keep writing
+// bare JSON: the dir layout IS the v1 compatibility format, and the
+// format-compat CI job relies on -store dir producing genuine v1 bytes.
+// Reads accept both formats wherever they come from, which is what makes
+// v1 read-through migration transparent.
+
+// recMagic tags a framed record entry. Bare-JSON entries start with '{',
+// so the tag can never be confused with a v1 record.
+const recMagic = "sfsrec1\x00"
+
+// encodeRecord frames rec and its canonical JSON encoding (line must be
+// exactly json.Marshal(rec)).
+func encodeRecord(rec Record, line []byte) []byte {
+	n := len(recMagic) + 4 + len(line) + 4 + len(rec.Name) + 1 + 16 + 4 + len(rec.Checked) + 4
+	for _, e := range rec.Errors {
+		n += 4 + 4 + len(e.Observed) + 4
+		for _, a := range e.Allowed {
+			n += 4 + len(a)
+		}
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, recMagic...)
+	buf = appendBytes32(buf, line)
+	buf = appendBytes32(buf, []byte(rec.Name))
+	var flags byte
+	if rec.Accepted {
+		flags |= 1
+	}
+	if rec.CapHit {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rec.Steps))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rec.MaxStates))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rec.TauExpansions))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rec.SumStates))
+	buf = appendBytes32(buf, []byte(rec.Checked))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rec.Errors)))
+	for _, e := range rec.Errors {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.Line))
+		buf = appendBytes32(buf, []byte(e.Observed))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Allowed)))
+		for _, a := range e.Allowed {
+			buf = appendBytes32(buf, []byte(a))
+		}
+	}
+	return buf
+}
+
+func appendBytes32(buf, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+// decodeRecord decodes a stored record value in either format, returning
+// the record and its canonical JSON line. Unparsable data is a miss (ok
+// false) — the writer will overwrite it — never an error.
+func decodeRecord(data []byte, key string) (Record, []byte, bool) {
+	if len(data) < len(recMagic) || string(data[:len(recMagic)]) != recMagic {
+		// v1 entry: the value is the JSON line itself.
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return Record{}, nil, false
+		}
+		rec.Key = key
+		return rec, data, true
+	}
+	d := decoder{buf: data[len(recMagic):]}
+	line := d.bytes32()
+	rec := Record{Key: key, Name: string(d.bytes32())}
+	flags := d.byte()
+	rec.Accepted = flags&1 != 0
+	rec.CapHit = flags&2 != 0
+	rec.Steps = int(d.uint32())
+	rec.MaxStates = int(d.uint32())
+	rec.TauExpansions = int(d.uint32())
+	rec.SumStates = int(d.uint32())
+	rec.Checked = string(d.bytes32())
+	if n := d.uint32(); n > 0 && !d.failed {
+		rec.Errors = make([]RecordError, 0, n)
+		for i := uint32(0); i < n && !d.failed; i++ {
+			e := RecordError{Line: int(d.uint32()), Observed: string(d.bytes32())}
+			if m := d.uint32(); m > 0 && !d.failed {
+				e.Allowed = make([]string, 0, m)
+				for j := uint32(0); j < m && !d.failed; j++ {
+					e.Allowed = append(e.Allowed, string(d.bytes32()))
+				}
+			}
+			rec.Errors = append(rec.Errors, e)
+		}
+	}
+	if d.failed || len(d.buf) != 0 {
+		// Damaged binary part: the embedded JSON (if intact) is still
+		// authoritative.
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return Record{}, nil, false
+		}
+		rec.Key = key
+		return rec, line, true
+	}
+	return rec, line, true
+}
+
+// decoder is a bounds-checked cursor over a framed entry; any overrun
+// sets failed instead of panicking (stores only ever hand us
+// CRC-verified bytes, but the fallback must hold for DirStore entries a
+// foreign writer damaged in place).
+type decoder struct {
+	buf    []byte
+	failed bool
+}
+
+func (d *decoder) byte() byte {
+	if d.failed || len(d.buf) < 1 {
+		d.failed = true
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) uint32() uint32 {
+	if d.failed || len(d.buf) < 4 {
+		d.failed = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) bytes32() []byte {
+	n := d.uint32()
+	if d.failed || uint32(len(d.buf)) < n {
+		d.failed = true
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}

@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func codecTestRecord() Record {
+	rec := Record{Key: "k0", Name: "t_open.script"}
+	rec.Errors = []RecordError{
+		{Line: 3, Observed: "ENOENT", Allowed: []string{"EACCES", "EPERM"}},
+		{Line: 7, Observed: "RV_NONE", Allowed: nil},
+	}
+	rec.Steps = 12
+	rec.MaxStates = 34
+	rec.TauExpansions = 5
+	rec.SumStates = 99
+	rec.CapHit = true
+	rec.Checked = "@ t_open.script\nopen \"f\" [O_RDONLY]\nENOENT\n"
+	return rec
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	rec := codecTestRecord()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := encodeRecord(rec, line)
+	got, gotLine, ok := decodeRecord(data, rec.Key)
+	if !ok {
+		t.Fatal("decodeRecord: not ok")
+	}
+	if !bytes.Equal(gotLine, line) {
+		t.Fatalf("embedded line mismatch:\n got %q\nwant %q", gotLine, line)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("record mismatch:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+func TestRecordCodecBareJSON(t *testing.T) {
+	rec := codecTestRecord()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotLine, ok := decodeRecord(line, rec.Key)
+	if !ok {
+		t.Fatal("decodeRecord on bare JSON: not ok")
+	}
+	if !bytes.Equal(gotLine, line) {
+		t.Fatal("bare JSON entry must return itself as the line")
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("record mismatch:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+func TestRecordCodecDamagedBinaryFallsBackToJSON(t *testing.T) {
+	rec := codecTestRecord()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := encodeRecord(rec, line)
+	// Truncate into the binary tail: the embedded JSON (which sits right
+	// after the magic and length) stays intact and must win.
+	for _, cut := range []int{len(data) - 1, len(data) - 10, len(recMagic) + 4 + len(line)} {
+		got, gotLine, ok := decodeRecord(data[:cut], rec.Key)
+		if !ok {
+			t.Fatalf("cut=%d: decode failed despite intact embedded JSON", cut)
+		}
+		if !bytes.Equal(gotLine, line) {
+			t.Fatalf("cut=%d: line mismatch", cut)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("cut=%d: record mismatch", cut)
+		}
+	}
+	// Garbage that is neither framed nor JSON is a miss, not an error.
+	if _, _, ok := decodeRecord([]byte("sfsrec1\x00\xff\xff\xff\xff"), "k"); ok {
+		t.Fatal("framed garbage decoded as ok")
+	}
+	if _, _, ok := decodeRecord([]byte("not json"), "k"); ok {
+		t.Fatal("non-JSON garbage decoded as ok")
+	}
+}

@@ -13,22 +13,46 @@ import (
 // TestCacheEntryPermissions pins the shared-artifact contract: entries
 // land world-readable (0644), not with os.CreateTemp's private 0600 —
 // a cache directory is meant to be shareable across users and CI stages.
+// Checked for both backends: DirStore's per-key files and PackStore's
+// segment and sidecar files.
 func TestCacheEntryPermissions(t *testing.T) {
-	dir := t.TempDir()
-	c, err := OpenCache(dir)
+	key := strings.Repeat("ab", 32)
+
+	dirDir := t.TempDir()
+	d, err := OpenDirStore(dirDir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := strings.Repeat("ab", 32)
-	if err := c.PutRecord(Record{Key: key, Name: "x", Accepted: true}); err != nil {
+	if err := d.Put(key, []byte(`{"name":"x"}`)); err != nil {
 		t.Fatal(err)
 	}
-	info, err := os.Stat(c.path(key))
+	info, err := os.Stat(d.path(key))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if perm := info.Mode().Perm(); perm != 0o644 {
-		t.Fatalf("cache entry mode %o, want 644", perm)
+		t.Fatalf("dir store entry mode %o, want 644", perm)
+	}
+
+	packDir := t.TempDir()
+	p, err := OpenPackStore(packDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(key, []byte(`{"name":"x"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"000001.seg", "000001.idx"} {
+		info, err := os.Stat(filepath.Join(packDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perm := info.Mode().Perm(); perm != 0o644 {
+			t.Fatalf("pack store %s mode %o, want 644", name, perm)
+		}
 	}
 }
 
@@ -107,6 +131,212 @@ func TestOrphanSweepOnOpen(t *testing.T) {
 	}
 	if _, err := os.Stat(freshSink); err != nil {
 		t.Fatal("fresh sink temp file was swept")
+	}
+}
+
+// packFill writes n deterministic records through a PackStore and closes
+// it, returning the keys in write order.
+func packFill(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	p, err := OpenPackStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = testKey(i)
+		if err := p.Put(keys[i], []byte(strings.Repeat("v", 64)+keys[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}
+
+// testKey derives a distinct 64-hex-char key from i (the shape real
+// SHA-256 keys have).
+func testKey(i int) string {
+	return strings.Repeat("0", 60) + string([]byte{
+		hexDigit(i >> 12), hexDigit(i >> 8), hexDigit(i >> 4), hexDigit(i),
+	})
+}
+
+func hexDigit(i int) byte {
+	return "0123456789abcdef"[i&0xf]
+}
+
+// TestPackTruncatedTailSegment pins crash recovery: a segment whose tail
+// was torn mid-append (simulated by truncating into the last entry) loses
+// exactly the torn entry — earlier entries still read back verbatim, the
+// file is cut back to the last intact boundary, and the lost key is a
+// plain miss, never an error or a torn record.
+func TestPackTruncatedTailSegment(t *testing.T) {
+	dir := t.TempDir()
+	keys := packFill(t, dir, 10)
+
+	segPath := filepath.Join(dir, "000001.seg")
+	info, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segPath, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := OpenPackStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, k := range keys[:9] {
+		v, ok := p.Get(k)
+		if !ok {
+			t.Fatalf("intact entry %s lost after tail truncation", k)
+		}
+		if string(v) != strings.Repeat("v", 64)+k {
+			t.Fatalf("intact entry %s corrupted after tail truncation", k)
+		}
+	}
+	if _, ok := p.Get(keys[9]); ok {
+		t.Fatal("torn tail entry served instead of missing")
+	}
+	// The recovered file must end at an entry boundary so new appends land
+	// at a valid offset.
+	if err := p.Put(keys[9], []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := OpenPackStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if v, ok := p2.Get(keys[9]); !ok || string(v) != "rewritten" {
+		t.Fatalf("re-put after recovery: got %q, %v", v, ok)
+	}
+}
+
+// TestPackCRCMismatch pins bit-rot handling: flipping one payload byte
+// makes that entry (and only that entry) a miss — reads verify the CRC,
+// and a mismatch never surfaces a wrong or torn record.
+func TestPackCRCMismatch(t *testing.T) {
+	dir := t.TempDir()
+	keys := packFill(t, dir, 4)
+
+	segPath := filepath.Join(dir, "000001.seg")
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the last entry's payload (the file tail is value
+	// bytes of keys[3]).
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(segPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := OpenPackStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, ok := p.Get(keys[3]); ok {
+		t.Fatal("CRC-mismatched entry served instead of missing")
+	}
+	for _, k := range keys[:3] {
+		if _, ok := p.Get(k); !ok {
+			t.Fatalf("clean entry %s became a miss", k)
+		}
+	}
+}
+
+// TestPackMissingIndexRebuild pins sidecar independence: deleting the
+// index file costs the next open a scan (pipeline.index_rebuilds), not
+// any data — every entry still reads back.
+func TestPackMissingIndexRebuild(t *testing.T) {
+	dir := t.TempDir()
+	keys := packFill(t, dir, 10)
+	if err := os.Remove(filepath.Join(dir, "000001.idx")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := OpenPackStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, k := range keys {
+		if _, ok := p.Get(k); !ok {
+			t.Fatalf("entry %s lost with the sidecar", k)
+		}
+	}
+}
+
+// TestPackCorruptIndexRebuild does the same for a damaged (rather than
+// missing) sidecar: the checksum rejects it wholesale and the scan
+// rebuilds the index.
+func TestPackCorruptIndexRebuild(t *testing.T) {
+	dir := t.TempDir()
+	keys := packFill(t, dir, 10)
+	idxPath := filepath.Join(dir, "000001.idx")
+	data, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(idxPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := OpenPackStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, k := range keys {
+		if _, ok := p.Get(k); !ok {
+			t.Fatalf("entry %s lost with the corrupt sidecar", k)
+		}
+	}
+}
+
+// TestPackHeaderlessActiveSegment pins the subtlest crash shape: a
+// segment file created but killed before its first group commit (0 bytes,
+// or fewer than the magic). The store must restart it — and, critically,
+// new appends must re-seed the magic so the *next* recovery scan doesn't
+// dismiss the whole segment.
+func TestPackHeaderlessActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "000001.seg"), []byte("sfs"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := OpenPackStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	if err := p.Put(key, []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Force a scan (no sidecar) to prove the re-seeded header is on disk.
+	if err := os.Remove(filepath.Join(dir, "000001.idx")); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := OpenPackStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if v, ok := p2.Get(key); !ok || string(v) != "value" {
+		t.Fatalf("entry lost after headerless-segment recovery: %q, %v", v, ok)
 	}
 }
 

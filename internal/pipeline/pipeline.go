@@ -176,6 +176,9 @@ func Run(ctx context.Context, cfg Config) ([]Record, Stats, error) {
 	if cfg.Sink != nil {
 		cfg.Sink.SetTelemetry(tel)
 	}
+	if cfg.Cache != nil {
+		cfg.Cache.SetTelemetry(tel)
+	}
 
 	specHash := SpecHash(version, cfg.Spec)
 	configHash := ConfigHash(cfg.FSName, cfg.Concurrent, cfg.SchedSeed, chk.MaxStateSet)
@@ -275,6 +278,14 @@ feed:
 	close(idx)
 	wg.Wait()
 	st.Elapsed = time.Since(start)
+	// Group-commit barrier: every exit — success, job error, cancel —
+	// passes through here, so each record that reached the cache is
+	// durable whenever the resume journal is. On the failure paths the
+	// flush is best-effort (the job error wins); on success it is checked.
+	var flushErr error
+	if cfg.Cache != nil {
+		flushErr = cfg.Cache.Flush()
+	}
 	if chk.Memo != nil {
 		cs := chk.Memo.Stats()
 		tel.Counter("checker.cons_hits").Add(cs.Hits)
@@ -289,6 +300,9 @@ feed:
 		if err != nil {
 			return nil, st, err
 		}
+	}
+	if flushErr != nil {
+		return nil, st, fmt.Errorf("pipeline: %s: cache flush: %w", cfg.Name, flushErr)
 	}
 	if cfg.Log != nil {
 		fmt.Fprintf(cfg.Log, "pipeline: %s: %s\n", cfg.Name, st)
@@ -327,15 +341,17 @@ func runJob(ctx context.Context, cfg Config, chk *checker.Checker, tel *telemetr
 	}
 	if cfg.Cache != nil {
 		lookupStart := time.Now()
-		rec, ok := cfg.Cache.GetRecord(key)
+		rec, line, ok := cfg.Cache.getRecord(key)
 		tel.Histogram("pipeline.cache_lookup_ns").ObserveSince(lookupStart)
 		if ok {
-			rec.Cached = true
+			// The stored line IS the canonical journal encoding (Cached is
+			// json:"-"), so a hit journals without a re-marshal.
 			if cfg.Sink != nil {
-				if err := cfg.Sink.Append(rec); err != nil {
+				if err := cfg.Sink.AppendEncoded(rec, line); err != nil {
 					return rec, true, false, err
 				}
 			}
+			rec.Cached = true
 			return rec, true, false, nil
 		}
 		tel.Counter("pipeline.cache_misses").Inc()

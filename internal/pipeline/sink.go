@@ -28,7 +28,24 @@ type Sink struct {
 	byKey   map[string]Record
 	records []Record
 	tel     *telemetry.Registry // nil until SetTelemetry; journal I/O metrics
+
+	// buf is the group-commit buffer: appends coalesce here and reach the
+	// file in batches — one write (and one fsync) per batch instead of one
+	// write per record. Flushes happen on size (sinkFlushBytes), on
+	// interval (the background flusher), and always on Close/Finalize, so
+	// every record completed before a cancel is durable in the journal.
+	buf       []byte
+	flushDone chan struct{}
+	stopOnce  sync.Once
 }
+
+// sinkFlushBytes forces a batch commit once this much is buffered;
+// sinkFlushInterval bounds how long an append can stay buffered (the
+// exposure window of a hard kill — a cooperative cancel always flushes).
+const (
+	sinkFlushBytes    = 1 << 20
+	sinkFlushInterval = 25 * time.Millisecond
+)
 
 // SetTelemetry attributes the sink's journal I/O (append counts/bytes/
 // latency, finalize latency) to reg; pipeline.Run installs the run's
@@ -46,13 +63,14 @@ func (s *Sink) SetTelemetry(reg *telemetry.Registry) {
 // finalize temp files abandoned by a kill mid-Finalize (see sweepOrphans).
 func OpenSink(path string, resume bool) (*Sink, error) {
 	sweepOrphans(filepath.Dir(path), ".jsonl-")
-	s := &Sink{path: path, byKey: make(map[string]Record)}
+	s := &Sink{path: path, byKey: make(map[string]Record), flushDone: make(chan struct{})}
 	if !resume {
 		f, err := os.Create(path)
 		if err != nil {
 			return nil, err
 		}
 		s.f = f
+		go s.flusher()
 		return s, nil
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
@@ -92,6 +110,7 @@ func OpenSink(path string, resume bool) (*Sink, error) {
 		return nil, err
 	}
 	s.f = f
+	go s.flusher()
 	return s, nil
 }
 
@@ -136,32 +155,111 @@ func (s *Sink) Len() int {
 	return len(s.records)
 }
 
-// Append journals one record (a single write syscall, so concurrent
-// appends never interleave bytes). Duplicate keys are dropped silently —
-// they can only arise from two shards of the same layout sharing a sink,
-// where both would write identical content anyway.
+// Append journals one record through the group-commit buffer: the line
+// coalesces with its neighbours and reaches the file in the next batch
+// commit (whole lines only, so a kill still tears at most the final
+// line of the file). Duplicate keys are dropped silently — they can only
+// arise from two shards of the same layout sharing a sink, where both
+// would write identical content anyway.
 func (s *Sink) Append(rec Record) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
+	return s.appendLine(rec, data)
+}
+
+// AppendEncoded journals a record whose canonical json.Marshal encoding
+// the caller already holds — the pipeline's warm path hands the bytes
+// straight from the result store, skipping a re-marshal per cache hit.
+// line must be exactly json.Marshal(rec) (Finalize re-canonicalizes
+// regardless, so a violation could only reach the intermediate journal).
+func (s *Sink) AppendEncoded(rec Record, line []byte) error {
+	if len(line) == 0 {
+		return s.Append(rec)
+	}
+	return s.appendLine(rec, line)
+}
+
+func (s *Sink) appendLine(rec Record, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.byKey[rec.Key]; dup {
 		return nil
 	}
-	writeStart := time.Now()
-	if _, err := s.f.Write(append(data, '\n')); err != nil {
-		return err
-	}
+	s.buf = append(s.buf, data...)
+	s.buf = append(s.buf, '\n')
 	if s.tel != nil {
-		s.tel.Histogram("journal.append_ns").ObserveSince(writeStart)
 		s.tel.Counter("journal.appends").Inc()
 		s.tel.Counter("journal.bytes").Add(int64(len(data) + 1))
 	}
 	s.byKey[rec.Key] = rec
 	s.records = append(s.records, rec)
+	if len(s.buf) >= sinkFlushBytes {
+		return s.flushLocked(false)
+	}
 	return nil
+}
+
+// flushLocked is the batch commit: one write covers every append since
+// the last flush; sync additionally fsyncs (the Close/Finalize barrier —
+// interval and size flushes leave durability to the OS, exactly the
+// pre-batching behaviour of per-record appends).
+func (s *Sink) flushLocked(fsync bool) error {
+	if s.f == nil {
+		return nil
+	}
+	if len(s.buf) > 0 {
+		flushStart := time.Now()
+		if _, err := s.f.Write(s.buf); err != nil {
+			return err
+		}
+		s.buf = s.buf[:0]
+		if s.tel != nil {
+			s.tel.Histogram("journal.flush_ns").ObserveSince(flushStart)
+			s.tel.Counter("journal.batches").Inc()
+		}
+	}
+	if fsync {
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+		if s.tel != nil {
+			s.tel.Counter("journal.fsyncs").Inc()
+		}
+	}
+	return nil
+}
+
+// Flush commits the group-commit buffer to the OS (tests and long-lived
+// embedders; Close and Finalize flush on their own).
+func (s *Sink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked(false)
+}
+
+// flusher is the background interval commit bounding how long a record
+// can stay buffered in a process that is killed without Close.
+func (s *Sink) flusher() {
+	t := time.NewTicker(sinkFlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.flushDone:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if s.f != nil && len(s.buf) > 0 {
+				s.flushLocked(false) // best-effort; errors surface on Close/Finalize
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Sink) stopFlusher() {
+	s.stopOnce.Do(func() { close(s.flushDone) })
 }
 
 // Records returns a copy of every journaled record, in journal order.
@@ -177,9 +275,13 @@ func (s *Sink) Records() []Record {
 // contributed — which is the property the shard-invariance and
 // resume-equivalence tests pin.
 func (s *Sink) Finalize() error {
+	s.stopFlusher()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	finalizeStart := time.Now()
+	if err := s.flushLocked(false); err != nil {
+		return err
+	}
 	if err := s.f.Close(); err != nil {
 		return err
 	}
@@ -192,14 +294,21 @@ func (s *Sink) Finalize() error {
 }
 
 // Close closes the sink without canonicalizing (the journal keeps its
-// append order; a later resume or Finalize can still pick it up).
+// append order; a later resume or Finalize can still pick it up). The
+// group-commit buffer is flushed and fsynced first — Close is the
+// cancellation path's exit, and "journal always resumable" requires the
+// completed records to actually be on disk.
 func (s *Sink) Close() error {
+	s.stopFlusher()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
 		return nil
 	}
-	err := s.f.Close()
+	err := s.flushLocked(true)
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
 	s.f = nil
 	return err
 }

@@ -1,0 +1,56 @@
+package pipeline
+
+import "repro/internal/telemetry"
+
+// Store is the persistence seam under the result cache: a flat
+// content-addressed byte store keyed by hex digest strings. Two local
+// implementations exist — PackStore (append-only pack segments with
+// group-commit durability, the default) and DirStore (one file per key,
+// the v1 layout, kept for compatibility and read-through migration) —
+// and the interface is deliberately narrow enough that a remote store
+// (HTTP, S3) can plug in behind the same Cache facade for a shared
+// fleet-wide cache.
+//
+// Implementations must be safe for concurrent use: the pipeline's worker
+// pool calls Get and Put from many goroutines at once.
+type Store interface {
+	// Get returns the bytes stored under key; ok is false on a miss.
+	// Unreadable, torn or checksum-failing entries are misses — the
+	// writer will overwrite them — never errors.
+	Get(key string) ([]byte, bool)
+	// Put stores data under key. A Put is immediately visible to Get on
+	// the same store, but durability may be deferred until the next
+	// Flush (the group-commit contract). Overwriting a key is allowed
+	// and idempotent by the cache-key contract: the same key always
+	// denotes the same bytes.
+	Put(key string, data []byte) error
+	// Flush makes every completed Put durable — the group-commit
+	// barrier. One Flush covers the whole batch of Puts since the last.
+	Flush() error
+	// Close flushes, persists any index state, and releases resources.
+	// The store is unusable afterwards.
+	Close() error
+	// Stats describes the store's current contents.
+	Stats() StoreStats
+}
+
+// StoreStats summarises a store's contents for -cache-stats and tests.
+type StoreStats struct {
+	// Backend names the implementation ("pack", "dir").
+	Backend string
+	// Entries is the number of live keys.
+	Entries int
+	// Segments is the number of pack segments (0 for non-segment stores).
+	Segments int
+	// Bytes is the stored payload footprint: for PackStore the bytes of
+	// all segment files (live and superseded entries alike), for
+	// DirStore the summed size of the entry files.
+	Bytes int64
+}
+
+// telemetrySetter is implemented by stores whose I/O metrics can be
+// attributed to a specific registry; Cache.SetTelemetry forwards through
+// it (remote stores may not implement it, which is fine).
+type telemetrySetter interface {
+	SetTelemetry(reg *telemetry.Registry)
+}

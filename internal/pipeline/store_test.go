@@ -1,0 +1,399 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fsimpl"
+	"repro/internal/telemetry"
+	"repro/internal/testgen"
+	"repro/internal/types"
+)
+
+// TestStoreRoundTrip pins the Store contract both backends share:
+// Put-then-Get returns the bytes verbatim (before AND after a Flush),
+// absent keys are plain misses, and overwriting a key is allowed.
+func TestStoreRoundTrip(t *testing.T) {
+	for _, open := range []struct {
+		name string
+		open func(dir string) (Store, error)
+	}{
+		{"pack", func(dir string) (Store, error) { return OpenPackStore(dir) }},
+		{"dir", func(dir string) (Store, error) { return OpenDirStore(dir) }},
+	} {
+		t.Run(open.name, func(t *testing.T) {
+			s, err := open.open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			key := testKey(7)
+			if _, ok := s.Get(key); ok {
+				t.Fatal("miss expected on empty store")
+			}
+			if err := s.Put(key, []byte("one")); err != nil {
+				t.Fatal(err)
+			}
+			// Read-your-writes: visible before any flush.
+			if v, ok := s.Get(key); !ok || string(v) != "one" {
+				t.Fatalf("pre-flush get: %q, %v", v, ok)
+			}
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := s.Get(key); !ok || string(v) != "one" {
+				t.Fatalf("post-flush get: %q, %v", v, ok)
+			}
+			if err := s.Put(key, []byte("two")); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := s.Get(key); !ok || string(v) != "two" {
+				t.Fatalf("overwrite get: %q, %v", v, ok)
+			}
+			st := s.Stats()
+			if st.Entries != 1 {
+				t.Fatalf("stats entries = %d, want 1", st.Entries)
+			}
+		})
+	}
+}
+
+// TestPackPersistence pins durability across process boundaries: entries
+// written and Closed read back from a fresh open, from sidecars (no
+// rebuild scan).
+func TestPackPersistence(t *testing.T) {
+	dir := t.TempDir()
+	keys := packFill(t, dir, 50)
+
+	reg := telemetry.NewRegistry()
+	old := telemetry.Default
+	telemetry.Default = reg
+	defer func() { telemetry.Default = old }()
+
+	p, err := OpenPackStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, k := range keys {
+		if v, ok := p.Get(k); !ok || !strings.HasSuffix(string(v), k) {
+			t.Fatalf("entry %s lost across reopen: %q, %v", k, v, ok)
+		}
+	}
+	if n := reg.Counter("pipeline.index_rebuilds").Value(); n != 0 {
+		t.Fatalf("clean reopen scanned %d segments, want sidecar loads only", n)
+	}
+}
+
+// TestPackRotation forces segment rotation with tiny bounds and checks
+// every entry stays readable across the segment boundary and across a
+// reopen, and that Stats sees the extra segments.
+func TestPackRotation(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPackStoreWith(dir, PackOptions{MaxSegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; i < 40; i++ {
+		k := testKey(i)
+		keys = append(keys, k)
+		if err := p.Put(k, bytes.Repeat([]byte{byte(i)}, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("%d segments after overflow, want rotation", st.Segments)
+	}
+	if st.Entries != len(keys) {
+		t.Fatalf("stats entries = %d, want %d", st.Entries, len(keys))
+	}
+	for i, k := range keys {
+		if v, ok := p.Get(k); !ok || !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 50)) {
+			t.Fatalf("entry %d unreadable after rotation", i)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := OpenPackStoreWith(dir, PackOptions{MaxSegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	for i, k := range keys {
+		if v, ok := p2.Get(k); !ok || !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 50)) {
+			t.Fatalf("entry %d unreadable after rotation+reopen", i)
+		}
+	}
+}
+
+// TestPackOversizeEntry pins the escape hatch: an entry larger than
+// MaxSegmentBytes still stores (in a segment of its own).
+func TestPackOversizeEntry(t *testing.T) {
+	p, err := OpenPackStoreWith(t.TempDir(), PackOptions{MaxSegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	big := bytes.Repeat([]byte("x"), 4096)
+	if err := p.Put(testKey(1), big); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := p.Get(testKey(1)); !ok || !bytes.Equal(v, big) {
+		t.Fatal("oversize entry unreadable")
+	}
+}
+
+// TestPackConcurrency hammers one store from many goroutines — the
+// pipeline's worker pool shape — under the race detector.
+func TestPackConcurrency(t *testing.T) {
+	p, err := OpenPackStoreWith(t.TempDir(), PackOptions{MaxSegmentBytes: 4096, FlushBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := testKey(w*100 + i)
+				val := []byte(fmt.Sprintf("worker %d item %d", w, i))
+				if err := p.Put(k, val); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := p.Get(k); !ok || !bytes.Equal(v, val) {
+					t.Errorf("read-your-writes failed for %s", k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Entries != 400 {
+		t.Fatalf("entries = %d, want 400", st.Entries)
+	}
+}
+
+// TestCacheV1ReadThrough pins the migration story: opening a cache over a
+// v1 file-per-key directory serves the old entries (through the DirStore
+// fallback), writes new entries packed, and a pack entry shadows its v1
+// counterpart.
+func TestCacheV1ReadThrough(t *testing.T) {
+	dir := t.TempDir()
+
+	// Seed a v1 layout the way the old cache wrote it.
+	v1, err := OpenDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldKey := testKey(1)
+	if err := v1.PutRecord(Record{Key: oldKey, Name: "old", Accepted: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.fallback == nil {
+		t.Fatal("v1 layout not detected")
+	}
+	if rec, ok := c.GetRecord(oldKey); !ok || rec.Name != "old" {
+		t.Fatalf("v1 entry not served read-through: %+v, %v", rec, ok)
+	}
+	newKey := testKey(2)
+	if err := c.PutRecord(Record{Key: newKey, Name: "new", Accepted: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The new entry landed packed, not as a v1 file.
+	if _, err := os.Stat(filepath.Join(dir, newKey[:2], newKey[2:]+".json")); !os.IsNotExist(err) {
+		t.Fatal("new entry written to the v1 layout")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "pack", "000001.seg")); err != nil {
+		t.Fatalf("no pack segment created: %v", err)
+	}
+
+	// A fresh open still serves both.
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if rec, ok := c2.GetRecord(oldKey); !ok || rec.Name != "old" {
+		t.Fatal("v1 entry lost after pack writes")
+	}
+	if rec, ok := c2.GetRecord(newKey); !ok || rec.Name != "new" {
+		t.Fatal("packed entry lost")
+	}
+}
+
+// TestCacheFreshDirHasNoFallback pins that a fresh (or pack-only) cache
+// directory skips the DirStore fallback entirely.
+func TestCacheFreshDirHasNoFallback(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.fallback != nil {
+		t.Fatal("fallback store opened for a fresh directory")
+	}
+	if st := c.Stats(); st.Backend != "pack" {
+		t.Fatalf("backend = %q, want pack", st.Backend)
+	}
+}
+
+// storeSuiteConfig builds a small real pipeline config against the
+// determinized model (execution is hermetic and fast).
+func storeSuiteConfig(t *testing.T, cache *Cache, sink *Sink) Config {
+	t.Helper()
+	scripts := testgen.Generate().Scripts
+	if len(scripts) > 60 {
+		scripts = scripts[:60]
+	}
+	spec := types.Spec{Platform: types.PlatformLinux, Permissions: true}
+	return Config{
+		Name:    "store-parity",
+		Scripts: scripts,
+		Factory: fsimpl.MemFactory(fsimpl.LinuxProfile("ext4")),
+		FSName:  "ext4",
+		Spec:    spec,
+		Workers: 4,
+		Cache:   cache,
+		Sink:    sink,
+	}
+}
+
+// TestBackendJSONLParity is the tentpole's acceptance property: the
+// finalized JSONL is byte-identical whether the run used PackStore,
+// DirStore, or a warm v1 cache served read-through into a pack cache.
+func TestBackendJSONLParity(t *testing.T) {
+	run := func(t *testing.T, cache *Cache, jsonl string) []byte {
+		t.Helper()
+		sink, err := OpenSink(jsonl, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Run(context.Background(), storeSuiteConfig(t, cache, sink)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(jsonl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	// Cold pack-backed run.
+	packDir := t.TempDir()
+	packCache, err := OpenCache(packDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packOut := run(t, packCache, filepath.Join(t.TempDir(), "pack.jsonl"))
+	if err := packCache.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold dir-backed (v1) run.
+	dirDir := t.TempDir()
+	dirCache, err := OpenDirCache(dirDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirOut := run(t, dirCache, filepath.Join(t.TempDir(), "dir.jsonl"))
+
+	if !bytes.Equal(packOut, dirOut) {
+		t.Fatal("finalized JSONL differs between pack and dir backends")
+	}
+
+	// Warm run over the v1 cache through the migrating pack cache: every
+	// job must come from the fallback (executed = 0) and the bytes must
+	// still match.
+	migCache, err := OpenCache(dirDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer migCache.Close()
+	reg := telemetry.NewRegistry()
+	sink, err := OpenSink(filepath.Join(t.TempDir(), "mig.jsonl"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := storeSuiteConfig(t, migCache, sink)
+	cfg.Tel = reg
+	if _, st, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	} else if st.Executed != 0 {
+		t.Fatalf("warm v1 read-through executed %d jobs, want 0", st.Executed)
+	}
+	if err := sink.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	migOut, err := os.ReadFile(sink.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(packOut, migOut) {
+		t.Fatal("finalized JSONL differs between cold pack run and v1 read-through run")
+	}
+	if reg.Counter("pipeline.cache_hits").Value() == 0 {
+		t.Fatal("read-through run recorded no cache hits")
+	}
+}
+
+// TestPipelineFlushesCacheOnCancel pins the group-commit contract at the
+// pipeline level: records completed before a cancellation are durable in
+// the pack (a fresh open of the same directory sees them) even though the
+// run returned ctx.Err and nobody Closed the cache.
+func TestPipelineFlushesCacheOnCancel(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := storeSuiteConfig(t, cache, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	cfg.Observe = func(Record) {
+		n++
+		if n == 10 {
+			cancel()
+		}
+	}
+	_, st, err := Run(ctx, cfg)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if st.Executed == 0 {
+		t.Skip("cancelled before any job completed")
+	}
+	// No Close: simulate the process dying right after Run returns by
+	// opening the directory fresh and counting durable entries.
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got := c2.Stats().Entries; got < st.Executed {
+		t.Fatalf("durable entries %d < executed %d: cancel path lost the flush", got, st.Executed)
+	}
+}

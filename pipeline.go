@@ -22,10 +22,28 @@ type (
 	ResultCache = pipeline.Cache
 	// ResultSink is the streaming JSONL journal with crash-safe resume.
 	ResultSink = pipeline.Sink
+	// ResultStore is the pluggable persistence backend under ResultCache
+	// (see WithStore): PackStore — packed append-only segments with
+	// group-commit durability, the default — or DirStore, the v1
+	// file-per-key layout kept for compatibility.
+	ResultStore = pipeline.Store
+	// StoreStats summarises a store's contents (Session.CacheStats,
+	// sfs-run -cache-stats).
+	StoreStats = pipeline.StoreStats
 )
 
-// OpenResultCache opens (creating if needed) a result cache rooted at dir.
+// OpenResultCache opens (creating if needed) a result cache rooted at dir
+// with the default packed-segment backend; a dir holding the v1
+// file-per-key layout keeps serving those entries read-through.
 func OpenResultCache(dir string) (*ResultCache, error) { return pipeline.OpenCache(dir) }
+
+// OpenPackStore opens (creating if needed) a packed segment store rooted
+// at dir — the default ResultStore backend, exposed for WithStore.
+func OpenPackStore(dir string) (ResultStore, error) { return pipeline.OpenPackStore(dir) }
+
+// OpenDirStore opens (creating if needed) a v1 file-per-key store rooted
+// at dir — the compatibility ResultStore backend (sfs-run -store dir).
+func OpenDirStore(dir string) (ResultStore, error) { return pipeline.OpenDirStore(dir) }
 
 // OpenResultSink opens the JSONL sink at path; resume recovers an
 // interrupted run's journal instead of replacing it.

@@ -57,6 +57,7 @@ type Session struct {
 	tauWorkers  int
 	maxStateSet int
 	cacheDir    string
+	store       pipeline.Store // nil = open a backend from cacheDir
 	journal     string
 	journalDir  string
 	resume      bool
@@ -113,8 +114,19 @@ func WithMaxStateSet(n int) Option { return func(s *Session) { s.maxStateSet = n
 // WithCacheDir backs Run, Survey and Fuzz with a content-addressed result
 // cache rooted at dir: re-runs skip any trace whose (script, model
 // version, run config) key is already cached. The directory is created on
-// first use.
+// first use. The default backend is the packed segment store (entries
+// append to a few bounded pack files under dir/pack, with group-commit
+// durability); a dir that already holds the v1 file-per-key layout keeps
+// serving those entries read-through while new results land packed.
 func WithCacheDir(dir string) Option { return func(s *Session) { s.cacheDir = dir } }
+
+// WithStore backs the session's result cache with an explicit store
+// backend instead of opening one from a directory — the injection seam
+// for a forced v1 DirStore (sfs-run -store dir), tuned PackOptions, or a
+// future remote store. Takes precedence over WithCacheDir; the session
+// owns flushing (it flushes at run and generation boundaries) but the
+// caller owns Close.
+func WithStore(store ResultStore) Option { return func(s *Session) { s.store = store } }
 
 // WithJournal streams Run's records to the JSONL sink at path. The sink
 // doubles as the crash-safe resume journal: with WithResume, a later
@@ -187,15 +199,41 @@ func NewCoverageRegistry() *CoverageRegistry { return cov.NewRegistry() }
 func (s *Session) Spec() Spec { return s.spec }
 
 // openCache lazily opens the session's result cache (nil without
-// WithCacheDir). The handle is shared by every method of the session.
+// WithCacheDir/WithStore). The handle is shared by every method of the
+// session.
 func (s *Session) openCache() (*pipeline.Cache, error) {
-	if s.cacheDir == "" {
+	if s.store == nil && s.cacheDir == "" {
 		return nil, nil
 	}
 	s.cacheOnce.Do(func() {
+		if s.store != nil {
+			s.cache = pipeline.NewCache(s.store)
+			return
+		}
 		s.cache, s.cacheErr = pipeline.OpenCache(s.cacheDir)
 	})
 	return s.cache, s.cacheErr
+}
+
+// CacheStats describes the session's result-store contents (backend,
+// entries, segments, bytes); ok is false when the session has no cache.
+// sfs-run -cache-stats prints it next to the run's hit/miss telemetry.
+func (s *Session) CacheStats() (StoreStats, bool) {
+	cache, err := s.openCache()
+	if err != nil || cache == nil {
+		return StoreStats{}, false
+	}
+	return cache.Stats(), true
+}
+
+// CacheFallbackStats describes the v1 read-through fallback feeding a
+// migrating cache; ok is false when there is no cache or no v1 layout.
+func (s *Session) CacheFallbackStats() (StoreStats, bool) {
+	cache, err := s.openCache()
+	if err != nil || cache == nil {
+		return StoreStats{}, false
+	}
+	return cache.FallbackStats()
 }
 
 // Generate builds the full sequential test suite (§6.1). With WithCacheDir
@@ -248,6 +286,11 @@ func (s *Session) generateUniverse(universe string, gen func() []*Script) ([]*Sc
 	scripts := gen()
 	blob, hashes := pipeline.EncodeSuite(scripts)
 	if err := cache.PutRaw(key, blob); err != nil {
+		return nil, err
+	}
+	// Group-commit barrier: the rendered suite must be durable before the
+	// generation returns — it is what makes the *next* process warm.
+	if err := cache.Flush(); err != nil {
 		return nil, err
 	}
 	s.rememberHashes(scripts, hashes)
