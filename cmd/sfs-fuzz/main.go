@@ -29,6 +29,9 @@ func usage() {
   NAME            a memfs survey profile (ext4, btrfs, posixovl_vfat_1.2, ...)
 
 The model variant defaults to the profile's platform; override with -spec.
+With -crash the implementation simulates persistence, the oracle checks
+durability (Spec.Crash), and mutations insert fsync/sync barriers and
+crash labels alongside the usual operators.
 The session ends at -duration/-timeout (whichever is shorter), after -runs
 candidates, or on Ctrl-C — all graceful: corpus and findings are reported.
 
@@ -51,6 +54,7 @@ func main() {
 	corpus := flag.String("corpus", "", "corpus directory to persist/resume (also receives findings)")
 	steps := flag.Int("steps", 30, "max steps per candidate script")
 	concurrent := flag.Bool("concurrent", false, "execute candidates with the concurrent executor (seeded scheduler, seed = -seed) and seed the corpus with the multi-process universe")
+	crashMode := flag.Bool("crash", false, "fuzz durability semantics: crash-capable implementation, Spec.Crash model, fsync/sync and crash-label mutations, corpus seeded with the crash___ universe (excludes -concurrent and -fs host)")
 	outDir := flag.String("o", "", "directory for report.html and summary.txt (default: -corpus dir, if set)")
 	cacheDir := flag.String("cache-dir", "", "pipeline result cache: corpus entries whose clean replay is cached skip re-execution at session start")
 	statsJSON := flag.String("stats-json", "", "write a telemetry snapshot (runs, corpus, latency histograms) here on exit; - = stdout")
@@ -79,9 +83,24 @@ func main() {
 		}
 	}
 
-	fs, ok := cliutil.PickFS(*fsName)
-	if !ok {
-		usage()
+	if *crashMode && *concurrent {
+		fmt.Fprintln(os.Stderr, "sfs-fuzz: -crash and -concurrent are mutually exclusive (crash labels are sequential-executor only)")
+		os.Exit(2)
+	}
+	var fs cliutil.FSChoice
+	if *crashMode {
+		var err error
+		fs, err = cliutil.PickCrashFS(*fsName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-fuzz:", err)
+			os.Exit(2)
+		}
+	} else {
+		var ok bool
+		fs, ok = cliutil.PickFS(*fsName)
+		if !ok {
+			usage()
+		}
 	}
 	if fs.Fallback {
 		// Say so, or a typo'd defect profile would silently fuzz a
@@ -97,6 +116,7 @@ func main() {
 		}
 		spec = sibylfs.SpecFor(pl)
 	}
+	spec.Crash = *crashMode // persistence-aware oracle for crash candidates
 	w := *workers
 	if fs.Serial {
 		w = 1
@@ -137,9 +157,13 @@ func main() {
 		MaxSteps:   *steps,
 		CorpusDir:  *corpus,
 		Concurrent: *concurrent,
+		Crash:      *crashMode,
 	}
 	if *concurrent {
 		job.Seeds, _ = session.GenerateConcurrent(ctx)
+	}
+	if *crashMode {
+		job.Seeds, _ = session.GenerateCrash(ctx)
 	}
 
 	res, err := session.Fuzz(ctx, job)

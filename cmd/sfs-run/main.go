@@ -35,7 +35,9 @@ func usage() {
   NAME            a memfs survey profile (ext4, btrfs, posixovl_vfat_1.2, ...)
 
 Without -i, the generated suite is used (with -concurrent: the concurrent
-multi-process universe). Results stream to the -jsonl sink as they finish;
+multi-process universe; with -crash: the crash-consistency universe, checked
+against a persistence-aware model). Results stream to the -jsonl sink as
+they finish;
 -resume recovers an interrupted run and skips completed traces. With
 -cache-dir, traces whose (script, model version, run config) key is cached
 are never re-executed — edit one script and only it re-runs; bump the
@@ -75,6 +77,7 @@ func main() {
 	merge := flag.Bool("merge", false, "merge shard sinks: sfs-run -merge OUT.jsonl IN.jsonl...")
 	concurrent := flag.Bool("concurrent", false, "run script processes concurrently")
 	schedSeed := flag.Int64("sched-seed", 0, "with -concurrent: deterministic scheduler seed (0 = free-running)")
+	crashMode := flag.Bool("crash", false, "crash-consistency universe: persistence-aware model, crash-profiled implementation")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (journal stays resumable; exit 4)")
 	outDir := flag.String("o", "", "directory for .checked files (optional)")
 	htmlPath := flag.String("html", "", "write the HTML analysis index here (optional)")
@@ -104,6 +107,7 @@ func main() {
 	}
 	spec := sibylfs.SpecFor(pl)
 	spec.Permissions = !*noPerms
+	spec.Crash = *crashMode // part of the pipeline cache key (SpecHash)
 
 	if *debugAddr != "" {
 		srv, err := cliutil.StartDebug(*debugAddr, "sfs-run")
@@ -162,9 +166,25 @@ func main() {
 		defer cancel()
 	}
 
-	fs, ok := cliutil.PickFS(*fsName)
-	if !ok {
-		usage()
+	universe, err := cliutil.Universe(*concurrent, *crashMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-run:", err)
+		os.Exit(2)
+	}
+	var fs cliutil.FSChoice
+	if *crashMode {
+		var cerr error
+		fs, cerr = cliutil.PickCrashFS(*fsName)
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "sfs-run:", cerr)
+			os.Exit(2)
+		}
+	} else {
+		var ok bool
+		fs, ok = cliutil.PickFS(*fsName)
+		if !ok {
+			usage()
+		}
 	}
 	w := *workers
 	if fs.Serial {
@@ -201,7 +221,7 @@ func main() {
 	// The session is built before the scripts load so that with -cache-dir
 	// a warm start serves the generated suite (text and hashes both) from
 	// the generation cache instead of regenerating it.
-	scripts, err := cliutil.SessionScripts(ctx, session, *inDir, *concurrent)
+	scripts, err := cliutil.SessionScripts(ctx, session, *inDir, universe)
 	if err != nil {
 		fatal(err)
 	}

@@ -18,7 +18,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: sfs-test -fs NAME [-i DIR] [-o DIR] [-w N] [-concurrent [-sched-seed N]]
+	fmt.Fprintf(os.Stderr, `usage: sfs-test -fs NAME [-i DIR] [-o DIR] [-w N] [-concurrent [-sched-seed N]] [-crash]
 
 -fs selects the implementation under test:
   host            the real file system (in a temp-dir jail)
@@ -26,13 +26,18 @@ func usage() {
   NAME            a memfs survey profile (ext4, btrfs, posixovl_vfat_1.2, ...)
 
 Without -i, the generated suite is used (with -concurrent: the concurrent
-multi-process universe).
+multi-process universe; with -crash: the crash-consistency universe).
 
 -concurrent runs each script's processes concurrently — one goroutine per
 process, calls genuinely interleaved in the recorded trace. -sched-seed N
 (N ≠ 0) replaces the free-running goroutines with a deterministic seeded
 scheduler, so the interleaving is reproducible: same script and seed,
 byte-identical trace.
+
+-crash selects the crash-consistency universe and a persistence-simulating
+implementation: scripts contain fsync/sync barriers and crash labels, the
+implementation tracks durable vs pending state and remounts at each crash.
+Sequential executor only; -fs host is rejected.
 `)
 	os.Exit(2)
 }
@@ -45,6 +50,7 @@ func main() {
 	workers := flag.Int("w", 0, "parallel workers (0 = GOMAXPROCS)")
 	concurrent := flag.Bool("concurrent", false, "run script processes concurrently (one goroutine per process)")
 	schedSeed := flag.Int64("sched-seed", 0, "with -concurrent: deterministic scheduler seed (0 = free-running)")
+	crashMode := flag.Bool("crash", false, "crash-consistency universe against a persistence-simulating implementation")
 	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-test")
 	flag.Parse()
 	showVersion()
@@ -55,9 +61,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fs, ok := cliutil.PickFS(*fsName)
-	if !ok {
-		usage()
+	universe, err := cliutil.Universe(*concurrent, *crashMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-test:", err)
+		os.Exit(2)
+	}
+	var fs cliutil.FSChoice
+	if *crashMode {
+		fs, err = cliutil.PickCrashFS(*fsName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfs-test:", err)
+			os.Exit(2)
+		}
+	} else {
+		var ok bool
+		fs, ok = cliutil.PickFS(*fsName)
+		if !ok {
+			usage()
+		}
 	}
 	w := *workers
 	if fs.Serial {
@@ -68,7 +89,7 @@ func main() {
 		sessionOpts = append(sessionOpts, sibylfs.WithCacheDir(*cacheDir))
 	}
 	session := sibylfs.New(sessionOpts...)
-	scripts, err := cliutil.SessionScripts(ctx, session, *inDir, *concurrent)
+	scripts, err := cliutil.SessionScripts(ctx, session, *inDir, universe)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sfs-test:", err)
 		os.Exit(1)

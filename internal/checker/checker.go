@@ -67,6 +67,10 @@ type Result struct {
 	TauRounds         int
 	TauParallelRounds int
 	TauNanos          int64
+	// CrashPoints counts the crash labels checked in this trace (crash
+	// mode only). Telemetry, like TauRounds: not part of the serialized
+	// record — the record's byte format is pinned by golden fixtures.
+	CrashPoints int
 }
 
 // MeanStates is the mean tracked state-set size per step.
@@ -195,7 +199,9 @@ func (c *Checker) CheckCtx(ctx context.Context, t *trace.Trace) (Result, error) 
 			states = c.stepReturn(ctx, states, lbl, st, &res, sc, workers)
 		default:
 			src := states
-			if _, isDestroy := st.Label.(types.DestroyLabel); isDestroy {
+			_, isDestroy := st.Label.(types.DestroyLabel)
+			_, isCrash := st.Label.(types.CrashLabel)
+			if isDestroy || isCrash {
 				// Close over τ before a destroy so interleavings where a
 				// pending call was processed before the process vanished
 				// stay represented. Today the model's destroy effects are
@@ -204,10 +210,19 @@ func (c *Checker) CheckCtx(ctx context.Context, t *trace.Trace) (Result, error) 
 				// would do — but it keeps the oracle sound if destroy ever
 				// gains observable effects. Sequential traces have no
 				// pending calls here, so it is a no-op for them.
+				//
+				// Before a crash the closure is load-bearing: a call in
+				// flight at power-loss may or may not have had its effect
+				// land, so both the pre-τ and post-τ states (with their
+				// different pending-effect logs) must contribute crash
+				// candidates.
 				src = c.tauClosure(ctx, states, &res, sc, workers)
 				if len(src) > res.MaxStates {
 					res.MaxStates = len(src)
 				}
+			}
+			if isCrash {
+				res.CrashPoints++
 			}
 			next := c.unionTrans(src, st.Label, workers)
 			if len(next) == 0 {
@@ -244,6 +259,9 @@ func (c *Checker) record(res Result, elapsed time.Duration) {
 	tel.Counter("checker.tau_expansions").Add(int64(res.TauExpansions))
 	tel.Counter("checker.tau_rounds").Add(int64(res.TauRounds))
 	tel.Counter("checker.tau_rounds_parallel").Add(int64(res.TauParallelRounds))
+	if res.CrashPoints > 0 {
+		tel.Counter("checker.crash_points").Add(int64(res.CrashPoints))
+	}
 	if !res.Accepted {
 		tel.Counter("checker.rejected").Inc()
 	}

@@ -70,32 +70,92 @@ func PickFS(name string) (FSChoice, bool) {
 	}
 }
 
+// Universe names for SessionScripts/LoadScripts.
+const (
+	UniverseSequential = "sequential"
+	UniverseConcurrent = "concurrent"
+	UniverseCrash      = "crash"
+)
+
+// Universe maps a tool's -concurrent/-crash flags to the universe name,
+// rejecting the combination (crash scripts are sequential-executor only).
+func Universe(concurrent, crash bool) (string, error) {
+	switch {
+	case concurrent && crash:
+		return "", fmt.Errorf("-concurrent and -crash are mutually exclusive: crash scripts are sequential-executor only")
+	case concurrent:
+		return UniverseConcurrent, nil
+	case crash:
+		return UniverseCrash, nil
+	default:
+		return UniverseSequential, nil
+	}
+}
+
+// PickCrashFS resolves a -fs argument for a crash-universe run: the same
+// names as PickFS, but the resulting implementation simulates persistence
+// (memfs: the crash profile; spec:PLATFORM: a Spec.Crash model). "host"
+// is rejected — we cannot power-cycle the machine the tests run on.
+func PickCrashFS(name string) (FSChoice, error) {
+	switch {
+	case name == "host":
+		return FSChoice{}, fmt.Errorf("-fs host does not support crash simulation (cannot power-cycle the host)")
+	case strings.HasPrefix(name, "spec:"):
+		pl, k := types.ParsePlatform(strings.TrimPrefix(name, "spec:"))
+		if !k {
+			return FSChoice{}, fmt.Errorf("unknown platform %q", strings.TrimPrefix(name, "spec:"))
+		}
+		spec := types.Spec{Platform: pl, Permissions: true, RootUser: true, Crash: true}
+		return FSChoice{Factory: fsimpl.SpecFactory(name, spec), Platform: pl}, nil
+	default:
+		c, _ := PickFS(name)
+		for _, p := range fsimpl.SurveyProfiles() {
+			if p.Name == name {
+				p.Crash = true
+				return FSChoice{Factory: fsimpl.MemFactory(p), Platform: p.Platform}, nil
+			}
+		}
+		prof := fsimpl.LinuxProfile(name)
+		prof.Crash = true
+		c.Factory = fsimpl.MemFactory(prof)
+		return c, nil
+	}
+}
+
 // SessionScripts resolves a tool's -i flag to its script list: a
-// directory of .script files when dir is given, otherwise the generated
-// suite served through the session — so a session constructed with
-// WithCacheDir loads the suite (and its precomputed script hashes) from
-// the generation cache on warm starts instead of regenerating.
-func SessionScripts(ctx context.Context, s *sibylfs.Session, dir string, concurrent bool) ([]*trace.Script, error) {
+// directory of .script files when dir is given, otherwise the named
+// generated universe served through the session — so a session
+// constructed with WithCacheDir loads the suite (and its precomputed
+// script hashes) from the generation cache on warm starts instead of
+// regenerating.
+func SessionScripts(ctx context.Context, s *sibylfs.Session, dir string, universe string) ([]*trace.Script, error) {
 	if dir != "" {
-		return LoadScripts(dir, concurrent)
+		return LoadScripts(dir, universe)
 	}
-	if concurrent {
+	switch universe {
+	case UniverseConcurrent:
 		return s.GenerateConcurrent(ctx)
+	case UniverseCrash:
+		return s.GenerateCrash(ctx)
+	default:
+		return s.Generate(ctx)
 	}
-	return s.Generate(ctx)
 }
 
 // LoadScripts parses every .script file under dir (the file name becomes
 // the script name when the header carries none). An empty dir selects
-// the generated suite — the concurrent multi-process universe when
-// concurrent is set, the full sequential suite otherwise. It bypasses the
-// generation cache; prefer SessionScripts from tools that hold a Session.
-func LoadScripts(dir string, concurrent bool) ([]*trace.Script, error) {
+// the named generated universe. It bypasses the generation cache; prefer
+// SessionScripts from tools that hold a Session.
+func LoadScripts(dir string, universe string) ([]*trace.Script, error) {
 	if dir == "" {
-		if concurrent {
+		switch universe {
+		case UniverseConcurrent:
 			return testgen.ConcurrentScripts(), nil
+		case UniverseCrash:
+			return testgen.CrashScripts(), nil
+		default:
+			return testgen.Generate().Scripts, nil
 		}
-		return testgen.Generate().Scripts, nil
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {

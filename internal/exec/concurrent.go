@@ -89,6 +89,10 @@ func splitPrograms(s *trace.Script) ([]*procProgram, error) {
 			}
 			alive[lbl.Pid] = false
 			get(lbl.Pid).events = append(get(lbl.Pid).events, procEvent{destroy: true})
+		case types.CrashLabel:
+			// A crash is a whole-machine event with no per-process program
+			// order — the sequential executor owns crash scripts.
+			return nil, fmt.Errorf("exec: script %q line %d contains a crash label; crash scripts are sequential-executor only", s.Name, st.Line)
 		case types.ReturnLabel:
 			return nil, fmt.Errorf("exec: script %q line %d contains a return label; returns are executor output, not script input", s.Name, st.Line)
 		case types.TauLabel:

@@ -43,6 +43,21 @@ func Run(ctx context.Context, s *trace.Script, factory fsimpl.Factory) (*trace.T
 		case types.DestroyLabel:
 			fs.DestroyProcess(lbl.Pid)
 			emit(lbl)
+		case types.CrashLabel:
+			// Power loss + remount. The implementation picks which pending
+			// effects survived (lbl.Keep, clamped by the backend); the oracle
+			// ignores Keep and admits every prefix, so any backend choice is
+			// inside the envelope. Backends without persistence simulation
+			// cannot execute crash scripts — fail loudly rather than emit a
+			// label the trace did not earn.
+			cfs, ok := fs.(fsimpl.CrashFS)
+			if !ok {
+				return nil, fmt.Errorf("exec: script %q line %d: %s does not support crash simulation", s.Name, st.Line, fs.Name())
+			}
+			if err := cfs.Crash(lbl.Keep); err != nil {
+				return nil, fmt.Errorf("exec: script %q line %d: %w", s.Name, st.Line, err)
+			}
+			emit(lbl)
 		case types.TauLabel:
 			// Scripts don't contain τ; ignore if present.
 		case types.ReturnLabel:

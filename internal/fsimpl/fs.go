@@ -23,3 +23,14 @@ type FS interface {
 // Factory creates a fresh, empty file system instance for one test script;
 // every script starts from an empty file system (§2).
 type Factory func() (FS, error)
+
+// CrashFS is implemented by backends that can simulate a power failure and
+// remount. Crash drops all but the first keep pending (unsynced) durable
+// effects, discards every process, descriptor and directory handle, and
+// comes back up with a fresh initial process — the executor re-drives
+// subsequent script steps against the remounted state. keep is clamped to
+// the length of the pending-effect log. Backends that cannot crash (the
+// real host file system) simply do not implement the interface.
+type CrashFS interface {
+	Crash(keep int) error
+}

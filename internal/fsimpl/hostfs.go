@@ -384,6 +384,18 @@ func (fs *HostFS) Apply(pid types.Pid, cmd types.Command) types.RetValue {
 			return herr(e)
 		}
 		return types.RvNum{N: off}
+	case types.Fsync:
+		hfd, ok := p.fds[c.FD]
+		if !ok {
+			return err(types.EBADF)
+		}
+		if e := syscall.Fsync(hfd); e != nil {
+			return herr(e)
+		}
+		return types.RvNone{}
+	case types.Sync:
+		syscall.Sync() // best-effort; sync(2) has no error return
+		return types.RvNone{}
 	case types.Opendir:
 		return fs.opendir(p, c)
 	case types.Readdir:

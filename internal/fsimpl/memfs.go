@@ -29,6 +29,7 @@ type openFile struct {
 	off      int64
 	app      bool
 	rd, wr   bool
+	sync     bool // O_SYNC: every write flushes (Profile.Crash only)
 	isDir    bool
 	dirNode  *node
 	refBlock int
@@ -63,6 +64,13 @@ type Memfs struct {
 	groups     map[types.Gid]map[types.Uid]bool
 	usedBlocks int
 	leaked     int
+
+	// Persistence simulation (Profile.Crash only): the last-synced deep
+	// copy of the tree plus one snapshot per unsynced mutating call, in
+	// order. Kept structurally independent of the model's pending-effect
+	// log so crash checking stays a genuine differential test.
+	durable *memSnapshot
+	pendLog []*memSnapshot
 }
 
 const blockSize = 4096
@@ -82,6 +90,9 @@ func NewMemfs(prof Profile) *Memfs {
 	}
 	fs.root.parent = fs.root
 	fs.CreateProcess(1, types.RootUid, types.RootGid)
+	if prof.Crash {
+		fs.durable = fs.takeSnapshot()
+	}
 	return fs
 }
 

@@ -1,0 +1,183 @@
+package fsimpl
+
+// memfs persistence simulation (Profile.Crash). memfs keeps its own durable
+// image and pending-effect log as deep tree copies with a rendered
+// fingerprint for change detection — deliberately nothing shared with the
+// model's COW-heap persistence layer, so checking crash traces against the
+// oracle compares two independent implementations of the same semantics.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// memSnapshot is one durable candidate: a deep copy of the tree plus the
+// fingerprint it was recognised by.
+type memSnapshot struct {
+	root *node
+	fp   string
+}
+
+// takeSnapshot deep-copies the current tree. Hard links alias one node;
+// the memo map preserves the aliasing in the copy.
+func (fs *Memfs) takeSnapshot() *memSnapshot {
+	memo := make(map[*node]*node)
+	root := copyNode(fs.root, memo)
+	root.parent = root
+	return &memSnapshot{root: root, fp: treeFingerprint(fs.root)}
+}
+
+func copyNode(n *node, memo map[*node]*node) *node {
+	if c, ok := memo[n]; ok {
+		return c
+	}
+	c := &node{
+		dir:     n.dir,
+		symlink: n.symlink,
+		mode:    n.mode,
+		uid:     n.uid,
+		gid:     n.gid,
+		data:    append([]byte(nil), n.data...),
+		nlink:   n.nlink,
+	}
+	memo[n] = c
+	if n.children != nil {
+		c.children = make(map[string]*node, len(n.children))
+		for name, ch := range n.children {
+			cc := copyNode(ch, memo)
+			c.children[name] = cc
+			if cc.dir {
+				cc.parent = c
+			}
+		}
+	}
+	return c
+}
+
+// treeFingerprint renders the tree deterministically; ids assigned in
+// first-visit order capture hard-link aliasing.
+func treeFingerprint(root *node) string {
+	var b []byte
+	ids := make(map[*node]int)
+	var walk func(n *node)
+	walk = func(n *node) {
+		id, seen := ids[n]
+		if !seen {
+			id = len(ids)
+			ids[n] = id
+		}
+		b = append(b, fmt.Sprintf("#%d(%v,%v,%o,%d,%d,%q)", id, n.dir, n.symlink, n.mode, n.uid, n.gid, n.data)...)
+		if seen || n.children == nil {
+			return
+		}
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b = append(b, '/')
+			b = append(b, name...)
+			b = append(b, '=')
+			walk(n.children[name])
+		}
+	}
+	walk(root)
+	return string(b)
+}
+
+// notePersist appends a snapshot to the pending log iff the tree changed
+// since the last image. Called after every Apply; no-op unless the crash
+// profile is on.
+func (fs *Memfs) notePersist() {
+	if !fs.prof.Crash {
+		return
+	}
+	last := fs.durable
+	if n := len(fs.pendLog); n > 0 {
+		last = fs.pendLog[n-1]
+	}
+	fp := treeFingerprint(fs.root)
+	if fp == last.fp {
+		return
+	}
+	memo := make(map[*node]*node)
+	root := copyNode(fs.root, memo)
+	root.parent = root
+	fs.pendLog = append(fs.pendLog, &memSnapshot{root: root, fp: fp})
+}
+
+// flushPersist is the sync barrier: pending effects become durable.
+func (fs *Memfs) flushPersist() {
+	if !fs.prof.Crash || len(fs.pendLog) == 0 {
+		return
+	}
+	fs.durable = fs.pendLog[len(fs.pendLog)-1]
+	fs.pendLog = nil
+}
+
+// Crash implements CrashFS: power loss, then remount. The first keep
+// pending effects survive (clamped); everything volatile — processes,
+// descriptors, directory handles, unsynced effects, the group table — is
+// gone, and pid 1 comes back as the fresh initial process.
+func (fs *Memfs) Crash(keep int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.prof.Crash {
+		return fmt.Errorf("memfs %s: crash simulation requires the crash profile", fs.prof.Name)
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > len(fs.pendLog) {
+		keep = len(fs.pendLog)
+	}
+	snap := fs.durable
+	if keep > 0 {
+		snap = fs.pendLog[keep-1]
+	}
+	memo := make(map[*node]*node)
+	fs.root = copyNode(snap.root, memo)
+	fs.root.parent = fs.root
+	fs.durable = &memSnapshot{root: snap.root, fp: snap.fp}
+	fs.pendLog = nil
+	fs.usedBlocks = treeBlocks(fs.root)
+	fs.leaked = 0
+	fs.procs = make(map[types.Pid]*mproc)
+	fs.groups = make(map[types.Gid]map[types.Uid]bool)
+	fs.procs[1] = &mproc{
+		cwd:    fs.root,
+		umask:  0o022,
+		uid:    types.RootUid,
+		gid:    types.RootGid,
+		fds:    make(map[types.FD]*openFile),
+		dhs:    make(map[types.DH]*openDir),
+		nextFD: 3,
+		nextDH: 1,
+	}
+	return nil
+}
+
+// treeBlocks recomputes the capacity charge from the linked tree — files
+// that were only reachable through (now dead) descriptors no longer count.
+func treeBlocks(root *node) int {
+	total := 0
+	seen := make(map[*node]bool)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if !n.dir && !n.symlink {
+			total += blocksFor(len(n.data))
+		}
+		for _, ch := range n.children {
+			walk(ch)
+		}
+	}
+	walk(root)
+	return total
+}

@@ -1,0 +1,188 @@
+package fsimpl
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func crashProfile() Profile {
+	p := LinuxProfile("ext4")
+	p.Crash = true
+	return p
+}
+
+func mustRv(t *testing.T, rv types.RetValue) types.RetValue {
+	t.Helper()
+	if e, ok := rv.(types.RvErr); ok {
+		t.Fatalf("unexpected error return: %s", e.Err)
+	}
+	return rv
+}
+
+// TestMemfsCrashKeepPrefixes pins the pending-log semantics: Crash(keep)
+// restores the tree exactly keep effects past the last barrier, volatile
+// state (processes, descriptors) is gone, and keep clamps to the log.
+func TestMemfsCrashKeepPrefixes(t *testing.T) {
+	for keep, want := range map[int][]string{
+		0: {},
+		1: {"/a"},
+		2: {"/a", "/b"},
+		9: {"/a", "/b"}, // clamped: everything pending survived
+	} {
+		fs := NewMemfs(crashProfile())
+		mustRv(t, fs.Apply(1, types.Mkdir{Path: "/a", Perm: 0o755}))
+		mustRv(t, fs.Apply(1, types.Mkdir{Path: "/b", Perm: 0o755}))
+		if err := fs.Crash(keep); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []string{"/a", "/b"} {
+			rv := fs.Apply(1, types.Stat{Path: p})
+			_, failed := rv.(types.RvErr)
+			wantThere := false
+			for _, w := range want {
+				if w == p {
+					wantThere = true
+				}
+			}
+			if wantThere == failed {
+				t.Fatalf("keep=%d: stat %s failed=%v, want present=%v", keep, p, failed, wantThere)
+			}
+		}
+	}
+}
+
+// TestMemfsCrashBarriers: fsync and sync move the durable image, so a
+// crash keeping nothing still shows everything up to the barrier.
+func TestMemfsCrashBarriers(t *testing.T) {
+	fs := NewMemfs(crashProfile())
+	mustRv(t, fs.Apply(1, types.Mkdir{Path: "/before", Perm: 0o755}))
+	mustRv(t, fs.Apply(1, types.Sync{}))
+	mustRv(t, fs.Apply(1, types.Mkdir{Path: "/after", Perm: 0o755}))
+	if err := fs.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, failed := fs.Apply(1, types.Stat{Path: "/before"}).(types.RvErr); failed {
+		t.Fatal("pre-sync directory lost in crash")
+	}
+	if _, failed := fs.Apply(1, types.Stat{Path: "/after"}).(types.RvErr); !failed {
+		t.Fatal("post-sync directory survived a keep-nothing crash")
+	}
+	// Descriptors do not survive a crash: the remounted pid 1 is fresh.
+	mustRv(t, fs.Apply(1, types.Open{Path: "/f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}))
+	if err := fs.Crash(9); err != nil {
+		t.Fatal(err)
+	}
+	if _, failed := fs.Apply(1, types.Write{FD: 3, Data: []byte("x"), Size: 1}).(types.RvErr); !failed {
+		t.Fatal("descriptor survived the power cycle")
+	}
+}
+
+// TestMemfsOSyncWriteDurable is the dormant-flag regression pin on the
+// implementation side: a write through an O_SYNC descriptor must survive
+// a keep-nothing crash, and an identical plain write must not — if O_SYNC
+// goes back to being parsed-and-ignored, both subcases fail.
+func TestMemfsOSyncWriteDurable(t *testing.T) {
+	run := func(flags types.OpenFlags) bool {
+		fs := NewMemfs(crashProfile())
+		mustRv(t, fs.Apply(1, types.Open{Path: "/f", Flags: flags, Perm: 0o644, HasPerm: true}))
+		mustRv(t, fs.Apply(1, types.Write{FD: 3, Data: []byte("x"), Size: 1}))
+		if err := fs.Crash(0); err != nil {
+			t.Fatal(err)
+		}
+		rv := fs.Apply(1, types.Read{FD: 3, Size: 8}) // stale fd: must fail either way
+		if _, failed := rv.(types.RvErr); !failed {
+			t.Fatal("pre-crash descriptor usable after remount")
+		}
+		mustRv(t, fs.Apply(1, types.Open{Path: "/", Flags: types.ORdonly}))
+		rv = fs.Apply(1, types.Stat{Path: "/f"})
+		_, failed := rv.(types.RvErr)
+		return !failed
+	}
+	if !run(types.OCreat | types.OWronly | types.OSync) {
+		t.Fatal("O_SYNC write lost in crash: the flag is dormant again")
+	}
+	if run(types.OCreat | types.OWronly) {
+		t.Fatal("plain write survived a keep-nothing crash: every write self-flushes")
+	}
+}
+
+// TestMemfsFsyncReturns pins the call surface: fsync on a live descriptor
+// succeeds, on a stale one is EBADF, and sync never fails.
+func TestMemfsFsyncReturns(t *testing.T) {
+	fs := NewMemfs(crashProfile())
+	mustRv(t, fs.Apply(1, types.Open{Path: "/f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}))
+	mustRv(t, fs.Apply(1, types.Fsync{FD: 3}))
+	mustRv(t, fs.Apply(1, types.Sync{}))
+	rv := fs.Apply(1, types.Fsync{FD: 9})
+	if e, ok := rv.(types.RvErr); !ok || e.Err != types.EBADF {
+		t.Fatalf("fsync on stale fd returned %s, want EBADF", rv)
+	}
+	// Crash simulation outside the crash profile is an error, not a wipe.
+	plain := NewMemfs(LinuxProfile("ext4"))
+	if err := plain.Crash(0); err == nil {
+		t.Fatal("Crash succeeded without the crash profile")
+	}
+}
+
+// TestMemfsCrashPreservesHardLinks: snapshots deep-copy the tree but must
+// preserve hard-link aliasing — writing through one name after the crash
+// shows through the other.
+func TestMemfsCrashPreservesHardLinks(t *testing.T) {
+	fs := NewMemfs(crashProfile())
+	mustRv(t, fs.Apply(1, types.Open{Path: "/f", Flags: types.OCreat | types.OWronly, Perm: 0o644, HasPerm: true}))
+	mustRv(t, fs.Apply(1, types.Write{FD: 3, Data: []byte("v1"), Size: 2}))
+	mustRv(t, fs.Apply(1, types.Close{FD: 3}))
+	mustRv(t, fs.Apply(1, types.Link{Src: "/f", Dst: "/g"}))
+	mustRv(t, fs.Apply(1, types.Sync{}))
+	if err := fs.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	wfd := mustRv(t, fs.Apply(1, types.Open{Path: "/f", Flags: types.OWronly})).(types.RvFD)
+	mustRv(t, fs.Apply(1, types.Write{FD: wfd.FD, Data: []byte("v2"), Size: 2}))
+	mustRv(t, fs.Apply(1, types.Close{FD: wfd.FD}))
+	rfd := mustRv(t, fs.Apply(1, types.Open{Path: "/g", Flags: types.ORdonly})).(types.RvFD)
+	rv := mustRv(t, fs.Apply(1, types.Read{FD: rfd.FD, Size: 8}))
+	data, ok := rv.(types.RvBytes)
+	if !ok || string(data.Data) != "v2" {
+		t.Fatalf("read through hard link after crash: %s, want v2 (aliasing lost in snapshot)", rv)
+	}
+}
+
+// TestSpecFSCrashMirrorsModel: the determinized model implements CrashFS
+// through the oracle's own persistence layer, so its post-crash answers
+// must agree with memfs's for the same keep count.
+func TestSpecFSCrashMirrorsModel(t *testing.T) {
+	spec := types.DefaultSpec()
+	spec.Crash = true
+	workload := func(fs FS) {
+		mustRv(t, fs.Apply(1, types.Mkdir{Path: "/a", Perm: 0o755}))
+		mustRv(t, fs.Apply(1, types.Sync{}))
+		mustRv(t, fs.Apply(1, types.Mkdir{Path: "/b", Perm: 0o755}))
+		mustRv(t, fs.Apply(1, types.Mkdir{Path: "/c", Perm: 0o755}))
+	}
+	for keep := 0; keep <= 3; keep++ {
+		sfs := NewSpecFS("spec", spec)
+		mfs := NewMemfs(crashProfile())
+		workload(sfs)
+		workload(mfs)
+		if err := sfs.Crash(keep); err != nil {
+			t.Fatal(err)
+		}
+		if err := mfs.Crash(keep); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []string{"/a", "/b", "/c"} {
+			_, sErr := sfs.Apply(1, types.Stat{Path: p}).(types.RvErr)
+			_, mErr := mfs.Apply(1, types.Stat{Path: p}).(types.RvErr)
+			if sErr != mErr {
+				t.Fatalf("keep=%d stat %s: specfs failed=%v, memfs failed=%v", keep, p, sErr, mErr)
+			}
+		}
+	}
+	// Outside crash mode SpecFS.Crash must refuse.
+	plain := NewSpecFS("spec", types.DefaultSpec())
+	if err := plain.Crash(0); err == nil {
+		t.Fatal("SpecFS.Crash succeeded without Spec.Crash")
+	}
+}

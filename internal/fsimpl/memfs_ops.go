@@ -8,9 +8,17 @@ import (
 
 // Apply implements FS: one libc call, deterministic behaviour per profile.
 // The whole call runs under fs.mu, so concurrent callers linearise here.
+// Under the crash profile every call is followed by a persistence note, so
+// the pending log gains (at most) one snapshot per mutating call.
 func (fs *Memfs) Apply(pid types.Pid, cmd types.Command) types.RetValue {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	rv := fs.applyLocked(pid, cmd)
+	fs.notePersist()
+	return rv
+}
+
+func (fs *Memfs) applyLocked(pid types.Pid, cmd types.Command) types.RetValue {
 	p := fs.procs[pid]
 	if p == nil {
 		return err(types.EINVAL)
@@ -68,6 +76,17 @@ func (fs *Memfs) Apply(pid types.Pid, cmd types.Command) types.RetValue {
 		return fs.write(p, c.FD, c.Data, c.Size, c.Off, false)
 	case types.Lseek:
 		return fs.lseek(p, c)
+	case types.Fsync:
+		if _, ok := p.fds[c.FD]; !ok {
+			return err(types.EBADF)
+		}
+		fs.notePersist()
+		fs.flushPersist()
+		return types.RvNone{}
+	case types.Sync:
+		fs.notePersist()
+		fs.flushPersist()
+		return types.RvNone{}
 	case types.Opendir:
 		return fs.opendir(p, c)
 	case types.Readdir:
@@ -647,6 +666,7 @@ func (fs *Memfs) open(p *mproc, c types.Open) types.RetValue {
 		}
 		return fs.allocFD(p, &openFile{
 			n: r.n, app: fl.Has(types.OAppend), rd: fdRead, wr: fdWrite,
+			sync: fl.Has(types.OSync),
 		})
 	}
 	// Missing leaf.
@@ -676,6 +696,7 @@ func (fs *Memfs) open(p *mproc, c types.Open) types.RetValue {
 	r.parent.children[r.name] = nd
 	return fs.allocFD(p, &openFile{
 		n: nd, app: fl.Has(types.OAppend), rd: fdRead, wr: fdWrite,
+		sync: fl.Has(types.OSync),
 	})
 }
 
@@ -779,6 +800,12 @@ func (fs *Memfs) write(p *mproc, fd types.FD, data []byte, size, at int64, seq b
 	copy(of.n.data[pos:end], data)
 	if seq {
 		of.off = end
+	}
+	if of.sync {
+		// O_SYNC: this write (and, in the global-barrier model, anything
+		// still pending before it) is durable before the call returns.
+		fs.notePersist()
+		fs.flushPersist()
 	}
 	return types.RvNum{N: int64(len(data))}
 }

@@ -13,6 +13,12 @@ type Profile struct {
 	// systems; SSHFS with plain allow_other skips it — §7.3.4).
 	CheckPerms bool
 
+	// Crash enables the persistence simulation: memfs tracks a durable
+	// tree image plus a log of unsynced effects, honours fsync/sync and
+	// O_SYNC as flush barriers, and implements CrashFS. Off by default —
+	// the log costs a tree snapshot per mutating call.
+	Crash bool
+
 	// ---- Platform conventions (§7.3.3) ----
 
 	// UnlinkDirErrno is returned by unlink on a directory: EISDIR on Linux

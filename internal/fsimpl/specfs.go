@@ -1,6 +1,7 @@
 package fsimpl
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -55,6 +56,21 @@ func (fs *SpecFS) DestroyProcess(pid types.Pid) {
 	if len(next) > 0 {
 		fs.st = next[0]
 	}
+}
+
+// Crash implements CrashFS by asking the model itself for the remounted
+// state in which the first keep pending effects survived. SpecFS is always
+// quiescent between calls (Apply runs call → τ → return to completion), so
+// no in-flight effects need resolving here.
+func (fs *SpecFS) Crash(keep int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	next := osspec.CrashWithKeep(fs.st, keep)
+	if next == nil {
+		return fmt.Errorf("specfs %s: crash simulation requires Spec.Crash", fs.name)
+	}
+	fs.st = next
+	return nil
 }
 
 // Apply implements FS: call → τ → pick one allowed return.

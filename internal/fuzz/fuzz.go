@@ -62,6 +62,15 @@ type Config struct {
 	// reproducible for the session seed. Seed the corpus with multi-process
 	// scripts (e.g. testgen.ConcurrentScripts) to make this bite.
 	Concurrent bool
+	// Crash enables the durability mutation operators: candidates gain
+	// fsync/sync barriers and crash labels (power cycles), so the fuzzer
+	// explores the persistence model's admissible-state envelope. It
+	// requires a crash-capable Factory (a crash-profiled memfs or a
+	// Spec.Crash SpecFS) and a Spec with Crash set, and is mutually
+	// exclusive with Concurrent — crash labels are sequential-executor
+	// only. Seed the corpus with testgen.CrashScripts to start the loop
+	// inside the crash universe.
+	Crash bool
 	// Seeds are extra initial inputs offered to the corpus at startup.
 	Seeds []*trace.Script
 	// ResultCache, when non-nil, memoises corpus seeding on the pipeline's
@@ -138,6 +147,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if _, bounded := ctx.Deadline(); !bounded && cfg.MaxRuns <= 0 {
 		return nil, errors.New("fuzz: set Config.Duration, Config.MaxRuns, or a context deadline")
+	}
+	if cfg.Crash && cfg.Concurrent {
+		return nil, errors.New("fuzz: Config.Crash and Config.Concurrent are mutually exclusive (crash labels are sequential-executor only)")
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -316,6 +328,11 @@ func (e *engine) seed(ctx context.Context) error {
 		if !validLifecycle(s) {
 			continue
 		}
+		if !e.cfg.Crash && hasCrashLabel(s) {
+			// A crash corpus reloaded into a non-crash session: the factory
+			// cannot power-cycle, so the replay could only error.
+			continue
+		}
 		if points, ok := e.cachedSeed(s); ok {
 			e.admitCached(s, points)
 			e.cachedSeeds++
@@ -403,7 +420,7 @@ func (e *engine) admitCached(s *trace.Script, points []string) {
 // cancellation — both are graceful session ends) or MaxRuns is reached.
 func (e *engine) worker(ctx context.Context, id int) {
 	r := rand.New(rand.NewSource(workerSeed(e.cfg.Seed, id)))
-	m := &mutator{r: r, maxSteps: e.cfg.MaxSteps}
+	m := &mutator{r: r, maxSteps: e.cfg.MaxSteps, crash: e.cfg.Crash}
 	for {
 		seq := e.seq.Add(1)
 		if e.cfg.MaxRuns > 0 && seq > e.cfg.MaxRuns {

@@ -19,6 +19,11 @@ import (
 type mutator struct {
 	r        *rand.Rand
 	maxSteps int
+	// crash enables the durability operators (Config.Crash): inserting
+	// fsync/sync barriers and inserting/moving/deleting crash labels. A
+	// crash label kills every process and descriptor, so the lifecycle
+	// bookkeeping below treats it as a reset to the initial process.
+	crash bool
 }
 
 // mutate produces a candidate from parent, optionally splicing in donor.
@@ -26,10 +31,14 @@ type mutator struct {
 // a plain copy of the parent if every attempt comes out ill-formed (the
 // caller's argument mutation of a copy is always safe).
 func (m *mutator) mutate(parent, donor *trace.Script) *trace.Script {
+	ops := 7
+	if m.crash {
+		ops = 10 // widen the draw with the durability operators
+	}
 	for attempt := 0; attempt < 4; attempt++ {
 		cand := copyScript(parent)
 		for n := 1 + m.r.Intn(3); n > 0; n-- {
-			switch m.r.Intn(7) {
+			switch m.r.Intn(ops) {
 			case 0:
 				m.insertCall(cand)
 			case 1:
@@ -46,8 +55,14 @@ func (m *mutator) mutate(parent, donor *trace.Script) *trace.Script {
 				} else {
 					m.insertCall(cand)
 				}
-			default:
+			case 6:
 				m.mutateArgs(cand)
+			case 7:
+				m.insertBarrier(cand)
+			case 8:
+				m.insertCrash(cand)
+			default:
+				m.tweakCrash(cand)
 			}
 		}
 		m.clamp(cand)
@@ -84,8 +99,9 @@ func (m *mutator) cmdGen(s *trace.Script) *testgen.CmdGen {
 	var dhs []types.DH
 	nextFD, nextDH := types.FD(3), types.DH(1)
 	for _, st := range s.Steps {
-		if cl, ok := st.Label.(types.CallLabel); ok {
-			switch cl.Cmd.(type) {
+		switch l := st.Label.(type) {
+		case types.CallLabel:
+			switch l.Cmd.(type) {
 			case types.Open:
 				fds = append(fds, nextFD)
 				nextFD++
@@ -93,6 +109,11 @@ func (m *mutator) cmdGen(s *trace.Script) *testgen.CmdGen {
 				dhs = append(dhs, nextDH)
 				nextDH++
 			}
+		case types.CrashLabel:
+			// The power cycle closes every handle; the remounted initial
+			// process allocates from scratch.
+			fds, dhs = nil, nil
+			nextFD, nextDH = 3, 1
 		}
 	}
 	g.SeedHandles(fds, dhs)
@@ -109,6 +130,8 @@ func livePidAt(s *trace.Script, pos int, r *rand.Rand) types.Pid {
 			live[l.Pid] = true
 		case types.DestroyLabel:
 			delete(live, l.Pid)
+		case types.CrashLabel:
+			live = map[types.Pid]bool{1: true}
 		}
 	}
 	pids := make([]types.Pid, 0, len(live))
@@ -133,6 +156,68 @@ func (m *mutator) insertCall(s *trace.Script) {
 	cmd := m.randomCommand(s)
 	st := trace.Step{Label: types.CallLabel{Pid: pid, Cmd: cmd}}
 	s.Steps = append(s.Steps[:pos], append([]trace.Step{st}, s.Steps[pos:]...)...)
+}
+
+// insertBarrier inserts a durability barrier — fsync on a plausibly-live
+// descriptor, or sync — moving the durable image so a later crash label
+// partitions the script's effects.
+func (m *mutator) insertBarrier(s *trace.Script) {
+	pos := m.r.Intn(len(s.Steps) + 1)
+	pid := livePidAt(s, pos, m.r)
+	var cmd types.Command
+	if m.r.Intn(3) == 0 {
+		cmd = types.Sync{}
+	} else {
+		cmd = types.Fsync{FD: m.cmdGen(s).FD()}
+	}
+	st := trace.Step{Label: types.CallLabel{Pid: pid, Cmd: cmd}}
+	s.Steps = append(s.Steps[:pos], append([]trace.Step{st}, s.Steps[pos:]...)...)
+}
+
+// insertCrash drops a power cycle into the script. Small Keep values bias
+// towards losing recent effects — the interesting durability frontier.
+func (m *mutator) insertCrash(s *trace.Script) {
+	pos := m.r.Intn(len(s.Steps) + 1)
+	st := trace.Step{Label: types.CrashLabel{Keep: m.r.Intn(4)}}
+	s.Steps = append(s.Steps[:pos], append([]trace.Step{st}, s.Steps[pos:]...)...)
+}
+
+// tweakCrash moves, deletes, or re-draws the Keep of an existing crash
+// label; with none present it inserts one instead.
+func (m *mutator) tweakCrash(s *trace.Script) {
+	var crashes []int
+	for i, st := range s.Steps {
+		if _, ok := st.Label.(types.CrashLabel); ok {
+			crashes = append(crashes, i)
+		}
+	}
+	if len(crashes) == 0 {
+		m.insertCrash(s)
+		return
+	}
+	i := crashes[m.r.Intn(len(crashes))]
+	switch m.r.Intn(3) {
+	case 0: // delete
+		s.Steps = append(s.Steps[:i], s.Steps[i+1:]...)
+	case 1: // move
+		st := s.Steps[i]
+		s.Steps = append(s.Steps[:i], s.Steps[i+1:]...)
+		pos := m.r.Intn(len(s.Steps) + 1)
+		s.Steps = append(s.Steps[:pos], append([]trace.Step{st}, s.Steps[pos:]...)...)
+	default: // re-draw Keep
+		s.Steps[i].Label = types.CrashLabel{Keep: m.r.Intn(4)}
+	}
+}
+
+// hasCrashLabel reports whether the script contains a crash label — such
+// scripts need a crash-capable implementation and a Spec.Crash model.
+func hasCrashLabel(s *trace.Script) bool {
+	for _, st := range s.Steps {
+		if _, ok := st.Label.(types.CrashLabel); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // randomCommand draws an inserted call: usually from the shared testgen
@@ -351,6 +436,9 @@ func mutateCommand(r *rand.Rand, g *testgen.CmdGen, cmd types.Command) types.Com
 	case types.Umask:
 		c.Mask = g.Perm()
 		return c
+	case types.Fsync:
+		c.FD = g.FD()
+		return c
 	default:
 		return cmd
 	}
@@ -365,8 +453,11 @@ func (m *mutator) clamp(s *trace.Script) {
 
 // validLifecycle checks process well-formedness: every call targets a live
 // pid (1 is implicitly alive), create does not duplicate a live pid, and
-// destroy targets a live pid. Mutation products violating this would be
-// rejected by the model as harness artifacts, not file-system deviations.
+// destroy targets a live pid. A crash label kills every process and
+// remounts with a fresh initial process, so liveness resets to {1} — a
+// call from a pre-crash pid after the crash is ill-formed. Mutation
+// products violating this would be rejected by the model as harness
+// artifacts, not file-system deviations.
 func validLifecycle(s *trace.Script) bool {
 	live := map[types.Pid]bool{1: true}
 	for _, st := range s.Steps {
@@ -385,6 +476,8 @@ func validLifecycle(s *trace.Script) bool {
 				return false
 			}
 			delete(live, l.Pid)
+		case types.CrashLabel:
+			live = map[types.Pid]bool{1: true}
 		case types.ReturnLabel, types.TauLabel:
 			return false // scripts never carry these
 		}

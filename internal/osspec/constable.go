@@ -163,6 +163,10 @@ func LabelKey(lbl types.Label) string {
 		return "n" + strconv.Itoa(int(l.Pid)) + "," + strconv.Itoa(int(l.Uid)) + "," + strconv.Itoa(int(l.Gid))
 	case types.DestroyLabel:
 		return "d" + strconv.Itoa(int(l.Pid))
+	case types.CrashLabel:
+		// One key for every keep count: the oracle ignores Keep (it admits
+		// the whole crash-state set), so the fan-outs are identical.
+		return "x"
 	}
 	return "?" + lbl.String()
 }

@@ -108,6 +108,10 @@ func dispatch(s *OsState, pid types.Pid, cmd types.Command) []*OsState {
 		return writeCall(s, pid, cm.FD, cm.Data, cm.Size, cm.Off, false)
 	case types.Lseek:
 		return lseekCall(s, pid, cm)
+	case types.Fsync:
+		return fsyncCall(s, pid, cm)
+	case types.Sync:
+		return syncCall(s, pid)
 
 	// Directory-stream commands.
 	case types.Opendir:

@@ -44,6 +44,7 @@ func openCall(s *OsState, pid types.Pid, cmd types.Open) []*OsState {
 			Append:   d.Append,
 			Readable: d.Readable,
 			Writable: d.Writable,
+			Sync:     cmd.Flags.Has(types.OSync),
 			Refs:     1,
 			owner:    c.ensureTok(),
 		}

@@ -25,6 +25,7 @@ const (
 	seedMust = 0x9561e1f1a2b3c4d5
 	seedMay  = 0x6a09e667f3bcc909
 	seedRet  = 0xbb67ae8584caa73b
+	seedDur  = 0x7f4a7c159e3779b9
 )
 
 // Hash returns the state's 64-bit identity digest. The non-heap part is
@@ -38,7 +39,18 @@ func (s *OsState) Hash() uint64 {
 		s.hv = s.osHash()
 		s.hvOK = true
 	}
-	return state.Mix(s.hv, s.H.Hash())
+	h := state.Mix(s.hv, s.H.Hash())
+	if s.durable != nil {
+		// Crash mode folds the persistence history in (order-sensitive:
+		// the pending log is ordered). Heap hashes are maintained
+		// incrementally, so this is O(len(pend)) mixes, not tree walks.
+		h = state.Mix(h, seedDur)
+		h = state.Mix(h, s.durable.Hash())
+		for _, p := range s.pend {
+			h = state.Mix(h, p.Hash())
+		}
+	}
+	return h
 }
 
 func (s *OsState) osHash() uint64 {
@@ -147,6 +159,22 @@ func StateEqual(a, b *OsState) bool {
 			}
 			if ha.Dir != hb.Dir || !setEqual(ha.Must, hb.Must) ||
 				!setEqual(ha.May, hb.May) || !setEqual(ha.Returned, hb.Returned) {
+				return false
+			}
+		}
+	}
+	if (a.durable == nil) != (b.durable == nil) {
+		return false
+	}
+	if a.durable != nil {
+		if len(a.pend) != len(b.pend) {
+			return false
+		}
+		if !state.HeapEqual(a.durable, b.durable) {
+			return false
+		}
+		for i := range a.pend {
+			if !state.HeapEqual(a.pend[i], b.pend[i]) {
 				return false
 			}
 		}

@@ -152,6 +152,14 @@ func applyWriteEffect(s *OsState, fidRef FidRef, data []byte, n, at int64, seq b
 	if seq {
 		s.mutFid(fidRef).Offset = end
 	}
+	if fid.Sync {
+		// O_SYNC: the write is durable before the call returns. Note the
+		// content effect above must land first so the flushed image holds
+		// it; in the global-barrier model this also flushes any older
+		// pending effects (see persist.go).
+		s.persistNote()
+		s.flushPending()
+	}
 }
 
 // Describe implements Pending.

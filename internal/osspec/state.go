@@ -28,6 +28,7 @@ type FidState struct {
 	Append   bool
 	Readable bool
 	Writable bool
+	Sync     bool // O_SYNC: writes through this description self-flush
 	Refs     int
 
 	owner *cowTok
@@ -99,10 +100,20 @@ type OsState struct {
 	groups map[types.Gid]map[types.Uid]bool
 	Spec   types.Spec
 
+	// Persistence layer (Spec.Crash only; both stay nil/empty otherwise).
+	// durable is the last-synced file-system image; pend holds one frozen
+	// heap snapshot per unsynced durable effect, in the order the effects
+	// landed. Crash states are exactly durable plus the pend prefixes —
+	// see CrashStates. Snapshots are O(1) COW clones, so the log costs a
+	// header per effect, not a tree copy.
+	durable *state.Heap
+	pend    []*state.Heap
+
 	tok        *cowTok
 	ownsFids   bool
 	ownsProcs  bool
 	ownsGroups bool
+	ownsPend   bool
 	frozen     bool
 
 	// hv memoises the non-heap part of Hash (procs, fds, dir handles);
@@ -128,12 +139,17 @@ func NewOsState(spec types.Spec) *OsState {
 		ownsFids:   true,
 		ownsProcs:  true,
 		ownsGroups: true,
+		ownsPend:   true,
 	}
 	uid, gid := types.RootUid, types.RootGid
 	if !spec.RootUser {
 		uid, gid = 1000, 1000
 	}
 	s.addProcess(InitialPid, uid, gid)
+	if spec.Crash {
+		// The empty initial file system is durable by definition.
+		s.durable = snapshotHeap(s.H)
+	}
 	return s
 }
 
@@ -189,6 +205,8 @@ func (s *OsState) Clone() *OsState {
 		procs:   s.procs,
 		groups:  s.groups,
 		Spec:    s.Spec,
+		durable: s.durable,
+		pend:    s.pend,
 		hv:      s.hv,
 		hvOK:    s.hvOK,
 	}
@@ -204,7 +222,7 @@ func (s *OsState) Freeze() {
 	}
 	s.H.Freeze()
 	s.tok = nil
-	s.ownsFids, s.ownsProcs, s.ownsGroups = false, false, false
+	s.ownsFids, s.ownsProcs, s.ownsGroups, s.ownsPend = false, false, false, false
 	s.frozen = true
 }
 
@@ -248,21 +266,34 @@ func (s *OsState) Fingerprint() string {
 			b = append(b, fmt.Sprintf(";dh%d=%d,m%v,y%v,r%v", dh, h.Dir, sortedKeys(h.Must), sortedKeys(h.May), sortedKeys(h.Returned))...)
 		}
 	}
+	if s.durable != nil {
+		// Crash mode: the durable image and pending-effect log are part of
+		// the state's identity (two states with equal live trees but
+		// different persistence histories admit different crash states).
+		b = append(b, "|durable:"...)
+		b = append(b, heapFingerprint(s.durable)...)
+		for i, p := range s.pend {
+			b = append(b, fmt.Sprintf("|pend%d:", i)...)
+			b = append(b, heapFingerprint(p)...)
+		}
+	}
 	return string(b)
 }
 
-func (s *OsState) fsFingerprint() string {
+func (s *OsState) fsFingerprint() string { return heapFingerprint(s.H) }
+
+func heapFingerprint(h *state.Heap) string {
 	var b []byte
-	for _, dr := range s.H.SortedDirRefs() {
-		d := s.H.Dir(dr)
+	for _, dr := range h.SortedDirRefs() {
+		d := h.Dir(dr)
 		b = append(b, fmt.Sprintf("|d%d,p%d,%o,%d,%d:", dr, d.Parent, d.Perm, d.Uid, d.Gid)...)
-		for _, n := range s.H.EntryNames(dr) {
+		for _, n := range h.EntryNames(dr) {
 			e := d.Entries[n]
 			b = append(b, fmt.Sprintf("%s=%d/%d/%d;", n, e.Kind, e.File, e.Dir)...)
 		}
 	}
-	for _, fr := range s.H.SortedFileRefs() {
-		f := s.H.File(fr)
+	for _, fr := range h.SortedFileRefs() {
+		f := h.File(fr)
 		b = append(b, fmt.Sprintf("|f%d,%d,%v,%o,%d,%d:%q", fr, f.Nlink, f.IsSymlink, f.Perm, f.Uid, f.Gid, f.Bytes)...)
 	}
 	return string(b)

@@ -11,6 +11,7 @@ var (
 	covTransTau     = cov.Point("osspec/trans/tau")
 	covTransCreate  = cov.Point("osspec/trans/create")
 	covTransDestroy = cov.Point("osspec/trans/destroy")
+	covTransCrash   = cov.Point("osspec/trans/crash")
 	covTransBadPid  = cov.Point("osspec/trans/bad_pid")
 )
 
@@ -64,6 +65,7 @@ func Trans(s *OsState, lbl types.Label) []*OsState {
 		cp.PendingRet = nil
 		cp.PendingCmd = nil
 		pend.Finalize(c, l.Ret)
+		c.persistNote()
 		return []*OsState{c}
 
 	case types.CreateLabel:
@@ -91,7 +93,17 @@ func Trans(s *OsState, lbl types.Label) []*OsState {
 		}
 		c.dirty()
 		delete(c.mutProcsMap(), l.Pid)
+		c.persistNote()
 		return []*OsState{c}
+
+	case types.CrashLabel:
+		cov.Hit(covTransCrash)
+		// The oracle ignores l.Keep: a single crash label admits every
+		// durable state the persistence model allows here, and later
+		// observations prune the set. Outside crash mode the label is
+		// simply not enabled, which surfaces misconfigured runs as an
+		// immediate deviation instead of silently passing.
+		return CrashStates(s)
 	}
 	return nil
 }
@@ -109,6 +121,7 @@ func succExact(s *OsState, pid types.Pid, rv types.RetValue, apply func(*OsState
 	c := s.Clone()
 	if apply != nil {
 		apply(c)
+		c.persistNote()
 	}
 	p := c.mutProc(pid)
 	p.Run = RsReturning
@@ -122,6 +135,7 @@ func succPending(s *OsState, pid types.Pid, pend Pending, apply func(*OsState)) 
 	c := s.Clone()
 	if apply != nil {
 		apply(c)
+		c.persistNote()
 	}
 	p := c.mutProc(pid)
 	p.Run = RsReturning

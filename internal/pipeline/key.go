@@ -15,8 +15,8 @@ import (
 // results only if their SpecHash agrees.
 func SpecHash(modelVersion string, spec types.Spec) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "model=%s\nplatform=%s\npermissions=%t\ntimestamps=%t\nrootuser=%t\n",
-		modelVersion, spec.Platform, spec.Permissions, spec.Timestamps, spec.RootUser)
+	fmt.Fprintf(h, "model=%s\nplatform=%s\npermissions=%t\ntimestamps=%t\nrootuser=%t\ncrash=%t\n",
+		modelVersion, spec.Platform, spec.Permissions, spec.Timestamps, spec.RootUser, spec.Crash)
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 

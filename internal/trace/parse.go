@@ -80,6 +80,15 @@ func ParseLabel(line string) (types.Label, error) {
 	switch toks[0] {
 	case "tau":
 		return types.TauLabel{}, nil
+	case "crash":
+		if len(toks) != 2 {
+			return nil, fmt.Errorf("crash needs KEEP (pending effects surviving)")
+		}
+		keep, err := parseInt(toks[1])
+		if err != nil || keep < 0 {
+			return nil, fmt.Errorf("bad crash keep count")
+		}
+		return types.CrashLabel{Keep: int(keep)}, nil
 	case "create":
 		if len(toks) != 4 {
 			return nil, fmt.Errorf("create needs PID UID GID")
@@ -515,6 +524,20 @@ func parseCommand(toks []string) (types.Command, error) {
 			return nil, err
 		}
 		return types.Chown{Path: p, Uid: types.Uid(uid), Gid: types.Gid(gid)}, nil
+	case "fsync":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		kind, fd, err := parseHandle(args[0])
+		if err != nil || kind != "FD" {
+			return nil, fmt.Errorf("fsync needs (FD n)")
+		}
+		return types.Fsync{FD: types.FD(fd)}, nil
+	case "sync":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return types.Sync{}, nil
 	case "umask":
 		if err := need(1); err != nil {
 			return nil, err

@@ -114,6 +114,12 @@ type (
 		Data []byte
 		Size int64
 	}
+	// Fsync models fsync(fd): flush the descriptor's pending effects to
+	// durable storage. The model treats it as a global barrier (see the
+	// "Crash consistency" section of ARCHITECTURE.md).
+	Fsync struct{ FD FD }
+	// Sync models sync(): flush all pending effects to durable storage.
+	Sync struct{}
 	// Umask models umask(mask).
 	Umask struct{ Mask Perm }
 	// AddUserToGroup extends the model of users and groups; it is part of
@@ -148,6 +154,8 @@ func (Symlink) isCommand()        {}
 func (Truncate) isCommand()       {}
 func (Unlink) isCommand()         {}
 func (Write) isCommand()          {}
+func (Fsync) isCommand()          {}
+func (Sync) isCommand()           {}
 func (Umask) isCommand()          {}
 func (AddUserToGroup) isCommand() {}
 
@@ -176,6 +184,8 @@ func (Symlink) Op() string        { return "symlink" }
 func (Truncate) Op() string       { return "truncate" }
 func (Unlink) Op() string         { return "unlink" }
 func (Write) Op() string          { return "write" }
+func (Fsync) Op() string          { return "fsync" }
+func (Sync) Op() string           { return "sync" }
 func (Umask) Op() string          { return "umask" }
 func (AddUserToGroup) Op() string { return "add_user_to_group" }
 
@@ -229,6 +239,8 @@ func (c Unlink) String() string { return "unlink " + q(c.Path) }
 func (c Write) String() string {
 	return "write (FD " + strconv.Itoa(int(c.FD)) + ") " + q(string(c.Data)) + " " + strconv.FormatInt(c.Size, 10)
 }
+func (c Fsync) String() string { return "fsync (FD " + strconv.Itoa(int(c.FD)) + ")" }
+func (Sync) String() string    { return "sync" }
 func (c Umask) String() string { return "umask " + c.Mask.String() }
 func (c AddUserToGroup) String() string {
 	return "add_user_to_group " + strconv.Itoa(int(c.Uid)) + " " + strconv.Itoa(int(c.Gid))

@@ -36,11 +36,19 @@ type DestroyLabel struct{ Pid Pid }
 // pending call).
 type TauLabel struct{}
 
+// CrashLabel is the crash-consistency extension: the system loses power and
+// is remounted. Keep tells the implementation under test how many pending
+// (volatile, unsynced) effects survive the crash, in log order; the oracle
+// ignores Keep and admits every durable state consistent with the pending
+// log, so a single crash label checks the whole admissible set.
+type CrashLabel struct{ Keep int }
+
 func (CallLabel) isLabel()    {}
 func (ReturnLabel) isLabel()  {}
 func (CreateLabel) isLabel()  {}
 func (DestroyLabel) isLabel() {}
 func (TauLabel) isLabel()     {}
+func (CrashLabel) isLabel()   {}
 
 func (l CallLabel) String() string   { return strconv.Itoa(int(l.Pid)) + ": " + l.Cmd.String() }
 func (l ReturnLabel) String() string { return strconv.Itoa(int(l.Pid)) + ": " + l.Ret.String() }
@@ -49,3 +57,4 @@ func (l CreateLabel) String() string {
 }
 func (l DestroyLabel) String() string { return "destroy " + strconv.Itoa(int(l.Pid)) }
 func (TauLabel) String() string       { return "tau" }
+func (l CrashLabel) String() string   { return "crash " + strconv.Itoa(l.Keep) }

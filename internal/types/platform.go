@@ -62,6 +62,7 @@ type Spec struct {
 	Permissions bool // false = all files accessible by all users
 	Timestamps  bool // reserved; timestamp checking is untested in the paper too
 	RootUser    bool // initial process runs with uid 0
+	Crash       bool // track durable vs pending state; admit crash labels
 }
 
 // DefaultSpec is the configuration used throughout the test suite: the

@@ -259,6 +259,19 @@ func (s *Session) GenerateConcurrent(ctx context.Context) ([]*Script, error) {
 	return s.generateUniverse("concurrent", testgen.ConcurrentScripts)
 }
 
+// GenerateCrash builds the crash-consistency universe (crash___ scripts:
+// workloads with fsync/sync barriers, crash points and post-remount
+// observations). Run it through Execute — crash scripts are
+// sequential-executor only — against a crash-profiled implementation, and
+// check with a Spec.Crash session. Cached like Generate, under its own
+// universe key.
+func (s *Session) GenerateCrash(ctx context.Context) ([]*Script, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.generateUniverse("crash", testgen.CrashScripts)
+}
+
 // generateUniverse serves one generation universe through the session's
 // cache: a hit decodes the stored suite (and seeds the script-hash memo
 // from the stored hashes), a miss generates, renders each script once to
@@ -376,6 +389,20 @@ func (c *wrapFS) CreateProcess(pid types.Pid, uid types.Uid, gid types.Gid) {
 }
 func (c *wrapFS) DestroyProcess(pid types.Pid) { c.fs.DestroyProcess(pid) }
 func (c *wrapFS) Close() error                 { return c.fs.Close() }
+
+// Crash forwards crash simulation through the wrapper (SpecFS evaluates
+// the model during remount, so the call runs inside the attribution
+// window like Apply does). Backends without persistence simulation keep
+// failing loudly, with the same message the unwrapped executor produces.
+func (c *wrapFS) Crash(keep int) error {
+	cfs, ok := c.fs.(fsimpl.CrashFS)
+	if !ok {
+		return fmt.Errorf("%s does not support crash simulation", c.fs.Name())
+	}
+	var err error
+	c.wrap(func() { err = cfs.Crash(keep) })
+	return err
+}
 
 // Execute runs scripts against fresh instances from factory (§6.2) with
 // the session's worker pool, cancelling between scripts and between
@@ -657,6 +684,10 @@ type FuzzJob struct {
 	CorpusDir string
 	// Concurrent executes candidates with the seeded concurrent executor.
 	Concurrent bool
+	// Crash enables the durability mutation operators (fsync/sync
+	// barriers, crash labels). Pair with a crash-capable Factory and a
+	// session Spec with Crash set; mutually exclusive with Concurrent.
+	Crash bool
 	// Seeds are extra initial inputs offered to the corpus at startup.
 	Seeds []*Script
 	// KeepCoverage keeps the session's coverage counters instead of
@@ -686,6 +717,7 @@ func (s *Session) Fuzz(ctx context.Context, job FuzzJob) (*FuzzResult, error) {
 		MaxSteps:     job.MaxSteps,
 		CorpusDir:    job.CorpusDir,
 		Concurrent:   job.Concurrent,
+		Crash:        job.Crash,
 		Seeds:        job.Seeds,
 		KeepCoverage: job.KeepCoverage,
 		ResultCache:  cache,

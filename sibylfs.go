@@ -90,6 +90,13 @@ func Generate() []*Script { return testgen.Generate().Scripts }
 // Deprecated: use Session.GenerateConcurrent, which is context-aware.
 func GenerateConcurrent() []*Script { return testgen.ConcurrentScripts() }
 
+// GenerateCrash builds the crash-consistency universe (crash___ scripts).
+// Execute it sequentially against a crash-profiled implementation and
+// check with a Spec.Crash model.
+//
+// Deprecated: use Session.GenerateCrash, which is context-aware.
+func GenerateCrash() []*Script { return testgen.CrashScripts() }
+
 // SuiteStats reports the number of scripts per command group.
 func SuiteStats(scripts []*Script) map[string]int {
 	s := testgen.Suite{Scripts: scripts}
