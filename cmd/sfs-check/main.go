@@ -1,6 +1,6 @@
 // sfs-check is the trace-checking half of Fig 1: it runs the oracle over
-// trace files and writes checked traces with diagnoses. Ctrl-C cancels
-// between traces (exit 4, nothing written).
+// trace files and writes checked traces with diagnoses. Ctrl-C or
+// -timeout cancels between traces (exit 4, nothing written).
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	platform := flag.String("p", "linux", "model variant: posix|linux|mac_os_x|freebsd")
 	noPerms := flag.Bool("noperms", false, "disable the permissions trait")
 	workers := flag.Int("w", 0, "parallel workers (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "cancel checking after this long (exit 4, like Ctrl-C)")
 	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-check")
 	flag.Parse()
 	showVersion()
@@ -44,6 +45,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var traces []*sibylfs.Trace
 	entries, err := os.ReadDir(*inDir)
@@ -74,7 +80,7 @@ func main() {
 	session := sibylfs.New(sibylfs.WithSpec(pl), sibylfs.WithWorkers(*workers))
 	results, err := session.Check(ctx, traces)
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "sfs-check: cancelled")
 			os.Exit(4)
 		}

@@ -57,6 +57,8 @@ func main() {
 	crashMode := flag.Bool("crash", false, "fuzz durability semantics: crash-capable implementation, Spec.Crash model, fsync/sync and crash-label mutations, corpus seeded with the crash___ universe (excludes -concurrent and -fs host)")
 	outDir := flag.String("o", "", "directory for report.html and summary.txt (default: -corpus dir, if set)")
 	cacheDir := flag.String("cache-dir", "", "pipeline result cache: corpus entries whose clean replay is cached skip re-execution at session start")
+	storeName := flag.String("store", "pack", cliutil.StoreUsage)
+	cacheStats := flag.Bool("cache-stats", false, "print result-store contents and hit/miss ratios on exit")
 	statsJSON := flag.String("stats-json", "", "write a telemetry snapshot (runs, corpus, latency histograms) here on exit; - = stdout")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /stats.json and /debug/pprof on this address while fuzzing")
 	verbose := flag.Bool("v", false, "log corpus admissions, findings and progress")
@@ -141,9 +143,12 @@ func main() {
 		sibylfs.WithSpec(spec),
 		sibylfs.WithWorkers(w),
 	}
-	if *cacheDir != "" {
-		opts = append(opts, sibylfs.WithCacheDir(*cacheDir))
+	storeOpts, err := cliutil.StoreOptions(*cacheDir, *storeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-fuzz:", err)
+		os.Exit(2)
 	}
+	opts = append(opts, storeOpts...)
 	if *verbose {
 		opts = append(opts, sibylfs.WithLog(os.Stderr))
 	}
@@ -204,6 +209,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("report: %s\n", filepath.Join(dir, "report.html"))
+	}
+	if *cacheStats {
+		cliutil.PrintCacheStats("sfs-fuzz", session)
 	}
 	writeStats()
 	if len(res.Findings) > 0 || res.Crashes > 0 {

@@ -1,6 +1,6 @@
 // sfs-gen generates the SibylFS test suite and writes one script file per
 // test into the output directory (or prints statistics with -stats).
-// Ctrl-C cancels between file writes (exit 4).
+// Ctrl-C or -timeout cancels between file writes (exit 4).
 package main
 
 import (
@@ -22,12 +22,18 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-group script counts and exit")
 	group := flag.String("group", "", "only emit scripts of this command group")
 	cacheDir := flag.String("cache-dir", "", "cache directory (warm starts load the generated suite from it)")
+	timeout := flag.Duration("timeout", 0, "cancel generation after this long (exit 4, like Ctrl-C)")
 	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-gen")
 	flag.Parse()
 	showVersion()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var opts []sibylfs.Option
 	if *cacheDir != "" {

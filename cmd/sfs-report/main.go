@@ -32,6 +32,8 @@ func main() {
 	workers := flag.Int("w", 0, "parallel workers")
 	configFilter := flag.String("config", "", "substring filter on configuration names")
 	cacheDir := flag.String("cache-dir", "", "shared result cache: unchanged configurations skip re-execution")
+	storeName := flag.String("store", "pack", cliutil.StoreUsage)
+	cacheStats := flag.Bool("cache-stats", false, "print result-store contents and hit/miss ratios on exit")
 	jsonlDir := flag.String("jsonl-dir", "", "write one canonical JSONL record file per configuration")
 	resume := flag.Bool("resume", false, "with -jsonl-dir: recover interrupted sinks and skip completed traces")
 	timeout := flag.Duration("timeout", 0, "cancel the survey after this long (sinks stay resumable; exit 4)")
@@ -57,9 +59,12 @@ func main() {
 	}
 
 	opts := []sibylfs.Option{sibylfs.WithWorkers(*workers)}
-	if *cacheDir != "" {
-		opts = append(opts, sibylfs.WithCacheDir(*cacheDir))
+	storeOpts, err := cliutil.StoreOptions(*cacheDir, *storeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-report:", err)
+		os.Exit(2)
 	}
+	opts = append(opts, storeOpts...)
 	if *jsonlDir != "" {
 		opts = append(opts, sibylfs.WithJournalDir(*jsonlDir))
 	}
@@ -67,6 +72,11 @@ func main() {
 		opts = append(opts, sibylfs.WithResume())
 	}
 	session := sibylfs.New(opts...)
+	printCacheStats := func() {
+		if *cacheStats {
+			cliutil.PrintCacheStats("sfs-report", session)
+		}
+	}
 
 	suite, err := session.Generate(ctx)
 	if err != nil {
@@ -100,6 +110,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "; rerun with -resume to finish")
 			}
 			fmt.Fprintln(os.Stderr)
+			printCacheStats()
 			writeStats()
 			os.Exit(4)
 		}
@@ -137,5 +148,6 @@ func main() {
 		fmt.Printf("  %-50s deviates on: %s\n", test, strings.Join(merged.DeviationsFor(test), ", "))
 	}
 	fmt.Printf("\nHTML written to %s\n", *outDir)
+	printCacheStats()
 	writeStats()
 }

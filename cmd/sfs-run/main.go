@@ -22,7 +22,6 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cliutil"
 	"repro/internal/pipeline"
-	"repro/internal/telemetry"
 )
 
 func usage() {
@@ -70,7 +69,7 @@ func main() {
 	shards := flag.Int("shards", 1, "total number of shards the suite is split into")
 	shard := flag.Int("shard", 0, "this invocation's shard index, in [0,shards)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache (skip unchanged traces)")
-	storeName := flag.String("store", "pack", "cache backend: pack (segment store) or dir (v1 file-per-key)")
+	storeName := flag.String("store", "pack", cliutil.StoreUsage)
 	cacheStats := flag.Bool("cache-stats", false, "print result-store contents and hit/miss ratios on exit")
 	jsonl := flag.String("jsonl", "run.jsonl", "JSONL result sink / resume journal")
 	resume := flag.Bool("resume", false, "recover the sink journal and skip already-completed traces")
@@ -129,33 +128,15 @@ func main() {
 	}
 	// printCacheStats reports the result store's contents and this run's
 	// hit/miss split; like writeStats it runs on every deliberate exit so
-	// cancelled runs still show what the cache absorbed.
+	// cancelled runs still show what the cache absorbed. With a remote
+	// (-store http://…) backend it reports the wire traffic too — hits,
+	// misses, batches and the degraded fallback paths.
 	var session *sibylfs.Session
 	printCacheStats := func() {
 		if !*cacheStats || session == nil {
 			return
 		}
-		st, ok := session.CacheStats()
-		if !ok {
-			fmt.Fprintln(os.Stderr, "sfs-run: -cache-stats: no cache configured (use -cache-dir)")
-			return
-		}
-		fmt.Printf("cache: backend=%s entries=%d segments=%d bytes=%d\n",
-			st.Backend, st.Entries, st.Segments, st.Bytes)
-		if fb, ok := session.CacheFallbackStats(); ok {
-			fmt.Printf("cache: v1 read-through fallback: entries=%d bytes=%d\n",
-				fb.Entries, fb.Bytes)
-		}
-		tel := telemetry.Default
-		hits := tel.Counter("pipeline.cache_hits").Value()
-		misses := tel.Counter("pipeline.cache_misses").Value()
-		if total := hits + misses; total > 0 {
-			fmt.Printf("cache: %d hits, %d misses (%.1f%% hit rate), %d stores, %d batches, %d fsyncs\n",
-				hits, misses, 100*float64(hits)/float64(total),
-				tel.Counter("pipeline.cache_stores").Value(),
-				tel.Counter("pipeline.store_batches").Value(),
-				tel.Counter("pipeline.store_fsyncs").Value())
-		}
+		cliutil.PrintCacheStats("sfs-run", session)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -195,21 +176,12 @@ func main() {
 		sibylfs.WithWorkers(w),
 		sibylfs.WithJournal(*jsonl),
 	}
-	if *cacheDir != "" {
-		switch *storeName {
-		case "pack", "":
-			opts = append(opts, sibylfs.WithCacheDir(*cacheDir))
-		case "dir":
-			store, err := sibylfs.OpenDirStore(*cacheDir)
-			if err != nil {
-				fatal(err)
-			}
-			opts = append(opts, sibylfs.WithStore(store))
-		default:
-			fmt.Fprintf(os.Stderr, "sfs-run: unknown store backend %q (want pack or dir)\n", *storeName)
-			os.Exit(2)
-		}
+	storeOpts, err := cliutil.StoreOptions(*cacheDir, *storeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfs-run:", err)
+		os.Exit(2)
 	}
+	opts = append(opts, storeOpts...)
 	if *resume {
 		opts = append(opts, sibylfs.WithResume())
 	}

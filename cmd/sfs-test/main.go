@@ -1,6 +1,6 @@
 // sfs-test executes test scripts against a file system under test and
 // writes the observed traces — the test-executor half of Fig 1. Ctrl-C
-// cancels between scripts (exit 4, nothing written).
+// or -timeout cancels between scripts (exit 4, nothing written).
 package main
 
 import (
@@ -51,6 +51,7 @@ func main() {
 	concurrent := flag.Bool("concurrent", false, "run script processes concurrently (one goroutine per process)")
 	schedSeed := flag.Int64("sched-seed", 0, "with -concurrent: deterministic scheduler seed (0 = free-running)")
 	crashMode := flag.Bool("crash", false, "crash-consistency universe against a persistence-simulating implementation")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this long (exit 4, like Ctrl-C)")
 	showVersion := cliutil.VersionFlag(flag.CommandLine, "sfs-test")
 	flag.Parse()
 	showVersion()
@@ -60,6 +61,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	universe, err := cliutil.Universe(*concurrent, *crashMode)
 	if err != nil {
@@ -107,7 +113,7 @@ func main() {
 		traces, err = session.Execute(ctx, scripts, fs.Factory)
 	}
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "sfs-test: cancelled")
 			os.Exit(4)
 		}

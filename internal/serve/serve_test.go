@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	sibylfs "repro"
+	"repro/internal/cliutil"
+	"repro/internal/serveapi"
+	"repro/internal/telemetry"
+)
+
+// inlineScripts builds n small script texts — the inline-suite form a
+// JobSpec carries over the wire.
+func inlineScripts(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf(`@type script
+# Test serve___job_%03d
+mkdir "d%d" 0o755
+open "d%d/f" [O_CREAT;O_WRONLY] 0o644
+stat "d%d/f"
+rename "d%d" "e%d"
+unlink "e%d/f"
+rmdir "e%d"
+`, i, i, i, i, i, i, i, i))
+	}
+	return out
+}
+
+// localJournal runs the same inline suite through a plain local Session
+// — the reference sfs-run would produce — and returns the finalized
+// journal bytes.
+func localJournal(t *testing.T, name string, texts []string, workers int) []byte {
+	t.Helper()
+	pl, ok := sibylfs.ParsePlatformName("linux")
+	if !ok {
+		t.Fatal("linux platform missing")
+	}
+	spec := sibylfs.SpecFor(pl)
+	spec.Permissions = true
+	var scripts []*sibylfs.Script
+	for i, text := range texts {
+		sc, err := sibylfs.ParseScript(text)
+		if err != nil {
+			t.Fatalf("scripts[%d]: %v", i, err)
+		}
+		scripts = append(scripts, sc)
+	}
+	fs, ok := cliutil.PickFS("ext4")
+	if !ok {
+		t.Fatal("ext4 profile missing")
+	}
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	session := sibylfs.New(
+		sibylfs.WithSpec(spec),
+		sibylfs.WithWorkers(workers),
+		sibylfs.WithJournal(journal),
+		sibylfs.WithTelemetry(telemetry.NewRegistry()),
+	)
+	_, _, err := session.Run(context.Background(), sibylfs.RunJob{
+		Name:    name,
+		Scripts: scripts,
+		Factory: fs.Factory,
+		FSName:  "ext4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func newTestServer(t *testing.T, dataDir string, jobs, workers int) (*Server, *serveapi.Client, func()) {
+	t.Helper()
+	srv, err := New(Options{
+		DataDir: dataDir,
+		Jobs:    jobs,
+		Workers: workers,
+		Tel:     telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	stop := func() {
+		hs.Close()
+		srv.Close()
+	}
+	return srv, serveapi.NewClient(hs.URL), stop
+}
+
+// TestServeParityColdWarm pins end-to-end service parity: a suite
+// submitted to the daemon finalizes byte-identical to a local sfs-run
+// of the same suite — cold, and again warm from the shared store with
+// zero executions.
+func TestServeParityColdWarm(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	texts := inlineScripts(12)
+	want := localJournal(t, "parity", texts, 2)
+
+	_, client, stop := newTestServer(t, t.TempDir(), 1, 2)
+	defer stop()
+
+	spec := serveapi.JobSpec{Name: "parity", FS: "ext4", Scripts: texts, Workers: 2}
+	st, err := client.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := client.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.State != serveapi.StateDone {
+		t.Fatalf("cold job state = %s (%s)", cold.State, cold.Error)
+	}
+	if cold.Executed != len(texts) || cold.CacheHits != 0 {
+		t.Fatalf("cold split: executed %d, hits %d, want %d/0", cold.Executed, cold.CacheHits, len(texts))
+	}
+	got, err := client.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cold serve result differs from local run (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// Warm resubmission: everything is served from the shared store.
+	st2, err := client.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := client.Wait(ctx, st2.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.State != serveapi.StateDone {
+		t.Fatalf("warm job state = %s (%s)", warm.State, warm.Error)
+	}
+	if warm.Executed != 0 || warm.CacheHits != len(texts) {
+		t.Fatalf("warm split: executed %d, hits %d, want 0/%d", warm.Executed, warm.CacheHits, len(texts))
+	}
+	got2, err := client.Result(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, want) {
+		t.Fatal("warm serve result differs from local run")
+	}
+}
+
+// TestServeRecordsStream pins the live NDJSON stream: a subscriber that
+// attaches while the job runs sees every record and returns when the
+// job settles.
+func TestServeRecordsStream(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	texts := inlineScripts(10)
+	_, client, stop := newTestServer(t, t.TempDir(), 1, 1)
+	defer stop()
+
+	st, err := client.SubmitJob(ctx, serveapi.JobSpec{FS: "ext4", Scripts: texts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	if err := client.Records(ctx, st.ID, func(_ sibylfs.PipelineRecord) { seen++ }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(texts) {
+		t.Fatalf("streamed %d records, want %d", seen, len(texts))
+	}
+	final, err := client.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != serveapi.StateDone || final.Records != len(texts) {
+		t.Fatalf("final status: %s with %d records", final.State, final.Records)
+	}
+}
+
+// TestServeRestartResume pins the crash-recovery contract. The on-disk
+// state of a daemon killed mid-job is fabricated directly — a job
+// directory holding the spec, a non-terminal status, and a journal
+// covering a prefix of the suite — so the test is deterministic no
+// matter how fast the suite runs. A daemon started on that data
+// directory must re-enqueue the job, skip every journaled trace, and
+// finalize byte-identical to a local run of the whole suite.
+func TestServeRestartResume(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	texts := inlineScripts(160)
+	const prefix = 40
+	dataDir := t.TempDir()
+
+	spec := serveapi.JobSpec{Name: "resume", FS: "ext4", Scripts: texts, Workers: 1}
+	id := "000000000001-0001"
+	jobDir := filepath.Join(dataDir, "jobs", id)
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	specData, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobDir, "job.json"), specData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	running := serveapi.JobStatus{ID: id, Name: "resume", State: serveapi.StateRunning, Records: prefix}
+	statusData, err := json.Marshal(running)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobDir, "status.json"), statusData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The journal a killed daemon left behind: the first `prefix` traces,
+	// completed and durably journaled.
+	partial := localJournal(t, "resume", texts[:prefix], 1)
+	if err := os.WriteFile(filepath.Join(jobDir, "run.jsonl"), partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, client, stop := newTestServer(t, dataDir, 1, 1)
+	defer stop()
+	final, err := client.Wait(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != serveapi.StateDone {
+		t.Fatalf("resumed job state = %s (%s)", final.State, final.Error)
+	}
+	if final.Resumed != prefix {
+		t.Fatalf("resume skipped %d traces, want the %d journaled ones", final.Resumed, prefix)
+	}
+	if final.Executed != len(texts)-prefix {
+		t.Fatalf("resumed job executed %d traces, want %d", final.Executed, len(texts)-prefix)
+	}
+	got, err := client.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localJournal(t, "resume", texts, 1)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed result differs from local run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestServeCloseMidJobRequeues pins the shutdown path end to end: a
+// daemon Closed with a job in flight leaves it non-terminal on disk (a
+// shutdown is not a cancel), and the next daemon life finishes it with
+// the full, byte-identical result.
+func TestServeCloseMidJobRequeues(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	texts := inlineScripts(200)
+	dataDir := t.TempDir()
+
+	_, client, stop := newTestServer(t, dataDir, 1, 1)
+	st, err := client.SubmitJob(ctx, serveapi.JobSpec{Name: "requeue", FS: "ext4", Scripts: texts, Workers: 1})
+	if err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	stop() // drain immediately: the job is queued or mid-run, never cancelled
+
+	_, client2, stop2 := newTestServer(t, dataDir, 1, 1)
+	defer stop2()
+	final, err := client2.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != serveapi.StateDone {
+		t.Fatalf("requeued job state = %s (%s)", final.State, final.Error)
+	}
+	got, err := client2.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localJournal(t, "requeue", texts, 1)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("requeued result differs from local run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestServeCancel pins API cancellation: a cancelled job settles
+// terminally and a daemon restart does NOT resurrect it.
+func TestServeCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	texts := inlineScripts(160)
+	dataDir := t.TempDir()
+
+	_, client, stop := newTestServer(t, dataDir, 1, 1)
+	st, err := client.SubmitJob(ctx, serveapi.JobSpec{FS: "ext4", Scripts: texts, Workers: 1})
+	if err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	if err := client.Cancel(ctx, st.ID); err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	final, err := client.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	if final.State != serveapi.StateCancelled && final.State != serveapi.StateDone {
+		stop()
+		t.Fatalf("state after cancel = %s", final.State)
+	}
+	stop()
+
+	srv2, err := New(Options{DataDir: dataDir, Jobs: 1, Tel: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	j, ok := srv2.job(st.ID)
+	if !ok {
+		t.Fatal("restarted daemon forgot the job")
+	}
+	if !j.terminal() {
+		t.Fatalf("terminal job resurrected as %q", j.status().State)
+	}
+}
+
+// TestSubmitValidation pins the rejection surface: bad specs never
+// reach a queue.
+func TestSubmitValidation(t *testing.T) {
+	srv, err := New(Options{DataDir: t.TempDir(), Jobs: 1, Tel: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, tc := range []struct {
+		name string
+		spec serveapi.JobSpec
+	}{
+		{"empty fs", serveapi.JobSpec{}},
+		{"host jailed", serveapi.JobSpec{FS: "host"}},
+		{"bad universe", serveapi.JobSpec{FS: "ext4", Universe: "galactic"}},
+		{"bad platform", serveapi.JobSpec{FS: "ext4", Platform: "plan9"}},
+		{"bad script", serveapi.JobSpec{FS: "ext4", Scripts: []string{"not a script"}}},
+	} {
+		if _, err := srv.Submit(tc.spec); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestSchedulerSteal pins the work-stealing discipline: an idle worker
+// drains its own deque front-first, then steals from the back of the
+// longest other deque.
+func TestSchedulerSteal(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sc := newSched(2, reg)
+	mk := func(id string) *job { return newJob(id, serveapi.JobSpec{}, "") }
+	j1, j2, j3, j4 := mk("1"), mk("2"), mk("3"), mk("4")
+	// Round-robin lands these as q0=[j1,j3], q1=[j2,j4].
+	for _, j := range []*job{j1, j2, j3, j4} {
+		sc.push(j)
+	}
+	if g, _ := sc.pop(0); g != j1 {
+		t.Fatalf("pop(0) = %s, want own-front j1", g.id)
+	}
+	if g, _ := sc.pop(0); g != j3 {
+		t.Fatalf("pop(0) = %s, want own-front j3", g.id)
+	}
+	if g, _ := sc.pop(0); g != j4 {
+		t.Fatalf("pop(0) = %s, want steal from the BACK of q1 (j4)", g.id)
+	}
+	if n := reg.Counter("serve.steals").Value(); n != 1 {
+		t.Fatalf("steals = %d, want 1", n)
+	}
+	if g, _ := sc.pop(1); g != j2 {
+		t.Fatalf("pop(1) = %s, want j2", g.id)
+	}
+	sc.close()
+	if _, ok := sc.pop(0); ok {
+		t.Fatal("pop after close must report no work")
+	}
+}

@@ -57,7 +57,8 @@ type Session struct {
 	tauWorkers  int
 	maxStateSet int
 	cacheDir    string
-	store       pipeline.Store // nil = open a backend from cacheDir
+	remote      string         // WithRemoteCache base URL ("" = none)
+	store       pipeline.Store // nil = open a backend from cacheDir/remote
 	journal     string
 	journalDir  string
 	resume      bool
@@ -202,12 +203,24 @@ func (s *Session) Spec() Spec { return s.spec }
 // WithCacheDir/WithStore). The handle is shared by every method of the
 // session.
 func (s *Session) openCache() (*pipeline.Cache, error) {
-	if s.store == nil && s.cacheDir == "" {
+	if s.store == nil && s.cacheDir == "" && s.remote == "" {
 		return nil, nil
 	}
 	s.cacheOnce.Do(func() {
 		if s.store != nil {
 			s.cache = pipeline.NewCache(s.store)
+			return
+		}
+		if s.remote != "" {
+			// WithRemoteCache: the shared fleet store, with the local cache
+			// dir (if any) demoted to the unreachable-server fallback.
+			store, err := OpenHTTPStore(s.remote, s.cacheDir)
+			if err != nil {
+				s.cacheErr = err
+				return
+			}
+			s.store = store // session-owned; flushed at run boundaries
+			s.cache = pipeline.NewCache(store)
 			return
 		}
 		s.cache, s.cacheErr = pipeline.OpenCache(s.cacheDir)
